@@ -1,0 +1,41 @@
+package ced
+
+import (
+	"fmt"
+
+	"ced/internal/classify"
+)
+
+// Classification reports a 1-NN classification run: error rate, per-query
+// search cost, and the confusion matrix.
+type Classification struct {
+	// Tested and Errors count classified queries and label mismatches.
+	Tested, Errors int
+	// ErrorRate is 100·Errors/Tested, the unit of the paper's Table 2.
+	ErrorRate float64
+	// AvgComputations is the mean distance evaluations per query.
+	AvgComputations float64
+	// Confusion[t][p] counts samples of true class t predicted as p.
+	Confusion [][]int
+}
+
+// Classify labels every test string with the class of its nearest
+// neighbour in the index (whose corpus must be train.Strings) and compares
+// against the test labels — the paper's §4.4 protocol. Both datasets must
+// be labelled.
+func Classify(index *Index, train, test *Dataset) (Classification, error) {
+	if !train.Labelled() || !test.Labelled() {
+		return Classification{}, fmt.Errorf("ced: Classify requires labelled train and test datasets")
+	}
+	out, err := classify.Evaluate(index.searcher, train.Labels, test.Runes(), test.Labels)
+	if err != nil {
+		return Classification{}, err
+	}
+	return Classification{
+		Tested:          out.Tested,
+		Errors:          out.Errors,
+		ErrorRate:       out.ErrorRate(),
+		AvgComputations: out.AvgComputations(),
+		Confusion:       out.Confusion,
+	}, nil
+}

@@ -1,0 +1,133 @@
+// Command ced computes string distances from the command line.
+//
+// Usage:
+//
+//	ced [-d dC] [-all] [-decompose] STRING1 STRING2
+//	ced [-d dC] -pairs FILE        # tab-separated pairs, one per line
+//
+// Examples:
+//
+//	ced ababa baab                 # contextual distance: 0.5333...
+//	ced -all ababa baab            # every distance of the paper
+//	ced -decompose ababa baab      # optimal path decomposition
+//	ced -d dYB -pairs pairs.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ced"
+	"ced/internal/core"
+)
+
+func main() {
+	var (
+		distName  = flag.String("d", "dC", "distance to compute (see -list)")
+		all       = flag.Bool("all", false, "print every distance of the paper for the pair")
+		decompose = flag.Bool("decompose", false, "print the contextual path decomposition")
+		trace     = flag.Bool("trace", false, "print the full witness path of the contextual distance")
+		pairsFile = flag.String("pairs", "", "read tab-separated string pairs from this file")
+		list      = flag.Bool("list", false, "list available distances and exit")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(ced.Names(), "\n"))
+		return
+	}
+	if err := run(*distName, *all, *decompose, *trace, *pairsFile, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ced:", err)
+		os.Exit(1)
+	}
+}
+
+// printTrace shows each elementary operation of the optimal contextual path
+// with its cost and the intermediate string.
+func printTrace(a, b string) error {
+	tr, err := core.Trace([]rune(a), []rune(b))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dC(%q, %q) = %.6f via %d operations:\n", a, b, tr.Distance, len(tr.Steps))
+	cur := a
+	for i, s := range tr.Steps {
+		var what string
+		switch s.Op {
+		case core.OpInsert:
+			what = fmt.Sprintf("insert %q at %d", s.Symbol, s.Pos)
+		case core.OpSubstitute:
+			what = fmt.Sprintf("substitute position %d by %q", s.Pos, s.Symbol)
+		default:
+			what = fmt.Sprintf("delete %q at %d", s.Symbol, s.Pos)
+		}
+		fmt.Printf("  %2d. %-32s cost 1/%-3d = %.6f   %q -> %q\n",
+			i+1, what, int(1/s.Cost+0.5), s.Cost, cur, s.After)
+		cur = s.After
+	}
+	return nil
+}
+
+func run(distName string, all, decompose, trace bool, pairsFile string, args []string) error {
+	var pairs [][2]string
+	switch {
+	case pairsFile != "":
+		f, err := os.Open(pairsFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			a, b, ok := strings.Cut(line, "\t")
+			if !ok {
+				return fmt.Errorf("line %q is not tab-separated", line)
+			}
+			pairs = append(pairs, [2]string{a, b})
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	case len(args) == 2:
+		pairs = append(pairs, [2]string{args[0], args[1]})
+	default:
+		return fmt.Errorf("need exactly two strings or -pairs FILE (got %d args)", len(args))
+	}
+
+	for _, p := range pairs {
+		switch {
+		case trace:
+			if err := printTrace(p[0], p[1]); err != nil {
+				return err
+			}
+		case decompose:
+			d := ced.ContextualDecompose(p[0], p[1])
+			fmt.Printf("dC(%q, %q) = %.6f via %d operations: %d insertions, %d substitutions, %d deletions\n",
+				p[0], p[1], d.Distance, d.Operations, d.Insertions, d.Substitutions, d.Deletions)
+			h := ced.ContextualHeuristicDecompose(p[0], p[1])
+			fmt.Printf("dC,h(%q, %q) = %.6f via %d operations: %d insertions, %d substitutions, %d deletions\n",
+				p[0], p[1], h.Distance, h.Operations, h.Insertions, h.Substitutions, h.Deletions)
+		case all:
+			for _, name := range ced.Names() {
+				m, err := ced.ByName(name)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-5s(%q, %q) = %.6f\n", m.Name(), p[0], p[1], m.Distance(p[0], p[1]))
+			}
+		default:
+			m, err := ced.ByName(distName)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%.6f\n", m.Distance(p[0], p[1]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSinglePair(t *testing.T) {
+	if err := run("dC", false, false, false, "", []string{"ababa", "baab"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dE", true, false, false, "", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dC", false, true, false, "", []string{"ab", "ba"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dC", false, false, true, "", []string{"ab", "ba"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("dC", false, false, false, "", []string{"only-one"}); err == nil {
+		t.Error("one arg should fail")
+	}
+	if err := run("nope", false, false, false, "", []string{"a", "b"}); err == nil {
+		t.Error("unknown distance should fail")
+	}
+	if err := run("dC", false, false, false, "/no/such/file", nil); err == nil {
+		t.Error("missing pairs file should fail")
+	}
+}
+
+func TestRunPairsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pairs.tsv")
+	if err := os.WriteFile(path, []byte("ab\tba\ncasa\tcosa\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dYB", false, false, false, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.tsv")
+	if err := os.WriteFile(bad, []byte("no-tab-here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dYB", false, false, false, bad, nil); err == nil {
+		t.Error("untabbed pairs file should fail")
+	}
+}
+
+func TestPrintTraceError(t *testing.T) {
+	// Trace of very long strings exceeds the reconstruction bound.
+	long := make([]byte, 3000)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if err := printTrace(string(long), string(long[:2999])+"b"); err == nil {
+		t.Error("oversized trace should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import "testing"
+
+func TestSizesPick(t *testing.T) {
+	s := sizes{quick: false}
+	if s.pick(5, 1, 2) != 5 {
+		t.Error("explicit flag should win")
+	}
+	if s.pick(0, 1, 2) != 2 {
+		t.Error("default should apply without quick")
+	}
+	q := sizes{quick: true}
+	if q.pick(0, 1, 2) != 1 {
+		t.Error("quick value should apply")
+	}
+	if q.pick(7, 1, 2) != 7 {
+		t.Error("explicit flag should beat quick")
+	}
+}
+
+func TestSizesConfigsQuick(t *testing.T) {
+	s := sizes{quick: true, seed: 42, workers: 2}
+	if c := s.fig1(); c.Words != 120 || c.Seed != 42 || c.Workers != 2 {
+		t.Errorf("fig1 config = %+v", c)
+	}
+	if c := s.fig2(); c.Genes != 20 {
+		t.Errorf("fig2 config = %+v", c)
+	}
+	if c := s.table1(); c.SpanishWords != 100 || c.DigitCount != 30 || c.GeneCount != 16 {
+		t.Errorf("table1 config = %+v", c)
+	}
+	if c := s.sweep(); c.TrainSize != 100 || len(c.Pivots) != 4 {
+		t.Errorf("sweep config = %+v", c)
+	}
+	if c := s.fig4(); c.Sweep.TrainSize != 100 {
+		t.Errorf("fig4 quick config = %+v", c)
+	}
+	if c := s.table2(); c.TrainPerClass != 5 || c.TestCount != 40 {
+		t.Errorf("table2 config = %+v", c)
+	}
+	if c := s.gap(); c.SpanishWords != 80 {
+		t.Errorf("gap config = %+v", c)
+	}
+	if c := s.pivotAblation(); c.TrainSize != 150 {
+		t.Errorf("pivot ablation config = %+v", c)
+	}
+	if c := s.searcherAblation(); c.QueryCount != 30 {
+		t.Errorf("searcher ablation config = %+v", c)
+	}
+	if c := s.exactAblation(); c.PairsPerLength != 20 {
+		t.Errorf("exact ablation config = %+v", c)
+	}
+}
+
+func TestSizesConfigsFullDefaults(t *testing.T) {
+	s := sizes{}
+	// Without quick, size fields stay 0 so the experiment packages apply
+	// their own documented defaults.
+	if c := s.fig1(); c.Words != 0 {
+		t.Errorf("fig1 full config = %+v", c)
+	}
+	if c := s.fig4(); c.Sweep.TrainSize != 400 || c.Sweep.QueryCount != 100 {
+		t.Errorf("fig4 full config = %+v", c)
+	}
+}

@@ -1,0 +1,112 @@
+// Command cedgen generates the synthetic datasets that substitute for the
+// paper's benchmarks and writes them as text files (one string per line,
+// with a tab-separated class label for labelled datasets).
+//
+// Usage:
+//
+//	cedgen -kind spanish -n 86062 -seed 1 -out spanish.txt
+//	cedgen -kind dna -n 2000 -minlen 120 -maxlen 900 -out genes.tsv
+//	cedgen -kind digits -n 1000 -grid 48 -writers 20 -out digits.tsv
+//	cedgen -kind queries -base spanish.txt -n 1000 -ops 2 -out queries.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ced"
+	"ced/internal/dataset"
+)
+
+// writeDigitImages renders n digits and writes one PGM per sample plus an
+// index.tsv mapping file names to contour strings and labels.
+func writeDigitImages(dir string, n, grid, writers, first int, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ds, imgs := dataset.DigitImages(dataset.DigitsConfig{
+		Count: n, Grid: grid, Writers: writers, FirstWriter: first,
+	}, seed)
+	index, err := os.Create(filepath.Join(dir, "index.tsv"))
+	if err != nil {
+		return err
+	}
+	defer index.Close()
+	for i, im := range imgs {
+		name := fmt.Sprintf("digit_%04d_class%d.pgm", i, im.Label)
+		if err := os.WriteFile(filepath.Join(dir, name), im.PGM(), 0o644); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(index, "%s\t%d\t%s\n", name, im.Label, ds.Strings[i]); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d PGM images and index.tsv to %s\n", len(imgs), dir)
+	return nil
+}
+
+func main() {
+	var (
+		kind    = flag.String("kind", "spanish", "dataset kind: spanish | dna | digits | queries")
+		n       = flag.Int("n", 1000, "number of strings to generate")
+		seed    = flag.Int64("seed", 1, "random seed (generation is deterministic per seed)")
+		out     = flag.String("out", "", "output file (default: stdout)")
+		minLen  = flag.Int("minlen", 0, "dna: minimum ancestor length")
+		maxLen  = flag.Int("maxlen", 0, "dna: maximum ancestor length")
+		fams    = flag.Int("families", 0, "dna: number of gene families")
+		grid    = flag.Int("grid", 0, "digits: raster grid side")
+		writers = flag.Int("writers", 0, "digits: number of simulated writers")
+		first   = flag.Int("firstwriter", 0, "digits: first writer id (disjoint train/test sets)")
+		base    = flag.String("base", "", "queries: base dataset file to perturb")
+		ops     = flag.Int("ops", 2, "queries: number of edit operations per query")
+	)
+	flag.Parse()
+	if err := run(*kind, *n, *seed, *out, *minLen, *maxLen, *fams, *grid, *writers, *first, *base, *ops); err != nil {
+		fmt.Fprintln(os.Stderr, "cedgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n int, seed int64, out string, minLen, maxLen, fams, grid, writers, first int, base string, ops int) error {
+	var d *ced.Dataset
+	switch kind {
+	case "spanish":
+		d = ced.GenerateSpanish(n, seed)
+	case "dna":
+		d = ced.GenerateDNA(ced.DNAOptions{
+			Count: n, MinLen: minLen, MaxLen: maxLen, Families: fams,
+		}, seed)
+	case "digits":
+		d = ced.GenerateDigits(ced.DigitsOptions{
+			Count: n, Grid: grid, Writers: writers, FirstWriter: first,
+		}, seed)
+	case "queries":
+		if base == "" {
+			return fmt.Errorf("queries needs -base FILE")
+		}
+		bd, err := ced.ReadDatasetFile(base)
+		if err != nil {
+			return err
+		}
+		d = ced.PerturbQueries(bd, n, ops, seed)
+	case "digitimages":
+		// Write the rasters behind the contour strings as PGM files into
+		// the -out directory (required), for visual inspection (Figure 5).
+		if out == "" {
+			return fmt.Errorf("digitimages needs -out DIRECTORY")
+		}
+		return writeDigitImages(out, n, grid, writers, first, seed)
+	default:
+		return fmt.Errorf("unknown kind %q (known: spanish, dna, digits, digitimages, queries)", kind)
+	}
+	if out == "" {
+		return d.Write(os.Stdout)
+	}
+	if err := d.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d strings to %s\n", d.Len(), out)
+	return nil
+}

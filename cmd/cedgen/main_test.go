@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesEachKind(t *testing.T) {
+	dir := t.TempDir()
+	spanish := filepath.Join(dir, "sp.txt")
+	if err := run("spanish", 30, 1, spanish, 0, 0, 0, 0, 0, 0, "", 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(spanish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 30 {
+		t.Errorf("spanish lines = %d", lines)
+	}
+
+	dna := filepath.Join(dir, "dna.tsv")
+	if err := run("dna", 10, 1, dna, 30, 60, 2, 0, 0, 0, "", 2); err != nil {
+		t.Fatal(err)
+	}
+	digits := filepath.Join(dir, "dig.tsv")
+	if err := run("digits", 10, 1, digits, 0, 0, 0, 24, 2, 0, "", 2); err != nil {
+		t.Fatal(err)
+	}
+	queries := filepath.Join(dir, "q.txt")
+	if err := run("queries", 5, 1, queries, 0, 0, 0, 0, 0, 0, spanish, 2); err != nil {
+		t.Fatal(err)
+	}
+	imgDir := filepath.Join(dir, "imgs")
+	if err := run("digitimages", 3, 1, imgDir, 0, 0, 0, 20, 1, 0, "", 2); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(imgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // 3 PGMs + index.tsv
+		t.Errorf("image dir entries = %d", len(entries))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("bogus", 5, 1, "", 0, 0, 0, 0, 0, 0, "", 2); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if err := run("queries", 5, 1, "", 0, 0, 0, 0, 0, 0, "", 2); err == nil {
+		t.Error("queries without base should fail")
+	}
+	if err := run("digitimages", 5, 1, "", 0, 0, 0, 0, 0, 0, "", 2); err == nil {
+		t.Error("digitimages without out should fail")
+	}
+	if err := run("queries", 5, 1, "", 0, 0, 0, 0, 0, 0, "/no/such/base", 2); err == nil {
+		t.Error("missing base file should fail")
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	// out == "" writes to stdout; just verify no error.
+	if err := run("spanish", 3, 1, "", 0, 0, 0, 0, 0, 0, "", 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package ced
+
+import "ced/internal/dataset"
+
+// Dataset is a named collection of strings with optional class labels; see
+// the Generate* functions. It aliases the internal dataset type, so values
+// flow directly into the experiment harness and CLI tools.
+type Dataset = dataset.Dataset
+
+// DNAOptions configures GenerateDNA; zero values take the documented
+// defaults. It aliases dataset.DNAConfig.
+type DNAOptions = dataset.DNAConfig
+
+// DigitsOptions configures GenerateDigits; zero values take the documented
+// defaults. It aliases dataset.DigitsConfig.
+type DigitsOptions = dataset.DigitsConfig
+
+// GenerateSpanish generates n distinct Spanish-like words — the offline
+// substitute for the SISAP Spanish dictionary used in the paper.
+// Deterministic for a given (n, seed).
+func GenerateSpanish(n int, seed int64) *Dataset { return dataset.Spanish(n, seed) }
+
+// GenerateDNA generates gene-like sequences over acgt, labelled by gene
+// family — the offline substitute for the paper's Listeria gene set.
+// Deterministic for a given (opts, seed).
+func GenerateDNA(opts DNAOptions, seed int64) *Dataset { return dataset.DNA(opts, seed) }
+
+// GenerateDigits generates synthetic handwritten digits encoded as Freeman
+// chain-code contour strings (alphabet '0'..'7'), labelled 0–9 — the
+// offline substitute for the paper's NIST SD3 contour strings.
+// Deterministic for a given (opts, seed).
+func GenerateDigits(opts DigitsOptions, seed int64) *Dataset { return dataset.Digits(opts, seed) }
+
+// PerturbQueries derives count query strings by applying ops random edit
+// operations to random members of base — the protocol of the SISAP
+// genqueries tool the paper uses for its search experiments.
+func PerturbQueries(base *Dataset, count, ops int, seed int64) *Dataset {
+	return dataset.PerturbQueries(base, count, ops, seed)
+}
+
+// ReadDatasetFile loads a dataset written by (*Dataset).WriteFile: one
+// string per line with an optional trailing tab-separated integer label.
+func ReadDatasetFile(path string) (*Dataset, error) { return dataset.ReadFile(path) }

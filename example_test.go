@@ -1,0 +1,62 @@
+package ced_test
+
+import (
+	"fmt"
+
+	"ced"
+)
+
+// The contextual distance divides each operation's cost by the length of
+// the string it is applied to, and stays a true metric while doing so.
+func ExampleContextual() {
+	m := ced.Contextual()
+	fmt.Printf("%.4f\n", m.Distance("ababa", "baab"))
+	fmt.Printf("%.4f\n", m.Distance("gato", "gatos"))
+	// Output:
+	// 0.5333
+	// 0.2000
+}
+
+// ContextualDecompose explains the optimal path: how many operations, and
+// how they split into insertions, substitutions and deletions (always in
+// that order — insertions first make later edits cheaper).
+func ExampleContextualDecompose() {
+	d := ced.ContextualDecompose("ababa", "baab")
+	fmt.Printf("%d operations: %d ins, %d sub, %d del\n",
+		d.Operations, d.Insertions, d.Substitutions, d.Deletions)
+	// Output:
+	// 3 operations: 1 ins, 0 sub, 2 del
+}
+
+// ByName resolves any of the paper's distances from its notation.
+func ExampleByName() {
+	m, _ := ced.ByName("dYB")
+	fmt.Printf("%s = %.4f\n", m.Name(), m.Distance("ab", "ba"))
+	// Output:
+	// dYB = 0.6667
+}
+
+// A LAESA index answers nearest-neighbour queries with far fewer distance
+// computations than scanning the corpus, using the triangle inequality.
+func ExampleNewLAESA() {
+	corpus := []string{"casa", "cosa", "caso", "masa", "pasa", "queso"}
+	ix := ced.NewLAESA(corpus, ced.ContextualHeuristic(), 2)
+	r := ix.Nearest("cas")
+	fmt.Println(r.Value)
+	// Output:
+	// casa
+}
+
+// Radius finds every dictionary word within a distance budget — the
+// spell-checking primitive.
+func ExampleIndex_Radius() {
+	corpus := []string{"casa", "cosa", "caso", "queso"}
+	ix := ced.NewLinear(corpus, ced.Levenshtein())
+	for _, hit := range ix.Radius("casa", 1) {
+		fmt.Println(hit.Value, hit.Distance)
+	}
+	// Output:
+	// casa 0
+	// cosa 1
+	// caso 1
+}

@@ -1,0 +1,54 @@
+// Digits: end-to-end handwritten-digit classification over contour strings,
+// the paper's §4.4 experiment as an application.
+//
+// Synthetic digits are rendered, traced into Freeman chain-code contour
+// strings, and classified with a 1-NN rule under several distances, with
+// LAESA accelerating the search. Every normalisation should beat the raw
+// edit distance — the headline of the paper's Table 2.
+//
+// Run with:
+//
+//	go run ./examples/digits
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"ced"
+)
+
+func main() {
+	train := ced.GenerateDigits(ced.DigitsOptions{
+		Count:   400,
+		Writers: 10,
+		Grid:    32,
+	}, 11)
+	test := ced.GenerateDigits(ced.DigitsOptions{
+		Count:       150,
+		Writers:     10,
+		FirstWriter: 10, // disjoint writers, as in the paper
+		Grid:        32,
+	}, 12)
+	fmt.Printf("train: %d contour strings, test: %d (disjoint writers)\n", train.Len(), test.Len())
+	fmt.Printf("sample contour (class %d): %s...\n\n", train.Labels[0], train.Strings[0][:40])
+
+	tw := tabwriter.NewWriter(os.Stdout, 6, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "distance\terror rate\tavg comps/query (LAESA)\tvs exhaustive")
+	for _, name := range []string{"dE", "dmax", "dYB", "dC,h"} {
+		m, err := ced.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		index := ced.NewLAESA(train.Strings, m, 40)
+		res, err := ced.Classify(index, train, test)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f%%\t%.1f\t%d\n", m.Name(), res.ErrorRate, res.AvgComputations, train.Len())
+	}
+	tw.Flush()
+	fmt.Println("\nevery normalisation should beat raw dE, as in Table 2 of the paper;")
+	fmt.Println("the contextual distance combines that accuracy with metric guarantees.")
+}

@@ -1,0 +1,148 @@
+package classify
+
+import (
+	"testing"
+
+	"ced/internal/metric"
+	"ced/internal/search"
+)
+
+func runesOf(ss ...string) [][]rune {
+	out := make([][]rune, len(ss))
+	for i, s := range ss {
+		out[i] = []rune(s)
+	}
+	return out
+}
+
+func TestEvaluatePerfectSeparation(t *testing.T) {
+	train := runesOf("aaaa", "aaab", "zzzz", "zzzy")
+	labels := []int{0, 0, 1, 1}
+	queries := runesOf("aaba", "zzyz")
+	qLabels := []int{0, 1}
+	lin := search.NewLinear(train, metric.Levenshtein())
+	out, err := Evaluate(lin, labels, queries, qLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors != 0 || out.Tested != 2 {
+		t.Errorf("outcome = %+v, want 0 errors over 2", out)
+	}
+	if out.ErrorRate() != 0 {
+		t.Errorf("error rate = %v", out.ErrorRate())
+	}
+	if out.AvgComputations() != 4 {
+		t.Errorf("avg computations = %v, want 4 (exhaustive)", out.AvgComputations())
+	}
+	if out.Confusion[0][0] != 1 || out.Confusion[1][1] != 1 {
+		t.Errorf("confusion = %v", out.Confusion)
+	}
+}
+
+func TestEvaluateCountsErrors(t *testing.T) {
+	train := runesOf("aaaa", "zzzz")
+	labels := []int{0, 1}
+	queries := runesOf("aaaz", "aazz") // second is ambiguous: 2 edits from each; linear picks index 0
+	qLabels := []int{0, 1}
+	lin := search.NewLinear(train, metric.Levenshtein())
+	out, err := Evaluate(lin, labels, queries, qLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors != 1 {
+		t.Errorf("errors = %d, want 1 (tie resolves to class 0)", out.Errors)
+	}
+	if out.ErrorRate() != 50 {
+		t.Errorf("error rate = %v, want 50", out.ErrorRate())
+	}
+	if out.Confusion[1][0] != 1 {
+		t.Errorf("confusion[1][0] = %d, want 1", out.Confusion[1][0])
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	lin := search.NewLinear(runesOf("a"), metric.Levenshtein())
+	if _, err := Evaluate(lin, []int{0, 1}, nil, nil); err == nil {
+		t.Error("mismatched training labels should fail")
+	}
+	if _, err := Evaluate(lin, []int{0}, runesOf("a"), nil); err == nil {
+		t.Error("mismatched query labels should fail")
+	}
+	if _, err := Evaluate(lin, []int{-1}, runesOf("a"), []int{0}); err == nil {
+		t.Error("negative training label should fail")
+	}
+	if _, err := Evaluate(lin, []int{0}, runesOf("a"), []int{-2}); err == nil {
+		t.Error("negative query label should fail")
+	}
+}
+
+func TestEvaluateEmptyCorpus(t *testing.T) {
+	lin := search.NewLinear(nil, metric.Levenshtein())
+	out, err := Evaluate(lin, nil, runesOf("a"), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors != 1 {
+		t.Error("empty corpus should count every query as an error")
+	}
+}
+
+func TestOutcomeMerge(t *testing.T) {
+	a := Outcome{Tested: 10, Errors: 1, TotalComputations: 100,
+		Confusion: [][]int{{5, 0}, {1, 4}}}
+	b := Outcome{Tested: 10, Errors: 3, TotalComputations: 200,
+		Confusion: [][]int{{3, 2}, {1, 4}}}
+	a.Merge(b)
+	if a.Tested != 20 || a.Errors != 4 || a.TotalComputations != 300 {
+		t.Errorf("merged = %+v", a)
+	}
+	if a.Confusion[0][0] != 8 || a.Confusion[0][1] != 2 || a.Confusion[1][0] != 2 {
+		t.Errorf("merged confusion = %v", a.Confusion)
+	}
+	if a.ErrorRate() != 20 {
+		t.Errorf("error rate = %v, want 20", a.ErrorRate())
+	}
+	if a.AvgComputations() != 15 {
+		t.Errorf("avg comps = %v, want 15", a.AvgComputations())
+	}
+
+	var empty Outcome
+	empty.Merge(b)
+	if empty.Tested != 10 || empty.Confusion == nil {
+		t.Error("merge into zero outcome failed")
+	}
+	if (Outcome{}).ErrorRate() != 0 || (Outcome{}).AvgComputations() != 0 {
+		t.Error("zero outcome rates should be 0")
+	}
+}
+
+func TestEvaluateLAESAMatchesLinearErrors(t *testing.T) {
+	// With a true metric, LAESA finds exact nearest neighbours, so the
+	// error rate must match exhaustive search — Table 2's two columns.
+	train := runesOf(
+		"aaaa", "aaab", "aaba", "abaa",
+		"zzzz", "zzzy", "zzyz", "zyzz",
+		"mmmm", "mmmn", "mmnm", "mnmm",
+	)
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	queries := runesOf("aabb", "zzyy", "mmnn", "amam", "zmzm")
+	qLabels := []int{0, 1, 2, 0, 1}
+	m := metric.Levenshtein()
+	lin := search.NewLinear(train, m)
+	laesa := search.NewLAESA(train, m, 4, search.MaxSum, 3)
+	outLin, err := Evaluate(lin, labels, queries, qLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outLAESA, err := Evaluate(laesa, labels, queries, qLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outLin.Errors != outLAESA.Errors {
+		t.Errorf("LAESA errors %d != exhaustive errors %d", outLAESA.Errors, outLin.Errors)
+	}
+	if outLAESA.TotalComputations > outLin.TotalComputations {
+		t.Errorf("LAESA used more computations (%d) than exhaustive (%d)",
+			outLAESA.TotalComputations, outLin.TotalComputations)
+	}
+}

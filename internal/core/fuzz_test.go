@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+func FuzzHeuristicUpperBound(f *testing.F) {
+	f.Add("ababa", "baab")
+	f.Add("", "abc")
+	f.Add("ñandú", "nandu")
+	f.Fuzz(func(t *testing.T, sx, sy string) {
+		x, y := []rune(sx), []rune(sy)
+		if len(x) > 40 || len(y) > 40 {
+			t.Skip()
+		}
+		exact := Distance(x, y)
+		heur := Heuristic(x, y)
+		if heur < exact-1e-12 {
+			t.Fatalf("dC,h %v < dC %v for %q %q", heur, exact, sx, sy)
+		}
+		if exact < 0 {
+			t.Fatalf("negative distance %v", exact)
+		}
+		if sx == sy && exact != 0 {
+			t.Fatalf("identity failed for %q", sx)
+		}
+		if sx != sy && exact == 0 {
+			t.Fatalf("separation failed for %q %q", sx, sy)
+		}
+		if ub := UpperBound(len(x), len(y)); exact > ub+1e-12 {
+			t.Fatalf("distance %v above upper bound %v", exact, ub)
+		}
+	})
+}
+
+func FuzzComputeSymmetry(f *testing.F) {
+	f.Add("ab", "ba")
+	f.Add("aaa", "")
+	f.Fuzz(func(t *testing.T, sx, sy string) {
+		x, y := []rune(sx), []rune(sy)
+		if len(x) > 30 || len(y) > 30 {
+			t.Skip()
+		}
+		if d1, d2 := Distance(x, y), Distance(y, x); !almostEqual(d1, d2) {
+			t.Fatalf("asymmetric: %v vs %v for %q %q", d1, d2, sx, sy)
+		}
+	})
+}
+
+func FuzzTraceConsistent(f *testing.F) {
+	f.Add("ababa", "baab")
+	f.Add("", "ab")
+	f.Fuzz(func(t *testing.T, sx, sy string) {
+		x, y := []rune(sx), []rune(sy)
+		if len(x) > 20 || len(y) > 20 {
+			t.Skip()
+		}
+		tr, err := Trace(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, s := range tr.Steps {
+			sum += s.Cost
+		}
+		if !almostEqual(sum, tr.Distance) {
+			t.Fatalf("steps sum %v != distance %v", sum, tr.Distance)
+		}
+		if !almostEqual(tr.Distance, Distance(x, y)) {
+			t.Fatalf("trace distance %v != compute %v", tr.Distance, Distance(x, y))
+		}
+	})
+}

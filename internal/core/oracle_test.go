@@ -1,0 +1,97 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+)
+
+// This file implements a brute-force oracle for the contextual distance:
+// Dijkstra over the full rewriting graph (Definition 2 of the paper), with
+// intermediate string lengths capped at |x|+|y| (any path using longer
+// strings is dominated, cf. the well-definedness argument in Theorem 1, and
+// internal paths never need symbols outside the two strings' alphabets, cf.
+// Proposition 1). It is exponential in the state space and only usable for
+// tiny strings, but it exercises none of Algorithm 1's machinery, making it
+// an independent ground truth.
+
+type oracleItem struct {
+	s   string
+	d   float64
+	idx int
+}
+
+type oracleQueue []*oracleItem
+
+func (q oracleQueue) Len() int           { return len(q) }
+func (q oracleQueue) Less(i, j int) bool { return q[i].d < q[j].d }
+func (q oracleQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *oracleQueue) Push(v interface{}) {
+	it := v.(*oracleItem)
+	it.idx = len(*q)
+	*q = append(*q, it)
+}
+func (q *oracleQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// oracleDistance computes dC(x, y) by Dijkstra over the rewrite graph.
+func oracleDistance(x, y []rune, alphabet []rune) float64 {
+	maxLen := len(x) + len(y)
+	src, dst := string(x), string(y)
+	if src == dst {
+		return 0
+	}
+	dist := map[string]float64{src: 0}
+	done := map[string]bool{}
+	q := &oracleQueue{}
+	heap.Push(q, &oracleItem{s: src, d: 0})
+	relax := func(s string, d float64) {
+		if old, ok := dist[s]; !ok || d < old {
+			dist[s] = d
+			heap.Push(q, &oracleItem{s: s, d: d})
+		}
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*oracleItem)
+		if done[it.s] || it.d > dist[it.s] {
+			continue
+		}
+		if it.s == dst {
+			return it.d
+		}
+		done[it.s] = true
+		r := []rune(it.s)
+		l := len(r)
+		// Deletions and substitutions: cost 1/l.
+		if l > 0 {
+			c := 1 / float64(l)
+			for i := 0; i < l; i++ {
+				del := string(r[:i]) + string(r[i+1:])
+				relax(del, it.d+c)
+				for _, a := range alphabet {
+					if a == r[i] {
+						continue
+					}
+					sub := string(r[:i]) + string(a) + string(r[i+1:])
+					relax(sub, it.d+c)
+				}
+			}
+		}
+		// Insertions: cost 1/(l+1).
+		if l < maxLen {
+			c := 1 / float64(l+1)
+			for i := 0; i <= l; i++ {
+				for _, a := range alphabet {
+					ins := string(r[:i]) + string(a) + string(r[i:])
+					relax(ins, it.d+c)
+				}
+			}
+		}
+	}
+	return math.Inf(1) // unreachable: the graph is connected
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"ced/internal/editdist"
+)
+
+// This file implements explicit shortest-path search over the rewriting
+// graph of Definition 2: states are strings, edges are single-symbol
+// insertions, deletions and substitutions. It serves two purposes:
+//
+//  1. SearchDistance is a slow *reference implementation* of the contextual
+//     distance that shares nothing with Algorithm 1 — the package's tests
+//     validate the dynamic program against it, and callers can use it to
+//     spot-check custom weightings.
+//  2. NaiveGeneralized implements the "naive" generalised contextual
+//     distance the paper's §5 warns about (divide *weighted* operation
+//     costs by context length) and lets callers observe exactly the
+//     degeneracy described there: with expensive substitutions it pays to
+//     insert cheap dummy symbols, substitute inside the artificially long
+//     string, and delete the dummies — so the value keeps dropping as
+//     longer intermediate strings are allowed, and no finite horizon gives
+//     the infimum.
+//
+// Both are exponential in the worst case and meant for short strings.
+
+// searchItem is a priority-queue entry for the rewrite search.
+type searchItem struct {
+	s string
+	d float64
+}
+
+type searchQueue []searchItem
+
+func (q searchQueue) Len() int            { return len(q) }
+func (q searchQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q searchQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *searchQueue) Push(v interface{}) { *q = append(*q, v.(searchItem)) }
+func (q *searchQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// rewriteSearch runs Dijkstra over the rewrite graph from x to y, using the
+// supplied per-operation weight functions (already divided by context
+// length or not — the caller decides), with intermediate string lengths
+// capped at maxLen. Symbols are drawn from alphabet.
+func rewriteSearch(x, y []rune, alphabet []rune, maxLen int,
+	subW, delW func(l int, from, to rune) float64,
+	insW func(l int, sym rune) float64) float64 {
+
+	src, dst := string(x), string(y)
+	if src == dst {
+		return 0
+	}
+	dist := map[string]float64{src: 0}
+	q := &searchQueue{}
+	heap.Push(q, searchItem{s: src, d: 0})
+	relax := func(s string, d float64) {
+		if old, ok := dist[s]; !ok || d < old {
+			dist[s] = d
+			heap.Push(q, searchItem{s: s, d: d})
+		}
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(searchItem)
+		if it.d > dist[it.s] {
+			continue
+		}
+		if it.s == dst {
+			return it.d
+		}
+		r := []rune(it.s)
+		l := len(r)
+		if l > 0 {
+			for i := 0; i < l; i++ {
+				del := string(r[:i]) + string(r[i+1:])
+				relax(del, it.d+delW(l, r[i], 0))
+				for _, a := range alphabet {
+					if a == r[i] {
+						continue
+					}
+					relax(string(r[:i])+string(a)+string(r[i+1:]), it.d+subW(l, r[i], a))
+				}
+			}
+		}
+		if l < maxLen {
+			for i := 0; i <= l; i++ {
+				for _, a := range alphabet {
+					relax(string(r[:i])+string(a)+string(r[i:]), it.d+insW(l, a))
+				}
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+// SearchDistance computes the contextual distance by explicit Dijkstra over
+// the rewriting graph with unit operation weights, capping intermediate
+// strings at maxLen symbols (|x|+|y| suffices for the true distance —
+// longer intermediates are dominated, cf. Theorem 1). Exponential; use for
+// validation on short strings only.
+func SearchDistance(x, y []rune, maxLen int) float64 {
+	return rewriteSearch(x, y, mergedAlphabet(x, y), maxLen,
+		func(l int, _, _ rune) float64 { return 1 / float64(l) },
+		func(l int, _, _ rune) float64 { return 1 / float64(l) },
+		func(l int, _ rune) float64 { return 1 / float64(l+1) },
+	)
+}
+
+// NaiveGeneralized computes the naive generalised contextual distance: each
+// operation's *weighted* cost (from c) is divided by the length of the
+// string it applies to, exactly the direct generalisation the paper's §5
+// declares broken. alphabet is the symbol set intermediate strings may use
+// (nil means the symbols of x and y); maxLen caps intermediate string
+// lengths.
+//
+// Because the naive scheme is degenerate, the value genuinely depends on
+// maxLen when the alphabet contains a cheaply insertable/deletable symbol:
+// the best path pads the string with such dummies, performs the expensive
+// substitutions inside the artificially long string, then erases the
+// dummies (see TestNaiveGeneralizedDegenerates). There is no "right"
+// horizon — which is the paper's point.
+func NaiveGeneralized(x, y []rune, alphabet []rune, c editdist.Costs, maxLen int) float64 {
+	if alphabet == nil {
+		alphabet = mergedAlphabet(x, y)
+	}
+	return rewriteSearch(x, y, alphabet, maxLen,
+		func(l int, from, to rune) float64 { return c.Sub(from, to) / float64(l) },
+		func(l int, from, _ rune) float64 { return c.Del(from) / float64(l) },
+		func(l int, sym rune) float64 { return c.Ins(sym) / float64(l+1) },
+	)
+}
+
+func mergedAlphabet(xs ...[]rune) []rune {
+	seen := map[rune]bool{}
+	var out []rune
+	for _, x := range xs {
+		for _, r := range x {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = []rune{'a'}
+	}
+	return out
+}

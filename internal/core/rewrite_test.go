@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ced/internal/editdist"
+)
+
+func TestSearchDistanceMatchesAlgorithm1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential reference; skipping in -short mode")
+	}
+	rng := rand.New(rand.NewSource(80))
+	alpha := []rune("ab")
+	for trial := 0; trial < 40; trial++ {
+		x := randomString(rng, 4, alpha)
+		y := randomString(rng, 4, alpha)
+		got := SearchDistance(x, y, len(x)+len(y))
+		want := Distance(x, y)
+		if !almostEqual(got, want) {
+			t.Fatalf("SearchDistance(%q,%q) = %v, Algorithm 1 = %v", string(x), string(y), got, want)
+		}
+	}
+}
+
+func TestSearchDistanceIdentical(t *testing.T) {
+	if got := SearchDistance(runesOf("ab"), runesOf("ab"), 4); got != 0 {
+		t.Errorf("identical = %v", got)
+	}
+}
+
+func TestNaiveGeneralizedUnitWeightsMatchContextual(t *testing.T) {
+	// With unit weights the naive generalisation *is* the contextual
+	// distance (and the horizon |x|+|y| suffices).
+	if testing.Short() {
+		t.Skip("exponential reference; skipping in -short mode")
+	}
+	rng := rand.New(rand.NewSource(81))
+	alpha := []rune("ab")
+	for trial := 0; trial < 25; trial++ {
+		x := randomString(rng, 4, alpha)
+		y := randomString(rng, 4, alpha)
+		got := NaiveGeneralized(x, y, nil, editdist.Unit{}, len(x)+len(y))
+		if want := Distance(x, y); !almostEqual(got, want) {
+			t.Fatalf("unit NaiveGeneralized(%q,%q) = %v, want %v", string(x), string(y), got, want)
+		}
+	}
+}
+
+// dummyPaddingCosts is the cost model of the paper's §5 failure example:
+// the dummy symbol 'z' is nearly free to insert and delete, while the
+// "real" symbols a and b are expensive to insert or delete, so the a→b
+// substitutions cannot be bypassed — they can only be made cheaper by
+// padding the string with dummies first.
+type dummyPaddingCosts struct{}
+
+func (dummyPaddingCosts) Sub(a, b rune) float64 {
+	if a == 'z' || b == 'z' {
+		return 5
+	}
+	return 1
+}
+func (dummyPaddingCosts) Del(a rune) float64 {
+	if a == 'z' {
+		return 0.01
+	}
+	return 10
+}
+func (dummyPaddingCosts) Ins(b rune) float64 {
+	if b == 'z' {
+		return 0.01
+	}
+	return 10
+}
+
+// TestNaiveGeneralizedDegenerates reproduces the failure the paper's §5
+// describes for the naive generalisation: with a cheaply insertable dummy
+// symbol, the best path inserts dummies to lengthen the string, performs
+// the expensive substitutions inside the long string, and erases the
+// dummies. Allowing longer intermediates keeps lowering the value, so the
+// naive "distance" depends on the horizon — it is not well defined.
+func TestNaiveGeneralizedDegenerates(t *testing.T) {
+	x, y := runesOf("aa"), runesOf("bb")
+	alphabet := []rune("abz")
+	atHorizon := func(maxLen int) float64 {
+		return NaiveGeneralized(x, y, alphabet, dummyPaddingCosts{}, maxLen)
+	}
+	base := atHorizon(2) // no room to grow: substitutions at length 2 cost 1/2 each
+	grown4 := atHorizon(4)
+	grown8 := atHorizon(8)
+	if !almostEqual(base, 1) {
+		t.Errorf("horizon 2 = %v, want 1 (two substitutions at length 2)", base)
+	}
+	if !(grown4 < base) {
+		t.Errorf("horizon 4 (%v) should beat horizon 2 (%v): dummy padding should pay off", grown4, base)
+	}
+	if !(grown8 < grown4) {
+		t.Errorf("horizon 8 (%v) should beat horizon 4 (%v): the naive scheme keeps improving", grown8, grown4)
+	}
+	// The true contextual distance (unit weights) is horizon-independent on
+	// the same pair — the contrast that motivates the paper's open problem.
+	unit4 := NaiveGeneralized(x, y, alphabet, editdist.Unit{}, 4)
+	unit8 := NaiveGeneralized(x, y, alphabet, editdist.Unit{}, 8)
+	if !almostEqual(unit4, unit8) {
+		t.Errorf("unit-cost contextual distance must not depend on the horizon: %v vs %v", unit4, unit8)
+	}
+}
+
+func TestMergedAlphabet(t *testing.T) {
+	a := mergedAlphabet(runesOf("aba"), runesOf("bc"))
+	if len(a) != 3 {
+		t.Errorf("alphabet = %q", string(a))
+	}
+	if len(mergedAlphabet(nil, nil)) != 1 {
+		t.Error("empty alphabet should get a placeholder symbol")
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TraceStep is one elementary operation of a witness path realising the
+// contextual distance, with its contextual cost and the intermediate string
+// it produces.
+type TraceStep struct {
+	// Op is the operation kind. Matches do not appear in a trace (they
+	// cost nothing and rewrite nothing).
+	Op OpKind
+	// Pos is the 0-based position in the string *before* the step where
+	// the operation applies.
+	Pos int
+	// Symbol is the symbol inserted (OpInsert), the new symbol written
+	// (OpSubstitute), or the symbol removed (OpDelete).
+	Symbol rune
+	// Cost is the contextual cost of the step: 1/len(After) for
+	// insertions, 1/len(Before) for substitutions and deletions.
+	Cost float64
+	// After is the string after the step.
+	After string
+}
+
+// TraceResult is a witness path for the exact contextual distance.
+type TraceResult struct {
+	Result
+	// Steps rewrites x into y; summing Cost over Steps gives Distance
+	// (up to float rounding). Per Lemma 1, all insertions come first,
+	// then substitutions, then deletions.
+	Steps []TraceStep
+}
+
+// maxTraceCells bounds the memory of the full (non-rolling) dynamic
+// program Trace needs for backtracking: (|x|+1)(|y|+1)(|x|+|y|+1) int32
+// cells. 64M cells ≈ 256 MB.
+const maxTraceCells = 64 << 20
+
+// ErrTraceTooLarge is returned by Trace when the full backtracking table
+// would exceed maxTraceCells. Compute (rolling rows) still works at any
+// size; only the witness reconstruction is bounded.
+var ErrTraceTooLarge = errors.New("core: strings too long for trace reconstruction")
+
+// Trace computes the exact contextual distance together with a concrete
+// witness path: the sequence of operations, each with its contextual cost
+// and intermediate string, in the canonical Lemma-1 order (insertions,
+// then substitutions, then deletions).
+//
+// It runs Algorithm 1 keeping the entire table for backtracking, so it
+// costs O(|x|·|y|·(|x|+|y|)) memory as well as time; use Compute when only
+// the value is needed.
+func Trace(x, y []rune) (TraceResult, error) {
+	m, n := len(x), len(y)
+	if m == 0 && n == 0 {
+		return TraceResult{Result: Result{Exact: true}}, nil
+	}
+	maxK := m + n
+	width := maxK + 1
+	if cells := (m + 1) * (n + 1) * width; cells > maxTraceCells || cells < 0 {
+		return TraceResult{}, fmt.Errorf("%w: |x|=%d |y|=%d", ErrTraceTooLarge, m, n)
+	}
+
+	// Full table: ni[(i*(n+1)+j)*width + k].
+	ni := make([]int32, (m+1)*(n+1)*width)
+	for idx := range ni {
+		ni[idx] = negInf
+	}
+	at := func(i, j int) []int32 {
+		base := (i*(n+1) + j) * width
+		return ni[base : base+width]
+	}
+	for j := 0; j <= n; j++ {
+		at(0, j)[j] = int32(j)
+	}
+	for i := 1; i <= m; i++ {
+		at(i, 0)[i] = 0
+		xi := x[i-1]
+		for j := 1; j <= n; j++ {
+			row := at(i, j)
+			diag := at(i-1, j-1)
+			up := at(i-1, j)
+			left := at(i, j-1)
+			if xi == y[j-1] {
+				copy(row, diag)
+			} else {
+				for k := 1; k <= maxK; k++ {
+					row[k] = diag[k-1]
+				}
+			}
+			for k := 1; k <= maxK; k++ {
+				v := row[k]
+				if w := up[k-1]; w > v {
+					v = w
+				}
+				if w := left[k-1]; w >= 0 && w+1 > v {
+					v = w + 1
+				}
+				row[k] = v
+			}
+		}
+	}
+
+	// Pick the optimal (k, ni) exactly as Compute does.
+	final := at(m, n)
+	h := harmonicPrefix(maxK)
+	res := Result{Distance: math.Inf(1), Exact: true}
+	for k := 0; k <= maxK; k++ {
+		if final[k] < 0 {
+			continue
+		}
+		nIns := int(final[k])
+		nDel := m - n + nIns
+		nSub := k - nIns - nDel
+		if nDel < 0 || nSub < 0 {
+			continue
+		}
+		d := h[m+nIns] - h[m] + h[n+nDel] - h[n]
+		if nSub > 0 {
+			d += float64(nSub) / float64(m+nIns)
+		}
+		if d < res.Distance {
+			res.Distance = d
+			res.K, res.Insertions, res.Substitutions, res.Deletions = k, nIns, nSub, nDel
+		}
+	}
+
+	// Backtrack an alignment achieving (K, Insertions): at each cell pick
+	// any transition consistent with the stored value.
+	type aliOp struct {
+		kind OpKind
+		xPos int  // position in x (for sub/del) or insertion point
+		sym  rune // symbol written/inserted/deleted
+	}
+	var ops []aliOp
+	i, j, k, v := m, n, res.K, int32(res.Insertions)
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && x[i-1] == y[j-1] && at(i-1, j-1)[k] == v:
+			i, j = i-1, j-1 // match: no operation
+		case i > 0 && j > 0 && k > 0 && x[i-1] != y[j-1] && at(i-1, j-1)[k-1] == v:
+			ops = append(ops, aliOp{OpSubstitute, i - 1, y[j-1]})
+			i, j, k = i-1, j-1, k-1
+		case i > 0 && k > 0 && at(i-1, j)[k-1] == v:
+			ops = append(ops, aliOp{OpDelete, i - 1, x[i-1]})
+			i, k = i-1, k-1
+		case j > 0 && k > 0 && at(i, j-1)[k-1] == v-1:
+			ops = append(ops, aliOp{OpInsert, i, y[j-1]})
+			j, k, v = j-1, k-1, v-1
+		default:
+			// Unreachable if the DP is correct.
+			return TraceResult{}, fmt.Errorf("core: trace backtrack stuck at (%d,%d,%d)", i, j, k)
+		}
+	}
+	// ops is in reverse string order (right to left). Reorder per Lemma 1:
+	// insertions first (left to right), substitutions, then deletions
+	// (right to left keeps earlier positions valid).
+	var inss, subs, dels []aliOp
+	for idx := len(ops) - 1; idx >= 0; idx-- {
+		op := ops[idx]
+		switch op.kind {
+		case OpInsert:
+			inss = append(inss, op)
+		case OpSubstitute:
+			subs = append(subs, op)
+		default:
+			dels = append(dels, op)
+		}
+	}
+
+	// Replay on a working copy. posMap[i] tracks where the original x[i]
+	// currently sits in cur (-1 once deleted), so operation positions stay
+	// correct as insertions and deletions shift the string.
+	tr := TraceResult{Result: res}
+	cur := append([]rune(nil), x...)
+	posMap := make([]int, m)
+	for idx := range posMap {
+		posMap[idx] = idx
+	}
+	insertionPoint := func(i int) int {
+		if i < m {
+			return posMap[i]
+		}
+		return len(cur)
+	}
+	for _, op := range inss {
+		pos := insertionPoint(op.xPos)
+		cur = append(cur, 0)
+		copy(cur[pos+1:], cur[pos:])
+		cur[pos] = op.sym
+		for idx := op.xPos; idx < m; idx++ {
+			posMap[idx]++
+		}
+		tr.Steps = append(tr.Steps, TraceStep{
+			Op: OpInsert, Pos: pos, Symbol: op.sym,
+			Cost:  1 / float64(len(cur)),
+			After: string(cur),
+		})
+	}
+	for _, op := range subs {
+		pos := posMap[op.xPos]
+		cur[pos] = op.sym
+		tr.Steps = append(tr.Steps, TraceStep{
+			Op: OpSubstitute, Pos: pos, Symbol: op.sym,
+			Cost:  1 / float64(len(cur)),
+			After: string(cur),
+		})
+	}
+	for _, op := range dels {
+		pos := posMap[op.xPos]
+		cost := 1 / float64(len(cur))
+		cur = append(cur[:pos], cur[pos+1:]...)
+		for idx := op.xPos + 1; idx < m; idx++ {
+			if posMap[idx] >= 0 {
+				posMap[idx]--
+			}
+		}
+		posMap[op.xPos] = -1
+		tr.Steps = append(tr.Steps, TraceStep{
+			Op: OpDelete, Pos: pos, Symbol: op.sym,
+			Cost:  cost,
+			After: string(cur),
+		})
+	}
+	if string(cur) != string(y) {
+		return TraceResult{}, fmt.Errorf("core: trace replay produced %q, want %q", string(cur), string(y))
+	}
+	return tr, nil
+}

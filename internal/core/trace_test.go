@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTraceKnownExample(t *testing.T) {
+	// Example 4: ababa -> baab via insert, delete, delete = 8/15.
+	tr, err := Trace(runesOf("ababa"), runesOf("baab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tr.Distance, 8.0/15) {
+		t.Fatalf("trace distance = %v, want 8/15", tr.Distance)
+	}
+	if len(tr.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3: %+v", len(tr.Steps), tr.Steps)
+	}
+	// Lemma 1 order: the insertion first, then the two deletions.
+	if tr.Steps[0].Op != OpInsert || tr.Steps[1].Op != OpDelete || tr.Steps[2].Op != OpDelete {
+		t.Errorf("operation order wrong: %+v", tr.Steps)
+	}
+	if tr.Steps[len(tr.Steps)-1].After != "baab" {
+		t.Errorf("final string = %q", tr.Steps[len(tr.Steps)-1].After)
+	}
+	sum := 0.0
+	for _, s := range tr.Steps {
+		sum += s.Cost
+	}
+	if !almostEqual(sum, tr.Distance) {
+		t.Errorf("step costs sum to %v, distance is %v", sum, tr.Distance)
+	}
+}
+
+func TestTraceMatchesComputeOnRandomStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	alpha := []rune("abc")
+	for trial := 0; trial < 300; trial++ {
+		x := randomString(rng, 10, alpha)
+		y := randomString(rng, 10, alpha)
+		tr, err := Trace(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Compute(x, y)
+		if !almostEqual(tr.Distance, want.Distance) {
+			t.Fatalf("trace distance %v != compute %v for %q %q", tr.Distance, want.Distance, string(x), string(y))
+		}
+		if tr.K != want.K || tr.Insertions != want.Insertions ||
+			tr.Substitutions != want.Substitutions || tr.Deletions != want.Deletions {
+			t.Fatalf("trace decomposition %+v != compute %+v", tr.Result, want)
+		}
+		// The steps must decompose exactly as reported.
+		var ni, ns, nd int
+		sum := 0.0
+		for _, s := range tr.Steps {
+			sum += s.Cost
+			switch s.Op {
+			case OpInsert:
+				ni++
+			case OpSubstitute:
+				ns++
+			case OpDelete:
+				nd++
+			}
+		}
+		if ni != tr.Insertions || ns != tr.Substitutions || nd != tr.Deletions {
+			t.Fatalf("step mix %d/%d/%d != decomposition %d/%d/%d",
+				ni, ns, nd, tr.Insertions, tr.Substitutions, tr.Deletions)
+		}
+		if !almostEqual(sum, tr.Distance) {
+			t.Fatalf("costs sum %v != distance %v (%q -> %q)", sum, tr.Distance, string(x), string(y))
+		}
+		// Lemma 1 ordering: no insert after a substitute/delete, no
+		// substitute after a delete.
+		phase := 0
+		for _, s := range tr.Steps {
+			p := map[OpKind]int{OpInsert: 0, OpSubstitute: 1, OpDelete: 2}[s.Op]
+			if p < phase {
+				t.Fatalf("operations out of Lemma-1 order: %+v", tr.Steps)
+			}
+			phase = p
+		}
+		// Every step's cost matches the contextual rule applied to the
+		// intermediate lengths.
+		cur := len(x)
+		for _, s := range tr.Steps {
+			switch s.Op {
+			case OpInsert:
+				cur++
+				if !almostEqual(s.Cost, 1/float64(cur)) {
+					t.Fatalf("insert cost %v at length %d", s.Cost, cur)
+				}
+			case OpSubstitute:
+				if !almostEqual(s.Cost, 1/float64(cur)) {
+					t.Fatalf("substitute cost %v at length %d", s.Cost, cur)
+				}
+			case OpDelete:
+				if !almostEqual(s.Cost, 1/float64(cur)) {
+					t.Fatalf("delete cost %v at length %d", s.Cost, cur)
+				}
+				cur--
+			}
+			if len([]rune(s.After)) != cur {
+				t.Fatalf("after-length %d != tracked %d", len([]rune(s.After)), cur)
+			}
+		}
+	}
+}
+
+func TestTraceIdenticalStrings(t *testing.T) {
+	tr, err := Trace(runesOf("abc"), runesOf("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Distance != 0 || len(tr.Steps) != 0 {
+		t.Errorf("identical strings should trace to zero steps: %+v", tr)
+	}
+	empty, err := Trace(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Distance != 0 || len(empty.Steps) != 0 {
+		t.Errorf("empty pair trace wrong: %+v", empty)
+	}
+}
+
+func TestTraceFromEmpty(t *testing.T) {
+	tr, err := Trace(nil, runesOf("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 2 || tr.Steps[0].Op != OpInsert || tr.Steps[1].Op != OpInsert {
+		t.Fatalf("steps = %+v", tr.Steps)
+	}
+	if !almostEqual(tr.Distance, 1.5) { // 1/1 + 1/2
+		t.Errorf("distance = %v, want 1.5", tr.Distance)
+	}
+	if tr.Steps[1].After != "ab" {
+		t.Errorf("final = %q", tr.Steps[1].After)
+	}
+}
+
+func TestTraceToEmpty(t *testing.T) {
+	tr, err := Trace(runesOf("abc"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 3 {
+		t.Fatalf("steps = %+v", tr.Steps)
+	}
+	for _, s := range tr.Steps {
+		if s.Op != OpDelete {
+			t.Fatalf("expected deletions only: %+v", tr.Steps)
+		}
+	}
+	if !almostEqual(tr.Distance, Harmonic(3)) {
+		t.Errorf("distance = %v, want H(3)", tr.Distance)
+	}
+}
+
+func TestTraceTooLarge(t *testing.T) {
+	x := runesOf(strings.Repeat("a", 3000))
+	y := runesOf(strings.Repeat("b", 3000))
+	_, err := Trace(x, y)
+	if !errors.Is(err, ErrTraceTooLarge) {
+		t.Errorf("expected ErrTraceTooLarge, got %v", err)
+	}
+}
+
+func TestTraceUsesLongIntermediates(t *testing.T) {
+	// ab -> ba: the witness should insert first (length 3) rather than
+	// substitute twice at length 2.
+	tr, err := Trace(runesOf("ab"), runesOf("ba"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tr.Distance, 2.0/3) {
+		t.Fatalf("distance = %v, want 2/3", tr.Distance)
+	}
+	if tr.Steps[0].Op != OpInsert || tr.Steps[1].Op != OpDelete {
+		t.Errorf("expected insert+delete, got %+v", tr.Steps)
+	}
+	if got := tr.Steps[0].After; len([]rune(got)) != 3 {
+		t.Errorf("intermediate = %q, want length 3", got)
+	}
+	if math.IsInf(tr.Distance, 1) {
+		t.Error("distance infinite")
+	}
+}

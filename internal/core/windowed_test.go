@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWindowedSandwich(t *testing.T) {
+	// dC <= windowed(w) <= dC,h for every w, monotone non-increasing in w.
+	rng := rand.New(rand.NewSource(140))
+	alpha := []rune("ab")
+	for trial := 0; trial < 200; trial++ {
+		x := randomString(rng, 12, alpha)
+		y := randomString(rng, 12, alpha)
+		exact := Distance(x, y)
+		heur := Heuristic(x, y)
+		prev := heur
+		for w := 0; w <= len(x)+len(y); w += 2 {
+			got := Windowed(x, y, w)
+			if got < exact-eps {
+				t.Fatalf("windowed(%d) = %v below exact %v for %q %q", w, got, exact, string(x), string(y))
+			}
+			if got > heur+eps {
+				t.Fatalf("windowed(%d) = %v above heuristic %v for %q %q", w, got, heur, string(x), string(y))
+			}
+			if got > prev+eps {
+				t.Fatalf("windowed not monotone in window: %v after %v at w=%d", got, prev, w)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestWindowedZeroEqualsHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	alpha := []rune("abc")
+	for trial := 0; trial < 200; trial++ {
+		x := randomString(rng, 12, alpha)
+		y := randomString(rng, 12, alpha)
+		w0 := Windowed(x, y, 0)
+		h := Heuristic(x, y)
+		if !almostEqual(w0, h) {
+			t.Fatalf("windowed(0) = %v != heuristic %v for %q %q", w0, h, string(x), string(y))
+		}
+	}
+}
+
+func TestWindowedFullEqualsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	alpha := []rune("ab")
+	for trial := 0; trial < 200; trial++ {
+		x := randomString(rng, 12, alpha)
+		y := randomString(rng, 12, alpha)
+		res := ComputeWindowed(x, y, len(x)+len(y))
+		if !res.Exact {
+			t.Fatalf("full-window result not marked exact for %q %q", string(x), string(y))
+		}
+		if want := Distance(x, y); !almostEqual(res.Distance, want) {
+			t.Fatalf("full window %v != exact %v for %q %q", res.Distance, want, string(x), string(y))
+		}
+	}
+}
+
+func TestWindowedSmallWindowUsuallyExact(t *testing.T) {
+	// The §4.1 observation: the optimum k is almost always dE or close, so
+	// a small window should match the exact distance on the vast majority
+	// of realistic pairs.
+	rng := rand.New(rand.NewSource(143))
+	alpha := []rune("abcd")
+	agree := 0
+	total := 0
+	for trial := 0; trial < 200; trial++ {
+		x := randomString(rng, 16, alpha)
+		y := randomString(rng, 16, alpha)
+		total++
+		if almostEqual(Windowed(x, y, 4), Distance(x, y)) {
+			agree++
+		}
+	}
+	if agree*10 < total*9 {
+		t.Errorf("window=4 agreed on only %d/%d pairs; expected >= 90%%", agree, total)
+	}
+}
+
+func TestWindowedEdgeCases(t *testing.T) {
+	if got := Windowed(nil, nil, 3); got != 0 {
+		t.Errorf("empty pair = %v", got)
+	}
+	if got := Windowed(runesOf("abc"), nil, 0); !almostEqual(got, Harmonic(3)) {
+		t.Errorf("abc->empty = %v, want H(3)", got)
+	}
+	// Negative window clamps to 0.
+	if got := Windowed(runesOf("ab"), runesOf("ba"), -5); !almostEqual(got, Heuristic(runesOf("ab"), runesOf("ba"))) {
+		t.Errorf("negative window = %v", got)
+	}
+	// Decomposition consistency.
+	res := ComputeWindowed(runesOf("ababa"), runesOf("baab"), 2)
+	if res.K != res.Insertions+res.Substitutions+res.Deletions {
+		t.Errorf("decomposition inconsistent: %+v", res)
+	}
+	if !almostEqual(res.Distance, 8.0/15) {
+		t.Errorf("windowed(2) on the paper example = %v, want 8/15", res.Distance)
+	}
+}

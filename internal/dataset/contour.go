@@ -1,0 +1,92 @@
+package dataset
+
+// Freeman chain codes: direction d moves by freemanDX[d], freemanDY[d].
+// Directions are numbered counter-clockwise from East in the standard
+// image convention (y grows downward):
+//
+//	3 2 1
+//	4 . 0
+//	5 6 7
+var (
+	freemanDX = [8]int{1, 1, 0, -1, -1, -1, 0, 1}
+	freemanDY = [8]int{0, -1, -1, -1, 0, 1, 1, 1}
+)
+
+// traceContour extracts the outer boundary of the grid's foreground as a
+// Freeman 8-direction chain code ('0'..'7'), using Moore neighbour tracing
+// with Jacob's stopping criterion (stop when the start pixel is re-entered
+// from the start direction). The grid should contain a single 8-connected
+// component (see largestComponent); an empty grid yields an empty string.
+//
+// This is the same contour→string encoding NIST-style digit contour
+// datasets use, so the generated strings share the paper's digit-string
+// alphabet and structure.
+func traceContour(g *grid) string {
+	// Find the start pixel: the first foreground pixel in raster order
+	// (topmost, then leftmost). Its West neighbour is background.
+	startX, startY := -1, -1
+	for y := 0; y < g.h && startX < 0; y++ {
+		for x := 0; x < g.w; x++ {
+			if g.at(x, y) {
+				startX, startY = x, y
+				break
+			}
+		}
+	}
+	if startX < 0 {
+		return ""
+	}
+	// Single-pixel component: no moves.
+	lone := true
+	for d := 0; d < 8 && lone; d++ {
+		if g.at(startX+freemanDX[d], startY+freemanDY[d]) {
+			lone = false
+		}
+	}
+	if lone {
+		return ""
+	}
+
+	var chain []byte
+	x, y := startX, startY
+	// The backtrack direction: we conceptually arrived at the start pixel
+	// moving East from its background West neighbour, so searching starts
+	// from West (direction 4) rotating clockwise in image coordinates.
+	dir := 4
+	startDir := -1
+	for {
+		// Moore tracing: scan the 8 neighbours clockwise (in screen
+		// coordinates, with y down, clockwise means decreasing Freeman
+		// index) starting just after the direction we came from.
+		found := -1
+		for i := 1; i <= 8; i++ {
+			d := (dir + i) % 8
+			if g.at(x+freemanDX[d], y+freemanDY[d]) {
+				found = d
+				break
+			}
+		}
+		if found < 0 {
+			return "" // unreachable: lone pixels were handled above
+		}
+		if x == startX && y == startY {
+			if startDir < 0 {
+				startDir = found
+			} else if found == startDir && len(chain) > 1 {
+				// Jacob's criterion: re-leaving the start pixel in the
+				// starting direction closes the contour.
+				break
+			}
+		}
+		chain = append(chain, byte('0'+found))
+		x += freemanDX[found]
+		y += freemanDY[found]
+		// The next scan starts from the reverse of the direction we moved
+		// in, rotated one step, so the trace hugs the boundary.
+		dir = (found + 4) % 8
+		if len(chain) > 4*g.w*g.h {
+			break // defensive bound; cannot trigger on valid components
+		}
+	}
+	return string(chain)
+}

@@ -1,0 +1,500 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ced/internal/editdist"
+)
+
+func TestSpanishBasics(t *testing.T) {
+	d := Spanish(500, 1)
+	if d.Len() != 500 {
+		t.Fatalf("len = %d, want 500", d.Len())
+	}
+	if d.Labelled() {
+		t.Error("spanish should be unlabelled")
+	}
+	seen := map[string]bool{}
+	for _, w := range d.Strings {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if len([]rune(w)) < 2 {
+			t.Fatalf("word too short: %q", w)
+		}
+	}
+	min, mean, max := d.LengthStats()
+	if min < 2 || max > 40 || mean < 4 || mean > 16 {
+		t.Errorf("length stats out of natural-language range: min=%d mean=%.1f max=%d", min, mean, max)
+	}
+}
+
+func TestSpanishDeterministic(t *testing.T) {
+	a := Spanish(100, 7)
+	b := Spanish(100, 7)
+	for i := range a.Strings {
+		if a.Strings[i] != b.Strings[i] {
+			t.Fatal("same seed must give the same dictionary")
+		}
+	}
+	c := Spanish(100, 8)
+	same := 0
+	for i := range a.Strings {
+		if a.Strings[i] == c.Strings[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds gave identical dictionaries")
+	}
+}
+
+func TestSpanishUsesSpanishAlphabet(t *testing.T) {
+	d := Spanish(2000, 3)
+	joined := strings.Join(d.Strings, "")
+	if !strings.ContainsRune(joined, 'ñ') && !strings.ContainsRune(joined, 'á') &&
+		!strings.ContainsRune(joined, 'é') && !strings.ContainsRune(joined, 'í') {
+		t.Error("expected non-ASCII Spanish symbols in a 2000-word sample")
+	}
+}
+
+func TestDNABasics(t *testing.T) {
+	d := DNA(DNAConfig{Count: 60, Families: 6, MinLen: 60, MaxLen: 120}, 2)
+	if d.Len() != 60 {
+		t.Fatalf("len = %d, want 60", d.Len())
+	}
+	if !d.Labelled() {
+		t.Fatal("genes should be labelled by family")
+	}
+	for i, s := range d.Strings {
+		if len(s) < 9 {
+			t.Fatalf("gene %d too short: %d", i, len(s))
+		}
+		for _, r := range s {
+			if r != 'a' && r != 'c' && r != 'g' && r != 't' {
+				t.Fatalf("gene %d has non-DNA symbol %q", i, r)
+			}
+		}
+		if d.Labels[i] != i%6 {
+			t.Fatalf("label %d = %d, want %d", i, d.Labels[i], i%6)
+		}
+	}
+}
+
+func TestDNAFamilyStructure(t *testing.T) {
+	// Same-family sequences must be closer (edit distance) than
+	// cross-family ones on average: the cluster structure the experiments
+	// rely on.
+	d := DNA(DNAConfig{Count: 20, Families: 4, MinLen: 90, MaxLen: 120}, 3)
+	rs := d.Runes()
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	for i := 0; i < d.Len(); i++ {
+		for j := i + 1; j < d.Len(); j++ {
+			dist := float64(editdist.Distance(rs[i], rs[j]))
+			if d.Labels[i] == d.Labels[j] {
+				sameSum += dist
+				sameN++
+			} else {
+				crossSum += dist
+				crossN++
+			}
+		}
+	}
+	if sameSum/float64(sameN) >= crossSum/float64(crossN) {
+		t.Errorf("family structure missing: same-family avg %.1f >= cross-family avg %.1f",
+			sameSum/float64(sameN), crossSum/float64(crossN))
+	}
+}
+
+func TestDNAStartStopCodons(t *testing.T) {
+	// Ancestors begin with atg and end with a stop codon; mutations can
+	// perturb them, so check the unmutated ancestors via a 1-family,
+	// rate-0-ish dataset. The generator clamps rates to defaults when
+	// zero, so use tiny explicit rates instead.
+	d := DNA(DNAConfig{Count: 3, Families: 3, MinLen: 30, MaxLen: 30, SubRate: 1e-12, IndelRate: 1e-12}, 4)
+	for _, s := range d.Strings {
+		if !strings.HasPrefix(s, "atg") {
+			t.Errorf("gene %q lacks start codon", s)
+		}
+		tail := s[len(s)-3:]
+		if tail != "taa" && tail != "tag" && tail != "tga" {
+			t.Errorf("gene %q lacks stop codon", s)
+		}
+	}
+}
+
+func TestDNADefaults(t *testing.T) {
+	cfg := DNAConfig{Count: 100}.withDefaults()
+	if cfg.Families != 5 || cfg.MinLen != 120 || cfg.MaxLen != 900 ||
+		cfg.GC != 0.38 || cfg.SubRate != 0.08 || cfg.IndelRate != 0.02 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	tiny := DNAConfig{Count: 5, MinLen: 500}.withDefaults()
+	if tiny.MaxLen != 900 {
+		t.Errorf("MaxLen default = %d", tiny.MaxLen)
+	}
+	inv := DNAConfig{Count: 5, MinLen: 2000}.withDefaults()
+	if inv.MaxLen != 2000 {
+		t.Errorf("MaxLen should clamp to MinLen, got %d", inv.MaxLen)
+	}
+}
+
+func TestDigitsBasics(t *testing.T) {
+	d := Digits(DigitsConfig{Count: 100}, 5)
+	if d.Len() != 100 {
+		t.Fatalf("len = %d, want 100", d.Len())
+	}
+	if !d.Labelled() {
+		t.Fatal("digits should be labelled")
+	}
+	classCount := map[int]int{}
+	for i, s := range d.Strings {
+		classCount[d.Labels[i]]++
+		if len(s) < 8 {
+			t.Errorf("contour %d suspiciously short: %q", i, s)
+		}
+		for _, r := range s {
+			if r < '0' || r > '7' {
+				t.Fatalf("contour %d has non-Freeman symbol %q", i, r)
+			}
+		}
+	}
+	for c := 0; c < 10; c++ {
+		if classCount[c] != 10 {
+			t.Errorf("class %d has %d samples, want 10", c, classCount[c])
+		}
+	}
+}
+
+func TestDigitsWriterVariability(t *testing.T) {
+	// Different writers produce different contours of the same class;
+	// same writer with same seed reproduces exactly.
+	a := Digits(DigitsConfig{Count: 40, Writers: 4}, 9)
+	b := Digits(DigitsConfig{Count: 40, Writers: 4}, 9)
+	for i := range a.Strings {
+		if a.Strings[i] != b.Strings[i] {
+			t.Fatal("same seed must reproduce identical digits")
+		}
+	}
+	// Distinct samples of the same class should not all be identical.
+	zeroSamples := map[string]bool{}
+	for i, s := range a.Strings {
+		if a.Labels[i] == 0 {
+			zeroSamples[s] = true
+		}
+	}
+	if len(zeroSamples) < 2 {
+		t.Error("all '0' samples identical; writer variability missing")
+	}
+}
+
+func TestDigitsDisjointWriters(t *testing.T) {
+	train := Digits(DigitsConfig{Count: 50, Writers: 5, FirstWriter: 0}, 11)
+	test := Digits(DigitsConfig{Count: 50, Writers: 5, FirstWriter: 5}, 11)
+	same := 0
+	for i := range train.Strings {
+		if train.Strings[i] == test.Strings[i] {
+			same++
+		}
+	}
+	if same > len(train.Strings)/2 {
+		t.Errorf("train/test with disjoint writers look identical: %d/%d equal", same, len(train.Strings))
+	}
+}
+
+func TestContourSquare(t *testing.T) {
+	// A 3x3 filled square: the contour visits the 8 border pixels.
+	g := newGrid(8, 8)
+	for y := 2; y <= 4; y++ {
+		for x := 2; x <= 4; x++ {
+			g.set(x, y)
+		}
+	}
+	chain := traceContour(g)
+	if len(chain) != 8 {
+		t.Errorf("3x3 square contour length = %d (%q), want 8", len(chain), chain)
+	}
+	// The chain must return to the start: net displacement zero.
+	dx, dy := 0, 0
+	for _, c := range chain {
+		dx += freemanDX[c-'0']
+		dy += freemanDY[c-'0']
+	}
+	if dx != 0 || dy != 0 {
+		t.Errorf("contour not closed: net displacement (%d,%d)", dx, dy)
+	}
+}
+
+func TestContourClosedOnDigits(t *testing.T) {
+	d := Digits(DigitsConfig{Count: 30}, 13)
+	for i, s := range d.Strings {
+		dx, dy := 0, 0
+		for _, c := range s {
+			dx += freemanDX[c-'0']
+			dy += freemanDY[c-'0']
+		}
+		if dx != 0 || dy != 0 {
+			t.Errorf("digit %d contour not closed: (%d,%d)", i, dx, dy)
+		}
+	}
+}
+
+func TestContourEdgeCases(t *testing.T) {
+	if got := traceContour(newGrid(4, 4)); got != "" {
+		t.Errorf("empty grid contour = %q, want \"\"", got)
+	}
+	g := newGrid(4, 4)
+	g.set(2, 2)
+	if got := traceContour(g); got != "" {
+		t.Errorf("single pixel contour = %q, want \"\"", got)
+	}
+	// Horizontal 3-pixel line: east twice, west twice.
+	g2 := newGrid(8, 8)
+	g2.set(1, 1)
+	g2.set(2, 1)
+	g2.set(3, 1)
+	chain := traceContour(g2)
+	if chain != "0044" {
+		t.Errorf("line contour = %q, want 0044", chain)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := newGrid(10, 10)
+	// Big component: 3x3 block.
+	for y := 1; y <= 3; y++ {
+		for x := 1; x <= 3; x++ {
+			g.set(x, y)
+		}
+	}
+	// Small far-away component: 1 pixel.
+	g.set(8, 8)
+	lc := g.largestComponent()
+	if !lc.at(2, 2) {
+		t.Error("largest component lost the block")
+	}
+	if lc.at(8, 8) {
+		t.Error("largest component kept the stray pixel")
+	}
+	// All-empty grid.
+	if e := newGrid(3, 3).largestComponent(); e.at(1, 1) {
+		t.Error("empty grid component not empty")
+	}
+}
+
+func TestGridBounds(t *testing.T) {
+	g := newGrid(4, 4)
+	g.set(-1, 0)
+	g.set(0, -1)
+	g.set(4, 0)
+	g.set(0, 4)
+	for _, p := range g.px {
+		if p {
+			t.Fatal("out-of-bounds set leaked into the grid")
+		}
+	}
+	if g.at(-1, 0) || g.at(0, 4) {
+		t.Error("out-of-bounds at should be false")
+	}
+}
+
+func TestPerturbQueries(t *testing.T) {
+	base := Spanish(200, 21)
+	q := PerturbQueries(base, 50, 2, 22)
+	if q.Len() != 50 {
+		t.Fatalf("len = %d, want 50", q.Len())
+	}
+	if q.Name != "spanish-queries" {
+		t.Errorf("name = %q", q.Name)
+	}
+	// Every query is within edit distance 2 of some base string.
+	baseRunes := base.Runes()
+	for _, qs := range q.Runes() {
+		bestD := 1 << 30
+		for _, bs := range baseRunes {
+			if d := editdist.Distance(qs, bs); d < bestD {
+				bestD = d
+			}
+		}
+		if bestD > 2 {
+			t.Errorf("query %q is %d edits from the base set, want <= 2", string(qs), bestD)
+		}
+	}
+}
+
+func TestPerturbQueriesLabelled(t *testing.T) {
+	base := Digits(DigitsConfig{Count: 30}, 23)
+	q := PerturbQueries(base, 10, 1, 24)
+	if !q.Labelled() {
+		t.Error("perturbed queries of a labelled base should be labelled")
+	}
+}
+
+func TestPerturbEmptyBaseString(t *testing.T) {
+	base := &Dataset{Name: "x", Strings: []string{""}}
+	q := PerturbQueries(base, 5, 3, 25)
+	for _, s := range q.Strings {
+		if len(s) > 3 {
+			t.Errorf("perturbed empty string too long: %q", s)
+		}
+	}
+}
+
+func TestDatasetRoundTripFile(t *testing.T) {
+	dir := t.TempDir()
+	labelled := Digits(DigitsConfig{Count: 20}, 31)
+	path := filepath.Join(dir, "digits.tsv")
+	if err := labelled.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "digits.tsv" {
+		t.Errorf("name = %q", back.Name)
+	}
+	if back.Len() != labelled.Len() || !back.Labelled() {
+		t.Fatalf("round trip lost data: %d labelled=%v", back.Len(), back.Labelled())
+	}
+	for i := range back.Strings {
+		if back.Strings[i] != labelled.Strings[i] || back.Labels[i] != labelled.Labels[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+
+	plain := Spanish(20, 32)
+	path2 := filepath.Join(dir, "words.txt")
+	if err := plain.WriteFile(path2); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Labelled() {
+		t.Error("unlabelled round trip became labelled")
+	}
+	for i := range back2.Strings {
+		if back2.Strings[i] != plain.Strings[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadMixedLabelsFails(t *testing.T) {
+	_, err := Read("bad", bytes.NewBufferString("abc\t1\ndef\n"))
+	if err == nil {
+		t.Error("mixed labelled/unlabelled lines should fail")
+	}
+}
+
+func TestReadSkipsEmptyLines(t *testing.T) {
+	d, err := Read("ok", bytes.NewBufferString("abc\n\ndef\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("len = %d, want 2", d.Len())
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := Digits(DigitsConfig{Count: 30}, 41)
+	s := d.Subset("sub", []int{0, 5, 10})
+	if s.Len() != 3 || !s.Labelled() {
+		t.Fatal("subset wrong shape")
+	}
+	if s.Strings[1] != d.Strings[5] || s.Labels[1] != d.Labels[5] {
+		t.Error("subset content wrong")
+	}
+	u := Spanish(10, 42).Subset("u", []int{1, 2})
+	if u.Labelled() {
+		t.Error("subset of unlabelled should be unlabelled")
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	d := &Dataset{Name: "x", Strings: []string{"ba", "cab"}}
+	a := d.Alphabet()
+	if string(a) != "abc" {
+		t.Errorf("alphabet = %q, want abc", string(a))
+	}
+	dna := DNA(DNAConfig{Count: 10, MinLen: 30, MaxLen: 60}, 43)
+	if got := string(dna.Alphabet()); got != "acgt" {
+		t.Errorf("DNA alphabet = %q, want acgt", got)
+	}
+}
+
+func TestRunesCached(t *testing.T) {
+	d := &Dataset{Name: "x", Strings: []string{"ab"}}
+	r1 := d.Runes()
+	r2 := d.Runes()
+	if &r1[0][0] != &r2[0][0] {
+		t.Error("Runes should cache")
+	}
+}
+
+func TestDigitImagesMatchDigits(t *testing.T) {
+	cfg := DigitsConfig{Count: 30, Writers: 3, Grid: 24}
+	plain := Digits(cfg, 77)
+	withImages, imgs := DigitImages(cfg, 77)
+	if len(imgs) != plain.Len() {
+		t.Fatalf("images = %d, want %d", len(imgs), plain.Len())
+	}
+	for i := range plain.Strings {
+		if plain.Strings[i] != withImages.Strings[i] {
+			t.Fatalf("string %d differs between Digits and DigitImages", i)
+		}
+		if imgs[i].Label != plain.Labels[i] {
+			t.Fatalf("image %d label mismatch", i)
+		}
+	}
+	// The contour length should relate to the image ink: non-blank images.
+	for i, im := range imgs {
+		if im.W != 24 || im.H != 24 {
+			t.Fatalf("image %d size %dx%d", i, im.W, im.H)
+		}
+		ink := 0
+		for _, p := range im.Pix {
+			if p {
+				ink++
+			}
+		}
+		if ink == 0 {
+			t.Fatalf("image %d has no ink", i)
+		}
+	}
+}
+
+func TestImageRendering(t *testing.T) {
+	im := Image{W: 3, H: 2, Pix: []bool{false, true, false, true, true, true}, Label: 7}
+	art := im.String()
+	if art != "#\n" && !strings.Contains(art, "#") {
+		t.Errorf("ascii art = %q", art)
+	}
+	// Bounding box trim: row 0 has ink only at x=1; row 1 everywhere.
+	want := " # \n###\n"
+	if art != want {
+		t.Errorf("art = %q, want %q", art, want)
+	}
+	pgm := string(im.PGM())
+	if !strings.HasPrefix(pgm, "P2\n3 2\n1\n") {
+		t.Errorf("pgm header wrong: %q", pgm[:12])
+	}
+	if !strings.Contains(pgm, "0 1 0") || !strings.Contains(pgm, "1 1 1") {
+		t.Errorf("pgm body wrong: %q", pgm)
+	}
+	blank := Image{W: 2, H: 2, Pix: make([]bool, 4)}
+	if blank.String() != "(blank)" {
+		t.Errorf("blank render = %q", blank.String())
+	}
+	if blank.At(-1, 0) || blank.At(0, 5) {
+		t.Error("out-of-bounds At should be false")
+	}
+}

@@ -1,0 +1,309 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DigitsConfig parameterises the synthetic handwritten-digit generator that
+// substitutes for the NIST SPECIAL DATABASE 3 contour strings used by the
+// paper (§4.4 and Figure 5).
+type DigitsConfig struct {
+	// Count is the number of digit samples to generate, spread evenly over
+	// the 10 classes.
+	Count int
+	// Grid is the raster side length in pixels. Defaults to 48 — large
+	// enough for contour strings of ~100–200 symbols, in the range of the
+	// paper's digit strings, while keeping distance computations fast.
+	Grid int
+	// Writers is the number of simulated writers. Each writer has a
+	// persistent style (slant, aspect, pen thickness) and samples add
+	// per-instance jitter on top, reproducing the paper's observation that
+	// "orientation and sizes are widely different from scribe to scribe".
+	// Defaults to max(1, Count/50).
+	Writers int
+	// FirstWriter offsets the writer identities, letting callers draw
+	// train and test sets from disjoint writers as the paper does
+	// ("a further 1000 digits (from different writers)").
+	FirstWriter int
+}
+
+func (c DigitsConfig) withDefaults() DigitsConfig {
+	if c.Grid <= 0 {
+		c.Grid = 48
+	}
+	if c.Writers <= 0 {
+		c.Writers = c.Count / 50
+		if c.Writers < 1 {
+			c.Writers = 1
+		}
+	}
+	return c
+}
+
+// Digits generates cfg.Count synthetic handwritten digits as Freeman
+// 8-direction contour chain codes (alphabet '0'..'7'), labelled 0–9. Each
+// sample renders a per-digit stroke template under a writer-specific affine
+// distortion plus per-sample jitter onto a binary grid, keeps the largest
+// connected component, and traces its outer contour — the same
+// image→contour-string pipeline behind the paper's NIST digit strings.
+//
+// Generation is deterministic for a given (cfg, seed).
+func Digits(cfg DigitsConfig, seed int64) *Dataset {
+	d, _ := digitSamples(cfg, seed, false)
+	return d
+}
+
+// DigitImages generates the same samples as Digits for the same (cfg,
+// seed) but also returns the binary raster image behind each contour
+// string — the content of the paper's Figure 5 ("Different '8' and '0'
+// from the NIST database"). Images parallel the dataset's Strings/Labels.
+func DigitImages(cfg DigitsConfig, seed int64) (*Dataset, []Image) {
+	return digitSamples(cfg, seed, true)
+}
+
+// Image is a binary raster of one generated digit.
+type Image struct {
+	// W and H are the raster dimensions; Pix is row-major, true for ink.
+	W, H int
+	Pix  []bool
+	// Label is the digit class (0–9).
+	Label int
+}
+
+// At reports whether the pixel at (x, y) is ink; out-of-bounds is blank.
+func (im Image) At(x, y int) bool {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return false
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// String renders the image as ASCII art ('#' for ink), trimmed to the ink
+// bounding box — good enough to eyeball writer variability in a terminal.
+func (im Image) String() string {
+	minX, minY, maxX, maxY := im.W, im.H, -1, -1
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if im.At(x, y) {
+				if x < minX {
+					minX = x
+				}
+				if x > maxX {
+					maxX = x
+				}
+				if y < minY {
+					minY = y
+				}
+				if y > maxY {
+					maxY = y
+				}
+			}
+		}
+	}
+	if maxX < 0 {
+		return "(blank)"
+	}
+	var sb []byte
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			if im.At(x, y) {
+				sb = append(sb, '#')
+			} else {
+				sb = append(sb, ' ')
+			}
+		}
+		sb = append(sb, '\n')
+	}
+	return string(sb)
+}
+
+// PGM encodes the image as a binary-valued ASCII PGM (P2) file, viewable
+// with any image tool.
+func (im Image) PGM() []byte {
+	out := []byte("P2\n")
+	out = append(out, []byte(itoa(im.W)+" "+itoa(im.H)+"\n1\n")...)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if x > 0 {
+				out = append(out, ' ')
+			}
+			if im.At(x, y) {
+				out = append(out, '1')
+			} else {
+				out = append(out, '0')
+			}
+		}
+		out = append(out, '\n')
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// digitSamples is the shared generator behind Digits and DigitImages. The
+// rng draw sequence is identical whether or not images are kept, so both
+// views of the same (cfg, seed) agree exactly.
+func digitSamples(cfg DigitsConfig, seed int64, keepImages bool) (*Dataset, []Image) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{
+		Name:    "digits",
+		Strings: make([]string, 0, cfg.Count),
+		Labels:  make([]int, 0, cfg.Count),
+	}
+	var images []Image
+	writers := make([]writerStyle, cfg.Writers)
+	for i := range writers {
+		writers[i] = newWriterStyle(rand.New(rand.NewSource(seed ^ int64(0x9E3779B9*(uint32(cfg.FirstWriter+i)+1)))))
+	}
+	for i := 0; i < cfg.Count; i++ {
+		class := i % 10
+		w := writers[(i/10)%cfg.Writers]
+		s, g := renderDigit(rng, class, w, cfg.Grid)
+		// Extremely distorted samples can collapse to a tiny blob with an
+		// empty contour; retry with fresh jitter (bounded, then accept).
+		for retry := 0; s == "" && retry < 5; retry++ {
+			s, g = renderDigit(rng, class, w, cfg.Grid)
+		}
+		if s == "" {
+			s = "04" // degenerate two-pixel contour; keeps lengths valid
+		}
+		d.Strings = append(d.Strings, s)
+		d.Labels = append(d.Labels, class)
+		if keepImages {
+			images = append(images, Image{W: g.w, H: g.h, Pix: g.px, Label: class})
+		}
+	}
+	return d, images
+}
+
+// writerStyle is the persistent per-writer distortion.
+type writerStyle struct {
+	slant     float64 // shear in x per unit y
+	rotation  float64 // radians
+	scaleX    float64
+	scaleY    float64
+	thickness float64 // pen radius in pixels
+}
+
+func newWriterStyle(rng *rand.Rand) writerStyle {
+	return writerStyle{
+		slant:     (rng.Float64() - 0.5) * 0.5,  // ±0.25
+		rotation:  (rng.Float64() - 0.5) * 0.45, // ±13°
+		scaleX:    0.8 + rng.Float64()*0.4,
+		scaleY:    0.8 + rng.Float64()*0.4,
+		thickness: 1.0 + rng.Float64()*1.2,
+	}
+}
+
+// point is a template control point in the unit square (y grows downward).
+type point struct{ x, y float64 }
+
+// stroke is a polyline of control points.
+type stroke []point
+
+// digitTemplates holds vector stroke skeletons for 0–9 in the unit square.
+// Curved shapes are polygonal approximations; the rasteriser's pen
+// thickness and the per-writer distortions produce the variability seen in
+// the paper's Figure 5.
+var digitTemplates = [10][]stroke{
+	0: {ellipse(0.5, 0.5, 0.32, 0.42, 24)},
+	1: {{{0.35, 0.25}, {0.55, 0.08}, {0.55, 0.92}}},
+	2: {append(arc(0.5, 0.28, 0.26, 0.22, -180, 60, 12),
+		point{0.68, 0.45}, point{0.25, 0.92}, point{0.78, 0.92})},
+	3: {append(arc(0.45, 0.28, 0.25, 0.20, -160, 90, 10),
+		arc(0.45, 0.70, 0.28, 0.22, -90, 140, 12)...)},
+	4: {
+		{{0.62, 0.08}, {0.22, 0.62}, {0.80, 0.62}},
+		{{0.62, 0.08}, {0.62, 0.92}},
+	},
+	5: {append([]point{{0.72, 0.10}, {0.32, 0.10}, {0.30, 0.45}},
+		arc(0.48, 0.68, 0.26, 0.24, -80, 160, 12)...)},
+	6: {append(arc(0.60, 0.20, 0.30, 0.55, 160, 320, 14),
+		ellipse(0.48, 0.70, 0.22, 0.20, 16)...)},
+	7: {{{0.22, 0.10}, {0.78, 0.10}, {0.42, 0.92}}},
+	8: {
+		ellipse(0.5, 0.30, 0.22, 0.20, 18),
+		ellipse(0.5, 0.72, 0.26, 0.22, 18),
+	},
+	9: {append(ellipse(0.52, 0.32, 0.24, 0.22, 18),
+		stroke{{0.74, 0.35}, {0.66, 0.92}}...),
+	},
+}
+
+// ellipse returns a closed polygonal ellipse as a single stroke.
+func ellipse(cx, cy, rx, ry float64, segments int) stroke {
+	s := make(stroke, 0, segments+1)
+	for i := 0; i <= segments; i++ {
+		t := 2 * math.Pi * float64(i) / float64(segments)
+		s = append(s, point{cx + rx*math.Cos(t), cy + ry*math.Sin(t)})
+	}
+	return s
+}
+
+// arc returns a polyline along an elliptical arc between two angles in
+// degrees (0° = +x axis, angles grow toward +y, i.e. downward on screen).
+func arc(cx, cy, rx, ry float64, fromDeg, toDeg float64, segments int) stroke {
+	s := make(stroke, 0, segments+1)
+	for i := 0; i <= segments; i++ {
+		t := (fromDeg + (toDeg-fromDeg)*float64(i)/float64(segments)) * math.Pi / 180
+		s = append(s, point{cx + rx*math.Cos(t), cy + ry*math.Sin(t)})
+	}
+	return s
+}
+
+// renderDigit rasterises one distorted digit and returns its contour chain
+// code (possibly "" for degenerate distortions) together with the raster
+// (largest component only).
+func renderDigit(rng *rand.Rand, class int, w writerStyle, gridSide int) (string, *grid) {
+	g := newGrid(gridSide, gridSide)
+	margin := 6.0
+	span := float64(gridSide) - 2*margin
+
+	rot := w.rotation + (rng.Float64()-0.5)*0.12
+	sin, cos := math.Sin(rot), math.Cos(rot)
+	jitterAmp := 0.015
+	thickness := w.thickness + (rng.Float64()-0.5)*0.4
+	if thickness < 0.8 {
+		thickness = 0.8
+	}
+
+	transform := func(p point) (float64, float64) {
+		// Centre, scale, shear (slant), rotate, jitter, back to pixels.
+		x := (p.x - 0.5) * w.scaleX
+		y := (p.y - 0.5) * w.scaleY
+		x += w.slant * y
+		xr := x*cos - y*sin
+		yr := x*sin + y*cos
+		xr += (rng.Float64() - 0.5) * 2 * jitterAmp
+		yr += (rng.Float64() - 0.5) * 2 * jitterAmp
+		return margin + (xr+0.5)*span, margin + (yr+0.5)*span
+	}
+
+	for _, st := range digitTemplates[class] {
+		if len(st) == 0 {
+			continue
+		}
+		px, py := transform(st[0])
+		for _, p := range st[1:] {
+			nx, ny := transform(p)
+			g.line(px, py, nx, ny, thickness)
+			px, py = nx, ny
+		}
+	}
+	lc := g.largestComponent()
+	return traceContour(lc), lc
+}

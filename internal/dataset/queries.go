@@ -1,0 +1,58 @@
+package dataset
+
+import "math/rand"
+
+// PerturbQueries generates count query strings by applying ops random edit
+// operations (insertion, deletion or substitution, uniformly) to randomly
+// chosen strings of base — the protocol of the SISAP Metric Spaces
+// Library's genqueries tool, which the paper uses with a perturbation of
+// two operations for the Spanish-dictionary search experiments (§4.3).
+//
+// Inserted and substituted symbols are drawn from the base dataset's
+// alphabet. Labels are inherited from the perturbed string when base is
+// labelled, so perturbed queries can double as classification test sets.
+//
+// Generation is deterministic for a given (base, count, ops, seed).
+func PerturbQueries(base *Dataset, count, ops int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	alphabet := base.Alphabet()
+	if len(alphabet) == 0 {
+		alphabet = []rune{'a'}
+	}
+	out := &Dataset{Name: base.Name + "-queries", Strings: make([]string, 0, count)}
+	if base.Labelled() {
+		out.Labels = make([]int, 0, count)
+	}
+	runes := base.Runes()
+	for i := 0; i < count; i++ {
+		idx := rng.Intn(len(runes))
+		q := perturb(rng, runes[idx], ops, alphabet)
+		out.Strings = append(out.Strings, string(q))
+		if out.Labels != nil {
+			out.Labels = append(out.Labels, base.Labels[idx])
+		}
+	}
+	return out
+}
+
+// perturb applies ops random edit operations to a copy of s.
+func perturb(rng *rand.Rand, s []rune, ops int, alphabet []rune) []rune {
+	q := append([]rune(nil), s...)
+	for o := 0; o < ops; o++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(q) == 0: // insertion (forced when empty)
+			pos := rng.Intn(len(q) + 1)
+			sym := alphabet[rng.Intn(len(alphabet))]
+			q = append(q, 0)
+			copy(q[pos+1:], q[pos:])
+			q[pos] = sym
+		case op == 1: // deletion
+			pos := rng.Intn(len(q))
+			q = append(q[:pos], q[pos+1:]...)
+		default: // substitution
+			pos := rng.Intn(len(q))
+			q[pos] = alphabet[rng.Intn(len(alphabet))]
+		}
+	}
+	return q
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import "math"
+
+// grid is a binary raster image used to draw synthetic digits before
+// contour extraction.
+type grid struct {
+	w, h int
+	px   []bool
+}
+
+func newGrid(w, h int) *grid {
+	return &grid{w: w, h: h, px: make([]bool, w*h)}
+}
+
+func (g *grid) at(x, y int) bool {
+	if x < 0 || y < 0 || x >= g.w || y >= g.h {
+		return false
+	}
+	return g.px[y*g.w+x]
+}
+
+func (g *grid) set(x, y int) {
+	if x < 0 || y < 0 || x >= g.w || y >= g.h {
+		return
+	}
+	g.px[y*g.w+x] = true
+}
+
+// stamp draws a filled disc of the given radius (in pixels) centred at
+// (x, y) — the "pen" that gives strokes their thickness.
+func (g *grid) stamp(x, y int, radius float64) {
+	r := int(radius + 0.9999)
+	r2 := radius * radius
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if float64(dx*dx+dy*dy) <= r2 {
+				g.set(x+dx, y+dy)
+			}
+		}
+	}
+}
+
+// line draws a thick line from (x0, y0) to (x1, y1) in continuous pixel
+// coordinates by stamping the pen along the segment at sub-pixel steps, so
+// strokes have no holes.
+func (g *grid) line(x0, y0, x1, y1, thickness float64) {
+	dx, dy := x1-x0, y1-y0
+	steps := int(2*math.Sqrt(dx*dx+dy*dy)) + 1
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		g.stamp(int(x0+t*dx+0.5), int(y0+t*dy+0.5), thickness)
+	}
+}
+
+// largestComponent returns a copy of g containing only its largest
+// 8-connected foreground component. Distorted digits can break into several
+// components; contour extraction traces the dominant one, like the NIST
+// contour preprocessing the paper's digit strings come from.
+func (g *grid) largestComponent() *grid {
+	visited := make([]int, g.w*g.h) // 0 = unvisited, else component id
+	bestID, bestSize := 0, 0
+	id := 0
+	var stack []int
+	for start := range g.px {
+		if !g.px[start] || visited[start] != 0 {
+			continue
+		}
+		id++
+		size := 0
+		stack = append(stack[:0], start)
+		visited[start] = id
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			x, y := p%g.w, p/g.w
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || ny < 0 || nx >= g.w || ny >= g.h {
+						continue
+					}
+					np := ny*g.w + nx
+					if g.px[np] && visited[np] == 0 {
+						visited[np] = id
+						stack = append(stack, np)
+					}
+				}
+			}
+		}
+		if size > bestSize {
+			bestSize, bestID = size, id
+		}
+	}
+	out := newGrid(g.w, g.h)
+	if bestID == 0 {
+		return out
+	}
+	for p := range g.px {
+		if visited[p] == bestID {
+			out.px[p] = true
+		}
+	}
+	return out
+}

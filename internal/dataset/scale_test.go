@@ -1,0 +1,50 @@
+package dataset
+
+import "testing"
+
+func TestSpanishScalesToPaperSize(t *testing.T) {
+	// The paper's dictionary has 86,062 words; the generator must be able
+	// to produce tens of thousands of distinct words without stalling.
+	// A fifth of the paper size keeps the test fast — uniqueness pressure
+	// is already high there, and generation is linear beyond it.
+	if testing.Short() {
+		t.Skip("large generation; skipping in -short mode")
+	}
+	const n = 17000
+	d := Spanish(n, 99)
+	if d.Len() != n {
+		t.Fatalf("generated %d words, want %d", d.Len(), n)
+	}
+	seen := make(map[string]bool, n)
+	for _, w := range d.Strings {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+	min, mean, max := d.LengthStats()
+	if min < 2 || mean < 4 || mean > 16 || max > 45 {
+		t.Errorf("length stats degenerate at scale: min=%d mean=%.1f max=%d", min, mean, max)
+	}
+}
+
+func TestDigitsScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generation; skipping in -short mode")
+	}
+	// 1,000 digits — the paper's training size — generate cleanly with
+	// non-trivial contours for every class.
+	d := Digits(DigitsConfig{Count: 1000, Writers: 20}, 99)
+	if d.Len() != 1000 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	short := 0
+	for _, s := range d.Strings {
+		if len(s) < 20 {
+			short++
+		}
+	}
+	if short > 10 {
+		t.Errorf("%d/1000 contours degenerate (< 20 symbols)", short)
+	}
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Spanish generates n distinct Spanish-like words, substituting for the
+// 86,062-word SISAP Spanish dictionary used by the paper. Words are built
+// from a syllable grammar (onset + nucleus + coda drawn from Spanish
+// phonotactics, with realistic frequency weights) and finished with common
+// Spanish suffixes, giving the short-string (4–16 symbol), shared-affix
+// structure the dictionary experiments depend on. The alphabet includes
+// ñ and accented vowels, exercising the full rune pipeline.
+//
+// Generation is deterministic for a given (n, seed).
+func Spanish(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	d := &Dataset{Name: "spanish", Strings: make([]string, 0, n)}
+	for len(d.Strings) < n {
+		w := spanishWord(rng)
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		d.Strings = append(d.Strings, w)
+	}
+	return d
+}
+
+// Weighted inventories. Slices with repeated entries implement frequency
+// weighting without a separate weights table.
+var (
+	spanishOnsets = []string{
+		"", "", "b", "c", "c", "d", "d", "f", "g", "h", "j", "l", "l", "m",
+		"m", "n", "p", "p", "r", "r", "s", "s", "t", "t", "v", "z", "ch",
+		"ll", "ñ", "qu", "br", "bl", "cr", "cl", "dr", "fr", "fl", "gr",
+		"gl", "pr", "pl", "tr",
+	}
+	spanishNuclei = []string{
+		"a", "a", "a", "e", "e", "e", "i", "i", "o", "o", "o", "u",
+		"ia", "ie", "io", "ue", "ui", "ei", "ai", "á", "é", "í", "ó", "ú",
+	}
+	spanishCodas = []string{
+		"", "", "", "", "", "n", "n", "s", "s", "r", "l", "d", "z",
+	}
+	spanishSuffixes = []string{
+		"", "", "", "", "r", "ar", "er", "ir", "ado", "ida", "ción",
+		"mente", "dad", "oso", "osa", "ito", "ita", "es", "s", "ncia",
+		"miento", "ista", "ble", "ero", "era",
+	}
+)
+
+func spanishWord(rng *rand.Rand) string {
+	var sb strings.Builder
+	syllables := 1 + rng.Intn(4) // 1–4 syllables before the suffix
+	for i := 0; i < syllables; i++ {
+		sb.WriteString(spanishOnsets[rng.Intn(len(spanishOnsets))])
+		sb.WriteString(spanishNuclei[rng.Intn(len(spanishNuclei))])
+		// Codas are rarer inside the word than at its end.
+		if i == syllables-1 || rng.Intn(3) == 0 {
+			sb.WriteString(spanishCodas[rng.Intn(len(spanishCodas))])
+		}
+	}
+	sb.WriteString(spanishSuffixes[rng.Intn(len(spanishSuffixes))])
+	w := sb.String()
+	if len([]rune(w)) < 2 {
+		return w + spanishNuclei[rng.Intn(len(spanishNuclei))]
+	}
+	return w
+}

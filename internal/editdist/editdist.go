@@ -1,0 +1,179 @@
+// Package editdist implements the classical Levenshtein (edit) distance
+// together with the specialised engines the rest of the repository builds on:
+// a two-row dynamic program, a full-matrix variant with traceback and
+// edit-script extraction, a banded variant for threshold queries, a Myers
+// bit-parallel engine, generalized (weighted) costs, and the
+// path-length-constrained dynamic program that powers the exact Marzal-Vidal
+// normalised distance.
+//
+// All functions operate on []rune so that datasets over non-ASCII alphabets
+// (the Spanish dictionary uses ñ and accented vowels) are handled correctly.
+// String convenience wrappers convert once and delegate.
+package editdist
+
+// Distance returns the unit-cost Levenshtein distance between a and b: the
+// minimum number of single-symbol insertions, deletions and substitutions
+// that rewrite a into b.
+//
+// It runs the classical Wagner-Fischer dynamic program with two rows, using
+// O(len(a)·len(b)) time and O(min(len(a),len(b))) space.
+func Distance(a, b []rune) int {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	n := len(b)
+	if n == 0 {
+		return len(a)
+	}
+	row := make([]int, n+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		diag := row[0] // D[i-1][j-1]
+		row[0] = i
+		ai := a[i-1]
+		for j := 1; j <= n; j++ {
+			up := row[j] // D[i-1][j]
+			d := up + 1  // delete a[i-1]
+			if ins := row[j-1] + 1; ins < d {
+				d = ins // insert b[j-1]
+			}
+			sub := diag
+			if ai != b[j-1] {
+				sub++
+			}
+			if sub < d {
+				d = sub
+			}
+			row[j] = d
+			diag = up
+		}
+	}
+	return row[n]
+}
+
+// DistanceStrings is Distance on strings.
+func DistanceStrings(a, b string) int {
+	return Distance([]rune(a), []rune(b))
+}
+
+// Bounded returns the Levenshtein distance between a and b if it is at most
+// k, and k+1 otherwise. It runs the Ukkonen banded dynamic program, touching
+// only the diagonal band of width 2k+1: O(k·min(len(a),len(b))) time.
+//
+// Bounded(a, b, k) <= k exactly when Distance(a, b) <= k.
+func Bounded(a, b []rune, k int) int {
+	if k < 0 {
+		return 0
+	}
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	m, n := len(a), len(b)
+	if m-n > k {
+		return k + 1
+	}
+	if n == 0 {
+		return m // m <= k here
+	}
+	const inf = int(^uint(0) >> 2)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := range prev {
+		if j <= k {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= m; i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			return k + 1
+		}
+		if i <= k {
+			cur[0] = i
+		} else {
+			cur[0] = inf
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		}
+		if hi < n {
+			cur[hi+1] = inf
+		}
+		ai := a[i-1]
+		for j := lo; j <= hi; j++ {
+			d := inf
+			if prev[j] < inf {
+				d = prev[j] + 1 // delete a[i-1]
+			}
+			if cur[j-1] < inf && cur[j-1]+1 < d {
+				d = cur[j-1] + 1 // insert b[j-1]
+			}
+			if prev[j-1] < inf {
+				sub := prev[j-1]
+				if ai != b[j-1] {
+					sub++
+				}
+				if sub < d {
+					d = sub
+				}
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	if prev[n] > k {
+		return k + 1
+	}
+	return prev[n]
+}
+
+// WithinDistance reports whether Distance(a, b) <= k, using the banded
+// engine.
+func WithinDistance(a, b []rune, k int) bool {
+	return Bounded(a, b, k) <= k
+}
+
+// Matrix returns the full (len(a)+1)×(len(b)+1) Wagner-Fischer matrix, where
+// Matrix(a,b)[i][j] is the edit distance between a[:i] and b[:j]. It is the
+// engine behind Script and is exported for callers that need the whole
+// distance surface (e.g. visualisation).
+func Matrix(a, b []rune) [][]int {
+	m, n := len(a), len(b)
+	d := make([][]int, m+1)
+	cells := make([]int, (m+1)*(n+1))
+	for i := range d {
+		d[i] = cells[i*(n+1) : (i+1)*(n+1)]
+		d[i][0] = i
+	}
+	for j := 0; j <= n; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			best := d[i-1][j] + 1
+			if v := d[i][j-1] + 1; v < best {
+				best = v
+			}
+			v := d[i-1][j-1]
+			if a[i-1] != b[j-1] {
+				v++
+			}
+			if v < best {
+				best = v
+			}
+			d[i][j] = best
+		}
+	}
+	return d
+}

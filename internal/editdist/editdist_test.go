@@ -1,0 +1,399 @@
+package editdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naive is an independent recursive implementation with memoisation, used as
+// an oracle for the optimised engines.
+func naive(a, b []rune) int {
+	memo := map[[2]int]int{}
+	var rec func(i, j int) int
+	rec = func(i, j int) int {
+		if i == 0 {
+			return j
+		}
+		if j == 0 {
+			return i
+		}
+		key := [2]int{i, j}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		best := rec(i-1, j) + 1
+		if v := rec(i, j-1) + 1; v < best {
+			best = v
+		}
+		v := rec(i-1, j-1)
+		if a[i-1] != b[j-1] {
+			v++
+		}
+		if v < best {
+			best = v
+		}
+		memo[key] = best
+		return best
+	}
+	return rec(len(a), len(b))
+}
+
+func randomString(r *rand.Rand, maxLen int, alphabet []rune) []rune {
+	n := r.Intn(maxLen + 1)
+	s := make([]rune, n)
+	for i := range s {
+		s[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return s
+}
+
+var testAlphabet = []rune("ab")
+var widerAlphabet = []rune("abcdñé")
+
+func TestDistanceKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abaa", "aab", 2}, // Example 1 of the paper
+		// Example 2 of the paper only shows dE(abaa,baab) <= 3; the exact
+		// value is 2 (delete the leading 'a', append a 'b').
+		{"abaa", "baab", 2},
+		{"ab", "ba", 2},
+		{"ab", "aba", 1},
+		{"aba", "ba", 1},
+		{"b", "ba", 1},
+		{"b", "aa", 2},
+		{"niño", "nino", 1}, // non-ASCII counts as one symbol
+	}
+	for _, c := range cases {
+		if got := DistanceStrings(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		a := randomString(r, 12, testAlphabet)
+		b := randomString(r, 12, testAlphabet)
+		if got, want := Distance(a, b), naive(a, b); got != want {
+			t.Fatalf("Distance(%q,%q) = %d, want %d", string(a), string(b), got, want)
+		}
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a := randomString(r, 10, widerAlphabet)
+		b := randomString(r, 10, widerAlphabet)
+		c := randomString(r, 10, widerAlphabet)
+		dab, dba := Distance(a, b), Distance(b, a)
+		if dab != dba {
+			t.Fatalf("symmetry: d(%q,%q)=%d d(%q,%q)=%d", string(a), string(b), dab, string(b), string(a), dba)
+		}
+		if Distance(a, a) != 0 {
+			t.Fatalf("identity: d(%q,%q) != 0", string(a), string(a))
+		}
+		if dab == 0 && string(a) != string(b) {
+			t.Fatalf("separation: d(%q,%q)=0 for distinct strings", string(a), string(b))
+		}
+		if Distance(a, c) > dab+Distance(b, c) {
+			t.Fatalf("triangle inequality violated for %q %q %q", string(a), string(b), string(c))
+		}
+	}
+}
+
+func TestDistanceBounds(t *testing.T) {
+	// 0 <= d <= max(len(a), len(b)); |len(a)-len(b)| <= d.
+	f := func(sa, sb string) bool {
+		a, b := []rune(sa), []rune(sb)
+		d := Distance(a, b)
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedAgreesWithDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a := randomString(r, 14, testAlphabet)
+		b := randomString(r, 14, testAlphabet)
+		d := Distance(a, b)
+		for k := 0; k <= 15; k++ {
+			got := Bounded(a, b, k)
+			if d <= k {
+				if got != d {
+					t.Fatalf("Bounded(%q,%q,%d) = %d, want exact %d", string(a), string(b), k, got, d)
+				}
+			} else if got != k+1 {
+				t.Fatalf("Bounded(%q,%q,%d) = %d, want %d (distance %d)", string(a), string(b), k, got, k+1, d)
+			}
+		}
+	}
+}
+
+func TestBoundedNegativeThreshold(t *testing.T) {
+	if got := Bounded([]rune("a"), []rune("b"), -1); got != 0 {
+		t.Errorf("Bounded with k<0 = %d, want 0", got)
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	a, b := []rune("kitten"), []rune("sitting")
+	if WithinDistance(a, b, 2) {
+		t.Error("WithinDistance(kitten,sitting,2) = true, want false")
+	}
+	if !WithinDistance(a, b, 3) {
+		t.Error("WithinDistance(kitten,sitting,3) = false, want true")
+	}
+}
+
+func TestMyersAgreesWithDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		a := randomString(r, 20, widerAlphabet)
+		b := randomString(r, 20, widerAlphabet)
+		if got, want := Myers(a, b), Distance(a, b); got != want {
+			t.Fatalf("Myers(%q,%q) = %d, want %d", string(a), string(b), got, want)
+		}
+	}
+}
+
+func TestMyersLongPatternFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		a := randomString(r, 150, testAlphabet)
+		b := randomString(r, 150, testAlphabet)
+		if got, want := Myers(a, b), Distance(a, b); got != want {
+			t.Fatalf("Myers long = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestMyersEmpty(t *testing.T) {
+	if got := Myers(nil, []rune("abc")); got != 3 {
+		t.Errorf("Myers(\"\",abc) = %d, want 3", got)
+	}
+	if got := Myers([]rune("abc"), nil); got != 3 {
+		t.Errorf("Myers(abc,\"\") = %d, want 3", got)
+	}
+}
+
+func TestMatrixEdges(t *testing.T) {
+	a, b := []rune("ab"), []rune("axb")
+	m := Matrix(a, b)
+	if m[0][0] != 0 || m[len(a)][len(b)] != Distance(a, b) {
+		t.Errorf("Matrix corners wrong: %v", m)
+	}
+	for i := 0; i <= len(a); i++ {
+		if m[i][0] != i {
+			t.Errorf("Matrix[%d][0] = %d, want %d", i, m[i][0], i)
+		}
+	}
+	for j := 0; j <= len(b); j++ {
+		if m[0][j] != j {
+			t.Errorf("Matrix[0][%d] = %d, want %d", j, m[0][j], j)
+		}
+	}
+}
+
+func TestScriptRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 300; i++ {
+		a := randomString(r, 12, widerAlphabet)
+		b := randomString(r, 12, widerAlphabet)
+		script := Script(a, b)
+		if got := Cost(script); got != Distance(a, b) {
+			t.Fatalf("Cost(Script(%q,%q)) = %d, want %d", string(a), string(b), got, Distance(a, b))
+		}
+		if got := Apply(a, script); string(got) != string(b) {
+			t.Fatalf("Apply(Script(%q,%q)) = %q", string(a), string(b), string(got))
+		}
+	}
+}
+
+func TestScriptPathLength(t *testing.T) {
+	// The script length (with matches) is a feasible alignment path length:
+	// max(m,n) <= len <= m+n.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		a := randomString(r, 10, testAlphabet)
+		b := randomString(r, 10, testAlphabet)
+		l := len(Script(a, b))
+		lo := len(a)
+		if len(b) > lo {
+			lo = len(b)
+		}
+		if l < lo || l > len(a)+len(b) {
+			t.Fatalf("script length %d out of [%d,%d] for %q %q", l, lo, len(a)+len(b), string(a), string(b))
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Match.String() != "match" || Substitute.String() != "substitute" ||
+		Delete.String() != "delete" || Insert.String() != "insert" {
+		t.Error("OpKind.String() names wrong")
+	}
+	if OpKind(42).String() != "OpKind(42)" {
+		t.Error("OpKind.String() default wrong")
+	}
+}
+
+func TestGeneralDistanceUnitEqualsDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 300; i++ {
+		a := randomString(r, 12, widerAlphabet)
+		b := randomString(r, 12, widerAlphabet)
+		got := GeneralDistance(a, b, Unit{})
+		if want := float64(Distance(a, b)); got != want {
+			t.Fatalf("GeneralDistance unit = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGeneralDistanceWeighted(t *testing.T) {
+	w := Weights{SubCost: 3, DelCost: 1, InsCost: 1}
+	// With substitution costing more than delete+insert, "a"->"b" should be 2.
+	if got := GeneralDistance([]rune("a"), []rune("b"), w); got != 2 {
+		t.Errorf("weighted a->b = %v, want 2", got)
+	}
+	w2 := Weights{SubCost: 1, DelCost: 5, InsCost: 5}
+	if got := GeneralDistance([]rune("ab"), []rune("ba"), w2); got != 2 {
+		t.Errorf("weighted ab->ba = %v, want 2", got)
+	}
+	// Asymmetric costs: deleting is cheap, inserting expensive.
+	w3 := Weights{SubCost: 10, DelCost: 1, InsCost: 10}
+	if got := GeneralDistance([]rune("abc"), []rune(""), w3); got != 3 {
+		t.Errorf("weighted abc->empty = %v, want 3", got)
+	}
+}
+
+func TestWeightsAndUnitAccessors(t *testing.T) {
+	u := Unit{}
+	if u.Sub('a', 'a') != 0 || u.Sub('a', 'b') != 1 || u.Del('a') != 1 || u.Ins('a') != 1 {
+		t.Error("Unit cost model wrong")
+	}
+	w := Weights{SubCost: 2, DelCost: 3, InsCost: 4}
+	if w.Sub('a', 'a') != 0 || w.Sub('a', 'b') != 2 || w.Del('a') != 3 || w.Ins('a') != 4 {
+		t.Error("Weights cost model wrong")
+	}
+}
+
+func TestWeightsByPathLengthBasics(t *testing.T) {
+	a, b := []rune("ab"), []rune("aba")
+	w := WeightsByPathLength(a, b, Unit{})
+	if len(w) != len(a)+len(b)+1 {
+		t.Fatalf("len(w) = %d, want %d", len(w), len(a)+len(b)+1)
+	}
+	// Minimal feasible L is max(m,n)=3 with weight 1 (two matches + one insert).
+	if w[3] != 1 {
+		t.Errorf("w[3] = %v, want 1", w[3])
+	}
+	// L=0..2 infeasible.
+	for L := 0; L < 3; L++ {
+		if !math.IsInf(w[L], 1) {
+			t.Errorf("w[%d] = %v, want +Inf", L, w[L])
+		}
+	}
+	// L=5 = m+n: delete both of a, insert all of b: weight 5.
+	if w[5] != 5 {
+		t.Errorf("w[5] = %v, want 5", w[5])
+	}
+}
+
+func TestWeightsByPathLengthEmpty(t *testing.T) {
+	w := WeightsByPathLength(nil, nil, Unit{})
+	if len(w) != 1 || w[0] != 0 {
+		t.Errorf("empty/empty: %v", w)
+	}
+	w = WeightsByPathLength([]rune("abc"), nil, Unit{})
+	if w[3] != 3 {
+		t.Errorf("abc/empty w[3] = %v, want 3", w[3])
+	}
+	w = WeightsByPathLength(nil, []rune("ab"), Unit{})
+	if w[2] != 2 {
+		t.Errorf("empty/ab w[2] = %v, want 2", w[2])
+	}
+}
+
+func TestWeightsByPathLengthMinIsDistance(t *testing.T) {
+	// The minimum over L of w[L] must be the plain edit distance.
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		a := randomString(r, 10, testAlphabet)
+		b := randomString(r, 10, testAlphabet)
+		w := WeightsByPathLength(a, b, Unit{})
+		best := math.Inf(1)
+		for _, v := range w {
+			if v < best {
+				best = v
+			}
+		}
+		if want := float64(Distance(a, b)); best != want {
+			t.Fatalf("min over L = %v, want %v (%q,%q)", best, want, string(a), string(b))
+		}
+	}
+}
+
+func TestWeightsByPathLengthMonotoneFeasibility(t *testing.T) {
+	// Feasible L values form a contiguous range from max(m,n) to m+n... not
+	// every L in between is necessarily feasible for an alignment path, but
+	// L=max(m,n) and L=m+n always are. Verify those ends.
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		a := randomString(r, 8, testAlphabet)
+		b := randomString(r, 8, testAlphabet)
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		w := WeightsByPathLength(a, b, Unit{})
+		lo := len(a)
+		if len(b) > lo {
+			lo = len(b)
+		}
+		if math.IsInf(w[lo], 1) {
+			t.Fatalf("w[max(m,n)=%d] infeasible for %q %q", lo, string(a), string(b))
+		}
+		if math.IsInf(w[len(a)+len(b)], 1) {
+			t.Fatalf("w[m+n] infeasible for %q %q", string(a), string(b))
+		}
+	}
+}
+
+func BenchmarkDistanceShort(b *testing.B) {
+	x, y := []rune("contextual"), []rune("normalised")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distance(x, y)
+	}
+}
+
+func BenchmarkMyersShort(b *testing.B) {
+	x, y := []rune("contextual"), []rune("normalised")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Myers(x, y)
+	}
+}

@@ -1,0 +1,67 @@
+package editdist
+
+import "testing"
+
+// Native fuzz targets. The seed corpus runs as part of the normal test
+// suite; `go test -fuzz=FuzzX ./internal/editdist` explores further.
+
+func FuzzDistanceEnginesAgree(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "abc")
+	f.Add("ññ", "nn")
+	f.Add("aaaa", "aa")
+	f.Fuzz(func(t *testing.T, sa, sb string) {
+		a, b := []rune(sa), []rune(sb)
+		if len(a) > 200 || len(b) > 200 {
+			t.Skip()
+		}
+		d := Distance(a, b)
+		if my := Myers(a, b); my != d {
+			t.Fatalf("Myers %d != Distance %d for %q %q", my, d, sa, sb)
+		}
+		if bd := Bounded(a, b, d); bd != d {
+			t.Fatalf("Bounded at exact threshold %d gave %d", d, bd)
+		}
+		if d > 0 {
+			if bd := Bounded(a, b, d-1); bd != d {
+				t.Fatalf("Bounded below threshold should report k+1=%d, got %d", d, bd)
+			}
+		}
+		if g := GeneralDistance(a, b, Unit{}); g != float64(d) {
+			t.Fatalf("GeneralDistance unit %v != %d", g, d)
+		}
+	})
+}
+
+func FuzzScriptRoundTrip(f *testing.F) {
+	f.Add("abaa", "baab")
+	f.Add("", "x")
+	f.Add("niño", "nino")
+	f.Fuzz(func(t *testing.T, sa, sb string) {
+		a, b := []rune(sa), []rune(sb)
+		if len(a) > 100 || len(b) > 100 {
+			t.Skip()
+		}
+		script := Script(a, b)
+		if got := string(Apply(a, script)); got != string(b) {
+			t.Fatalf("Apply(Script) = %q, want %q", got, sb)
+		}
+		if Cost(script) != Distance(a, b) {
+			t.Fatalf("Cost(Script) = %d, want %d", Cost(script), Distance(a, b))
+		}
+	})
+}
+
+func FuzzDistanceSymmetry(f *testing.F) {
+	f.Add("ab", "ba")
+	f.Add("x", "")
+	f.Fuzz(func(t *testing.T, sa, sb string) {
+		a, b := []rune(sa), []rune(sb)
+		if len(a) > 150 || len(b) > 150 {
+			t.Skip()
+		}
+		if Distance(a, b) != Distance(b, a) {
+			t.Fatalf("asymmetric for %q %q", sa, sb)
+		}
+	})
+}

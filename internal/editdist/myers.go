@@ -1,0 +1,55 @@
+package editdist
+
+// Myers returns the unit-cost Levenshtein distance using Myers' bit-parallel
+// algorithm (Myers 1999, in Hyyrö's formulation). The shorter string is used
+// as the pattern; when it fits in a machine word (<= 64 symbols) each column
+// of the dynamic-programming matrix is processed in O(1) word operations,
+// giving O(max(len(a),len(b))) time. Longer patterns fall back to the
+// classical two-row dynamic program.
+//
+// Myers is an exact drop-in replacement for Distance.
+func Myers(a, b []rune) int {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	// a is now the longer string; the pattern must be the shorter one.
+	pattern, text := b, a
+	if len(pattern) == 0 {
+		return len(text)
+	}
+	if len(pattern) > 64 {
+		return Distance(a, b)
+	}
+	return myers64(pattern, text)
+}
+
+// myers64 computes the Levenshtein distance with pattern length <= 64.
+func myers64(pattern, text []rune) int {
+	m := len(pattern)
+	peq := make(map[rune]uint64, m)
+	for i, c := range pattern {
+		peq[c] |= 1 << uint(i)
+	}
+	pv := ^uint64(0) // vertical positive deltas
+	mv := uint64(0)  // vertical negative deltas
+	score := m
+	last := uint64(1) << uint(m-1)
+	for _, c := range text {
+		eq := peq[c]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		}
+		if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+	}
+	return score
+}

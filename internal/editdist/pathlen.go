@@ -1,0 +1,70 @@
+package editdist
+
+import "math"
+
+// WeightsByPathLength returns a slice w of length len(a)+len(b)+1 where w[L]
+// is the minimum total weight, under the cost model c, over alignment paths
+// from a to b consisting of exactly L elementary steps. A step is one
+// diagonal move (match or substitution — matches count as a step of weight
+// c.Sub(x,x) = 0), one vertical move (deletion) or one horizontal move
+// (insertion). Infeasible lengths hold +Inf.
+//
+// The minimum feasible L is max(len(a), len(b)) (or 0 when both strings are
+// empty) and every L between that and len(a)+len(b) with the right parity
+// relationship is feasible. This is the engine of the exact Marzal-Vidal
+// normalised edit distance: dMV = min over L >= 1 of w[L]/L.
+//
+// It runs in O(len(a)·len(b)·(len(a)+len(b))) time and
+// O(len(b)·(len(a)+len(b))) space.
+func WeightsByPathLength(a, b []rune, c Costs) []float64 {
+	m, n := len(a), len(b)
+	maxL := m + n
+	width := maxL + 1
+	inf := math.Inf(1)
+
+	prev := make([]float64, (n+1)*width)
+	cur := make([]float64, (n+1)*width)
+	for i := range prev {
+		prev[i] = inf
+	}
+	// Row i=0: only insertions; exactly j steps to reach column j.
+	prev[0] = 0
+	acc := 0.0
+	for j := 1; j <= n; j++ {
+		acc += c.Ins(b[j-1])
+		prev[j*width+j] = acc
+	}
+	delAcc := 0.0
+	for i := 1; i <= m; i++ {
+		for x := range cur {
+			cur[x] = inf
+		}
+		delAcc += c.Del(a[i-1])
+		if i <= maxL {
+			cur[i] = delAcc // column 0: i deletions in i steps
+		}
+		for j := 1; j <= n; j++ {
+			row := cur[j*width : (j+1)*width]
+			diag := prev[(j-1)*width : j*width]
+			up := prev[j*width : (j+1)*width]
+			left := cur[(j-1)*width : j*width]
+			subCost := c.Sub(a[i-1], b[j-1])
+			delCost := c.Del(a[i-1])
+			insCost := c.Ins(b[j-1])
+			for L := 1; L <= maxL; L++ {
+				best := diag[L-1] + subCost
+				if v := up[L-1] + delCost; v < best {
+					best = v
+				}
+				if v := left[L-1] + insCost; v < best {
+					best = v
+				}
+				row[L] = best
+			}
+		}
+		prev, cur = cur, prev
+	}
+	out := make([]float64, width)
+	copy(out, prev[n*width:(n+1)*width])
+	return out
+}

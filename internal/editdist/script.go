@@ -1,0 +1,109 @@
+package editdist
+
+import "fmt"
+
+// OpKind identifies one elementary edit operation.
+type OpKind uint8
+
+// The four elementary operations of an alignment. Match is the cost-0
+// "substitution" of a symbol by itself (an over-lined symbol replaced by the
+// same symbol underlined, in the paper's marking).
+const (
+	Match OpKind = iota
+	Substitute
+	Delete
+	Insert
+)
+
+// String returns a short human-readable name for the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case Match:
+		return "match"
+	case Substitute:
+		return "substitute"
+	case Delete:
+		return "delete"
+	case Insert:
+		return "insert"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one step of an edit script turning a into b.
+//
+// X and Y are 0-based positions into a and b respectively: for Match and
+// Substitute both are meaningful; for Delete only X (Y is the position in b
+// before which the deletion conceptually happens); for Insert only Y.
+type Op struct {
+	Kind OpKind
+	X, Y int
+	From rune // symbol consumed from a (Match, Substitute, Delete)
+	To   rune // symbol produced into b (Match, Substitute, Insert)
+}
+
+// Script returns one optimal (minimum-operation) edit script turning a into
+// b, as a sequence of operations in left-to-right order. Matches are
+// included, so len(script) is the alignment path length lE of the underlying
+// path; Cost(script) is Distance(a, b).
+func Script(a, b []rune) []Op {
+	d := Matrix(a, b)
+	i, j := len(a), len(b)
+	// Build in reverse, then flip.
+	ops := make([]Op, 0, i+j)
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && a[i-1] == b[j-1] && d[i][j] == d[i-1][j-1]:
+			ops = append(ops, Op{Kind: Match, X: i - 1, Y: j - 1, From: a[i-1], To: b[j-1]})
+			i--
+			j--
+		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1]+1:
+			ops = append(ops, Op{Kind: Substitute, X: i - 1, Y: j - 1, From: a[i-1], To: b[j-1]})
+			i--
+			j--
+		case i > 0 && d[i][j] == d[i-1][j]+1:
+			ops = append(ops, Op{Kind: Delete, X: i - 1, Y: j, From: a[i-1]})
+			i--
+		default:
+			ops = append(ops, Op{Kind: Insert, X: i, Y: j - 1, To: b[j-1]})
+			j--
+		}
+	}
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	return ops
+}
+
+// Cost returns the number of unit-cost operations in the script (matches are
+// free).
+func Cost(script []Op) int {
+	c := 0
+	for _, op := range script {
+		if op.Kind != Match {
+			c++
+		}
+	}
+	return c
+}
+
+// Apply replays an edit script produced by Script(a, b) on a and returns the
+// resulting string. Applying Script(a, b) to a always yields b.
+func Apply(a []rune, script []Op) []rune {
+	out := make([]rune, 0, len(a))
+	i := 0
+	for _, op := range script {
+		switch op.Kind {
+		case Match, Substitute:
+			out = append(out, op.To)
+			i++
+		case Delete:
+			i++
+		case Insert:
+			out = append(out, op.To)
+		}
+	}
+	out = append(out, a[i:]...)
+	return out
+}

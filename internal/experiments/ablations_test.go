@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPivotAblationSmall(t *testing.T) {
+	res := RunPivotAblation(PivotAblationConfig{
+		TrainSize: 80, QueryCount: 15, Pivots: []int{5, 15}, Seed: 9,
+	}, nil)
+	if len(res.Strategies) != 3 || len(res.Pivots) != 2 {
+		t.Fatalf("shape = %v x %v", res.Strategies, res.Pivots)
+	}
+	for si := range res.Strategies {
+		for pi := range res.Pivots {
+			c := res.AvgComps[si][pi]
+			if c <= 0 || c > 80 {
+				t.Errorf("%s pivots=%d comps=%v out of range", res.Strategies[si], res.Pivots[pi], c)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pivot selection") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunSearcherAblationSmall(t *testing.T) {
+	res := RunSearcherAblation(SearcherAblationConfig{
+		TrainSize: 100, QueryCount: 20, Pivots: 10, Seed: 10,
+	}, nil)
+	if len(res.Names) != 6 {
+		t.Fatalf("names = %v", res.Names)
+	}
+	for i, n := range res.Names {
+		if res.AvgComps[i] <= 0 {
+			t.Errorf("%s: no computations", n)
+		}
+		// All structures are exact under the metric dE.
+		if !res.ExactMatch[i] {
+			t.Errorf("%s did not match exhaustive search", n)
+		}
+	}
+	// AESA must use the fewest query computations; linear the most.
+	byName := map[string]float64{}
+	for i, n := range res.Names {
+		byName[n] = res.AvgComps[i]
+	}
+	if byName["aesa"] > byName["linear"] {
+		t.Errorf("AESA (%v) should beat linear (%v)", byName["aesa"], byName["linear"])
+	}
+	if byName["laesa"] > byName["linear"] {
+		t.Errorf("LAESA (%v) should beat linear (%v)", byName["laesa"], byName["linear"])
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "search structures") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunExactVsHeuristicSmall(t *testing.T) {
+	res := RunExactVsHeuristic(ExactVsHeuristicConfig{
+		Lengths: []int{8, 48}, PairsPerLength: 10, Seed: 11,
+	}, nil)
+	if len(res.Lengths) != 2 {
+		t.Fatalf("lengths = %v", res.Lengths)
+	}
+	for i := range res.Lengths {
+		if res.ExactNanos[i] <= 0 || res.HeurNanos[i] <= 0 || res.WindowNanos[i] <= 0 {
+			t.Errorf("length %d: non-positive timings", res.Lengths[i])
+		}
+		if res.Agreement[i] < 0 || res.Agreement[i] > 1 {
+			t.Errorf("agreement out of range: %v", res.Agreement[i])
+		}
+		// The windowed variant can never agree less often than the
+		// heuristic: it evaluates a superset of edit lengths.
+		if res.WindowAgreement[i] < res.Agreement[i]-1e-12 {
+			t.Errorf("window agreement %v below heuristic agreement %v",
+				res.WindowAgreement[i], res.Agreement[i])
+		}
+	}
+	// At length 48 the cubic algorithm is reliably much slower than the
+	// quadratic heuristic, timing noise notwithstanding.
+	if res.ExactNanos[1] < 2*res.HeurNanos[1] {
+		t.Errorf("exact (%v ns) should be well above heuristic (%v ns) at length 48",
+			res.ExactNanos[1], res.HeurNanos[1])
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exact dC") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	res := RunFig5(Fig5Config{Classes: []int{8, 0}, PerClass: 2, Grid: 20, Seed: 8}, nil)
+	if len(res.Images) != 4 || len(res.Contours) != 4 {
+		t.Fatalf("expected 2 samples x 2 classes, got %d images", len(res.Images))
+	}
+	for i, im := range res.Images {
+		if im.Label != 8 && im.Label != 0 {
+			t.Errorf("image %d label = %d", i, im.Label)
+		}
+		if im.String() == "(blank)" {
+			t.Errorf("image %d blank", i)
+		}
+		if len(res.Contours[i]) < 4 {
+			t.Errorf("contour %d too short", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "#") {
+		t.Error("render missing art")
+	}
+}

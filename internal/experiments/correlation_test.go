@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCorrelationSmall(t *testing.T) {
+	res, err := RunCorrelation(CorrelationConfig{Dataset: "spanish", Size: 40, Seed: 12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := len(res.Metrics)
+	if nm != 5 {
+		t.Fatalf("metrics = %v", res.Metrics)
+	}
+	if res.Pairs != 40*39/2 {
+		t.Errorf("pairs = %d", res.Pairs)
+	}
+	for a := 0; a < nm; a++ {
+		if res.Rho[a][a] != 1 {
+			t.Errorf("diagonal rho != 1 at %d", a)
+		}
+		for b := 0; b < nm; b++ {
+			if res.Rho[a][b] != res.Rho[b][a] {
+				t.Errorf("rho not symmetric at (%d,%d)", a, b)
+			}
+			if res.Rho[a][b] < -1-1e-9 || res.Rho[a][b] > 1+1e-9 {
+				t.Errorf("rho out of range: %v", res.Rho[a][b])
+			}
+		}
+	}
+	// The *normalised* distances order pairs very similarly to each other
+	// (rho >> 0), while raw dE orders them quite differently on short
+	// words — exactly the reordering that makes normalisation matter for
+	// classification. Assert both halves of that structure.
+	idx := map[string]int{}
+	for i, n := range res.Metrics {
+		idx[n] = i
+	}
+	normalised := []string{"dC,h", "dYB", "dMV", "dmax"}
+	for ai, a := range normalised {
+		for _, b := range normalised[ai+1:] {
+			if rho := res.Rho[idx[a]][idx[b]]; rho < 0.5 {
+				t.Errorf("rho(%s,%s) = %v; normalised distances should order pairs similarly", a, b, rho)
+			}
+		}
+		if rho := res.Rho[idx["dE"]][idx[a]]; rho < 0.05 {
+			t.Errorf("rho(dE,%s) = %v; still expected weakly positive", a, rho)
+		}
+		if rho := res.Rho[idx["dE"]][idx[a]]; rho > 0.9 {
+			t.Errorf("rho(dE,%s) = %v; normalisation should visibly reorder pairs", a, rho)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Spearman") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunCorrelationUnknownDataset(t *testing.T) {
+	if _, err := RunCorrelation(CorrelationConfig{Dataset: "bogus"}, nil); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestRunCorrelationDefaults(t *testing.T) {
+	for _, ds := range []string{"spanish", "digits", "genes"} {
+		cfg := CorrelationConfig{Dataset: ds}.withDefaults()
+		if cfg.Size <= 0 || cfg.Seed == 0 {
+			t.Errorf("%s defaults wrong: %+v", ds, cfg)
+		}
+	}
+}

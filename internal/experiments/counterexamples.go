@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ced/internal/core"
+	"ced/internal/norm"
+)
+
+// CounterexampleResult records one §2.2 triangle-inequality check: for the
+// triple (X, Y, Z), whether d(X,Z) <= d(X,Y) + d(Y,Z).
+type CounterexampleResult struct {
+	Distance      string
+	X, Y, Z       string
+	DXY, DYZ, DXZ float64
+	Holds         bool
+}
+
+// RunCounterexamples evaluates the paper's §2.2 counterexamples, showing
+// dsum, dmax and dmin violating the triangle inequality on the exact
+// triples the paper gives, and the contextual distance satisfying it on the
+// same triples.
+func RunCounterexamples() []CounterexampleResult {
+	type dist struct {
+		name string
+		fn   func(a, b []rune) float64
+	}
+	check := func(d dist, x, y, z string) CounterexampleResult {
+		dxy := d.fn([]rune(x), []rune(y))
+		dyz := d.fn([]rune(y), []rune(z))
+		dxz := d.fn([]rune(x), []rune(z))
+		return CounterexampleResult{
+			Distance: d.name, X: x, Y: y, Z: z,
+			DXY: dxy, DYZ: dyz, DXZ: dxz,
+			Holds: dxz <= dxy+dyz+1e-12,
+		}
+	}
+	return []CounterexampleResult{
+		check(dist{"dsum", norm.Sum}, "ab", "aba", "ba"),
+		check(dist{"dmax", norm.Max}, "ab", "aba", "ba"),
+		check(dist{"dmin", norm.Min}, "b", "ba", "aa"),
+		check(dist{"dC", core.Distance}, "ab", "aba", "ba"),
+		check(dist{"dC", core.Distance}, "b", "ba", "aa"),
+		check(dist{"dYB", norm.YujianBo}, "ab", "aba", "ba"),
+		check(dist{"dYB", norm.YujianBo}, "b", "ba", "aa"),
+	}
+}
+
+// RenderCounterexamples prints the checks.
+func RenderCounterexamples(w io.Writer, results []CounterexampleResult) {
+	fmt.Fprintln(w, "§2.2 triangle-inequality checks: d(x,z) <= d(x,y) + d(y,z)?")
+	for _, r := range results {
+		verdict := "HOLDS"
+		if !r.Holds {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(w, "  %-5s x=%-3q y=%-4q z=%-3q  d(x,y)=%.4f d(y,z)=%.4f d(x,z)=%.4f  -> %s\n",
+			r.Distance, r.X, r.Y, r.Z, r.DXY, r.DYZ, r.DXZ, verdict)
+	}
+}

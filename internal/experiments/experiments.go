@@ -1,0 +1,156 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section (§4). Each experiment has a Config with deterministic
+// defaults, a Run function returning a typed result, and a Render method
+// that prints the same rows/series the paper reports.
+//
+// Dataset sizes default to laptop-friendly scales (the originals ran on a
+// 2008 testbed for hours); every size is configurable, and EXPERIMENTS.md
+// records the scales used together with the measured results. The *shape*
+// of each result — orderings, crossovers, relative factors — is what the
+// reproduction preserves.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"ced/internal/metric"
+	"ced/internal/stats"
+)
+
+// defaultWorkers resolves a worker-count setting: non-positive means one
+// worker per available CPU.
+func defaultWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// pairHistogram fills one histogram per metric with the distances over all
+// unordered pairs of data, computed in parallel. Results are deterministic:
+// worker shards are merged in worker order and bin counts are
+// order-independent.
+func pairHistogram(data [][]rune, metrics []metric.Metric, binWidth float64, workers int) []*stats.Histogram {
+	workers = defaultWorkers(workers)
+	n := len(data)
+	shards := make([][]*stats.Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]*stats.Histogram, len(metrics))
+			for k := range local {
+				local[k] = stats.NewHistogram(binWidth)
+			}
+			// Stride rows over workers: row i costs n-i-1 pairs, so the
+			// stride balances load well enough.
+			for i := w; i < n; i += workers {
+				for j := i + 1; j < n; j++ {
+					for k, m := range metrics {
+						local[k].Add(m.Distance(data[i], data[j]))
+					}
+				}
+			}
+			shards[w] = local
+		}(w)
+	}
+	wg.Wait()
+	out := make([]*stats.Histogram, len(metrics))
+	for k := range out {
+		out[k] = stats.NewHistogram(binWidth)
+		for w := 0; w < workers; w++ {
+			out[k].Merge(shards[w][k])
+		}
+	}
+	return out
+}
+
+// pairSummaries is pairHistogram without the binning: one distance Summary
+// per metric over all unordered pairs. Used by Table 1, where only µ and σ²
+// matter.
+func pairSummaries(data [][]rune, metrics []metric.Metric, workers int) []*stats.Summary {
+	hists := pairHistogram(data, metrics, 1e9, workers) // single giant bin
+	out := make([]*stats.Summary, len(metrics))
+	for k, h := range hists {
+		s := h.Summary // copy
+		out[k] = &s
+	}
+	return out
+}
+
+// measureLatency returns the mean wall-clock cost of one m.Distance call
+// over the given sample pairs. The sweep experiments report estimated
+// search times as computations × latency; see EXPERIMENTS.md for why (the
+// sweeps memoise distances to keep cubic metrics tractable, so in-situ
+// timing would measure cache lookups).
+func measureLatency(m metric.Metric, pairs [][2][]rune) time.Duration {
+	if len(pairs) == 0 {
+		return 0
+	}
+	// Warm up once (first-call allocator effects).
+	m.Distance(pairs[0][0], pairs[0][1])
+	start := time.Now()
+	for _, p := range pairs {
+		m.Distance(p[0], p[1])
+	}
+	return time.Since(start) / time.Duration(len(pairs))
+}
+
+// samplePairs builds up to count (query, corpus) pairs for latency
+// measurement, cycling deterministically through both sets.
+func samplePairs(queries, corpus [][]rune, count int) [][2][]rune {
+	if len(queries) == 0 || len(corpus) == 0 || count <= 0 {
+		return nil
+	}
+	out := make([][2][]rune, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, [2][]rune{queries[i%len(queries)], corpus[(i*7+3)%len(corpus)]})
+	}
+	return out
+}
+
+// meanStd returns the mean and population standard deviation of vals.
+func meanStd(vals []float64) (mean, std float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		std += (v - mean) * (v - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(vals)))
+}
+
+// Progress receives human-readable status lines from long experiments; nil
+// disables reporting.
+type Progress func(format string, args ...interface{})
+
+func (p Progress) printf(format string, args ...interface{}) {
+	if p != nil {
+		p(format, args...)
+	}
+}
+
+// fmtG formats a float compactly for tables.
+func fmtG(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ced/internal/metric"
+)
+
+func TestRunFig1Small(t *testing.T) {
+	res := RunFig1(Fig1Config{Words: 60, Seed: 1}, nil)
+	wantPairs := 60 * 59 / 2
+	if res.Pairs != wantPairs {
+		t.Fatalf("pairs = %d, want %d", res.Pairs, wantPairs)
+	}
+	if res.Exact.N() != wantPairs || res.Heuristic.N() != wantPairs {
+		t.Error("histograms missing pairs")
+	}
+	if res.Agreement <= 0.5 || res.Agreement > 1 {
+		t.Errorf("agreement = %v, expected substantial", res.Agreement)
+	}
+	// The heuristic upper-bounds the exact distance, so its mean is >=.
+	if res.Heuristic.Mean() < res.Exact.Mean()-1e-12 {
+		t.Error("heuristic histogram mean below exact mean")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "agreement") {
+		t.Errorf("render missing content:\n%s", out[:200])
+	}
+}
+
+func TestRunFig1Deterministic(t *testing.T) {
+	a := RunFig1(Fig1Config{Words: 40, Seed: 9}, nil)
+	b := RunFig1(Fig1Config{Words: 40, Seed: 9}, nil)
+	if a.Agreement != b.Agreement || a.MaxGap != b.MaxGap {
+		t.Error("fig1 not deterministic for fixed seed")
+	}
+	ca, cb := a.Exact.Counts(), b.Exact.Counts()
+	if len(ca) != len(cb) {
+		t.Fatal("bin counts differ")
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("histogram differs between runs")
+		}
+	}
+}
+
+func TestRunFig2Small(t *testing.T) {
+	res := RunFig2(Fig2Config{Genes: 16, Seed: 2}, nil)
+	if len(res.Names) != 4 || len(res.Normalised) != 4 {
+		t.Fatalf("expected 4 normalised histograms, got %d", len(res.Normalised))
+	}
+	wantPairs := 16 * 15 / 2
+	if res.Pairs != wantPairs {
+		t.Errorf("pairs = %d, want %d", res.Pairs, wantPairs)
+	}
+	for i, h := range res.Normalised {
+		if h.N() != wantPairs {
+			t.Errorf("%s histogram has %d values, want %d", res.Names[i], h.N(), wantPairs)
+		}
+	}
+	if res.Lev.N() != wantPairs {
+		t.Error("Levenshtein histogram missing pairs")
+	}
+	// dYB, dC,h on family data: the Levenshtein histogram must spread well
+	// beyond 1 (long strings), the normalised ones stay within ~[0, 2.2].
+	if res.Lev.Max() <= 2 {
+		t.Error("Levenshtein histogram suspiciously concentrated near 0")
+	}
+	for i, h := range res.Normalised {
+		if h.Max() > 2.5 {
+			t.Errorf("%s max %v out of the expected normalised range", res.Names[i], h.Max())
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunTable1Small(t *testing.T) {
+	res := RunTable1(Table1Config{SpanishWords: 60, DigitCount: 30, GeneCount: 16, Seed: 3}, nil)
+	if len(res.Distances) != 5 || len(res.Datasets) != 3 {
+		t.Fatalf("table shape = %dx%d", len(res.Distances), len(res.Datasets))
+	}
+	for i := range res.Distances {
+		for d := range res.Datasets {
+			if res.Rho[i][d] <= 0 {
+				t.Errorf("rho[%s][%s] = %v, want > 0", res.Distances[i], res.Datasets[d], res.Rho[i][d])
+			}
+		}
+	}
+	// Core shape claim of Table 1: the contextual heuristic has lower
+	// intrinsic dimensionality than dYB on every dataset, and dE the
+	// lowest of all.
+	idx := map[string]int{}
+	for i, n := range res.Distances {
+		idx[n] = i
+	}
+	for d := range res.Datasets {
+		if res.Rho[idx["dC,h"]][d] >= res.Rho[idx["dYB"]][d] {
+			t.Errorf("dataset %s: rho(dC,h)=%v >= rho(dYB)=%v",
+				res.Datasets[d], res.Rho[idx["dC,h"]][d], res.Rho[idx["dYB"]][d])
+		}
+		if res.Rho[idx["dE"]][d] >= res.Rho[idx["dC,h"]][d] {
+			t.Errorf("dataset %s: rho(dE)=%v >= rho(dC,h)=%v",
+				res.Datasets[d], res.Rho[idx["dE"]][d], res.Rho[idx["dC,h"]][d])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunFig3Small(t *testing.T) {
+	cfg := Fig3Config{Sweep: SweepConfig{
+		TrainSize:   80,
+		QueryCount:  15,
+		Pivots:      []int{2, 10, 20},
+		Metrics:     []metric.Metric{metric.Levenshtein(), metric.ContextualHeuristic()},
+		Repetitions: 2,
+		Seed:        4,
+	}}
+	res := RunFig3(cfg, nil)
+	if len(res.Metrics) != 2 || len(res.Pivots) != 3 {
+		t.Fatalf("result shape wrong: %v %v", res.Metrics, res.Pivots)
+	}
+	for mi := range res.Metrics {
+		if res.Latency[mi] <= 0 {
+			t.Errorf("latency[%s] = %v", res.Metrics[mi], res.Latency[mi])
+		}
+		for pi := range res.Pivots {
+			c := res.AvgComps[mi][pi]
+			if c <= 0 || c > 80 {
+				t.Errorf("%s pivots=%d: comps = %v out of (0, 80]", res.Metrics[mi], res.Pivots[pi], c)
+			}
+			if res.EstTime[mi][pi] <= 0 {
+				t.Errorf("est time <= 0")
+			}
+		}
+		// With enough pivots every pivot is computed, so computations at
+		// 20 pivots must be at least 20... only if no pivot gets
+		// eliminated; allow slack but require a sane lower bound.
+		if res.AvgComps[mi][2] < 5 {
+			t.Errorf("%s: computations at 20 pivots unexpectedly low: %v", res.Metrics[mi], res.AvgComps[mi][2])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig3(spanish)") {
+		t.Error("render missing name")
+	}
+}
+
+func TestRunFig4Small(t *testing.T) {
+	cfg := Fig4Config{Sweep: SweepConfig{
+		TrainSize:   50,
+		QueryCount:  10,
+		Pivots:      []int{2, 10},
+		Metrics:     []metric.Metric{metric.Levenshtein()},
+		Repetitions: 1,
+		Seed:        5,
+	}}
+	res := RunFig4(cfg, nil)
+	if res.Name != "fig4(digits)" {
+		t.Errorf("name = %q", res.Name)
+	}
+	for pi := range res.Pivots {
+		if res.AvgComps[0][pi] <= 0 {
+			t.Error("no computations recorded")
+		}
+	}
+}
+
+func TestRunTable2Small(t *testing.T) {
+	cfg := Table2Config{
+		TrainPerClass: 4,
+		TestCount:     30,
+		Pivots:        10,
+		Repetitions:   1,
+		Metrics: []metric.Metric{
+			metric.Levenshtein(),
+			metric.ContextualHeuristic(),
+			metric.MaxNormalised(),
+		},
+		Seed: 6,
+	}
+	res, err := RunTable2(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) != 3 {
+		t.Fatalf("metrics = %v", res.Metrics)
+	}
+	for i, name := range res.Metrics {
+		if res.LAESAErr[i] < 0 || res.LAESAErr[i] > 100 || res.ExhErr[i] < 0 || res.ExhErr[i] > 100 {
+			t.Errorf("%s error rates out of range: %v / %v", name, res.LAESAErr[i], res.ExhErr[i])
+		}
+		if res.ExhComps[i] != 40 {
+			t.Errorf("%s exhaustive comps = %v, want 40 (train size)", name, res.ExhComps[i])
+		}
+		if res.LAESAComps[i] <= 0 || res.LAESAComps[i] > 40 {
+			t.Errorf("%s LAESA comps = %v out of (0, 40]", name, res.LAESAComps[i])
+		}
+	}
+	// For the true metrics, LAESA must match exhaustive error exactly.
+	for i, name := range res.Metrics {
+		if name == "dE" && res.LAESAErr[i] != res.ExhErr[i] {
+			t.Errorf("dE: LAESA %.2f != exhaustive %.2f", res.LAESAErr[i], res.ExhErr[i])
+		}
+	}
+	// Digits classification should be far better than chance (90% error).
+	for i, name := range res.Metrics {
+		if res.ExhErr[i] > 60 {
+			t.Errorf("%s exhaustive error %.1f%% is close to chance; generator or classifier broken", name, res.ExhErr[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunGapSmall(t *testing.T) {
+	res := RunGap(GapConfig{SpanishWords: 50, DigitCount: 20, GeneCount: 10, MaxPairs: 300, Seed: 7}, nil)
+	if len(res.Datasets) != 3 {
+		t.Fatalf("datasets = %v", res.Datasets)
+	}
+	for i, name := range res.Datasets {
+		if res.Agreement[i] < 0.5 || res.Agreement[i] > 1 {
+			t.Errorf("%s agreement = %v", name, res.Agreement[i])
+		}
+		if res.MaxGap[i] < 0 {
+			t.Errorf("%s max gap negative", name)
+		}
+		if res.Pairs[i] <= 0 {
+			t.Errorf("%s no pairs", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Heuristic agreement") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunCounterexamples(t *testing.T) {
+	results := RunCounterexamples()
+	if len(results) != 7 {
+		t.Fatalf("got %d results", len(results))
+	}
+	byName := map[string][]CounterexampleResult{}
+	for _, r := range results {
+		byName[r.Distance] = append(byName[r.Distance], r)
+	}
+	for _, name := range []string{"dsum", "dmax", "dmin"} {
+		for _, r := range byName[name] {
+			if r.Holds {
+				t.Errorf("%s should violate the triangle inequality on (%s,%s,%s)", name, r.X, r.Y, r.Z)
+			}
+		}
+	}
+	for _, name := range []string{"dC", "dYB"} {
+		for _, r := range byName[name] {
+			if !r.Holds {
+				t.Errorf("%s should satisfy the triangle inequality on (%s,%s,%s)", name, r.X, r.Y, r.Z)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderCounterexamples(&buf, results)
+	if !strings.Contains(buf.String(), "VIOLATED") || !strings.Contains(buf.String(), "HOLDS") {
+		t.Error("render missing verdicts")
+	}
+}
+
+func TestSamplePairIndices(t *testing.T) {
+	all := samplePairIndices(5, 100, 1)
+	if len(all) != 10 {
+		t.Errorf("all pairs of 5 = %d, want 10", len(all))
+	}
+	some := samplePairIndices(100, 50, 1)
+	if len(some) != 50 {
+		t.Errorf("sampled = %d, want 50", len(some))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range some {
+		if p[0] >= p[1] {
+			t.Errorf("unordered pair %v", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Errorf("meanStd = %v, %v; want 5, 2", m, s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Error("empty meanStd should be 0,0")
+	}
+}
+
+func TestQueryMemo(t *testing.T) {
+	counter := &metric.Counter{M: metric.Levenshtein()}
+	qm := &queryMemo{inner: counter}
+	q := []rune("abc")
+	c1, c2 := []rune("abd"), []rune("xyz")
+	qm.Distance(q, c1)
+	qm.Distance(q, c1) // cached
+	qm.Distance(q, c2)
+	if counter.N != 2 {
+		t.Errorf("inner calls = %d, want 2 (one per distinct corpus string)", counter.N)
+	}
+	q2 := []rune("abc") // same content, different backing: cache resets
+	qm.Distance(q2, c1)
+	if counter.N != 3 {
+		t.Errorf("inner calls = %d, want 3 after query change", counter.N)
+	}
+}
+
+func TestPairHistogramMatchesSequential(t *testing.T) {
+	data := [][]rune{[]rune("ab"), []rune("ba"), []rune("aab"), []rune("bb"), []rune("aba")}
+	m := metric.Levenshtein()
+	hists := pairHistogram(data, []metric.Metric{m}, 0.5, 3)
+	n := 0
+	for i := range data {
+		for j := i + 1; j < len(data); j++ {
+			n++
+		}
+	}
+	if hists[0].N() != n {
+		t.Errorf("histogram N = %d, want %d", hists[0].N(), n)
+	}
+}
+
+func TestFmtG(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3.14159: "3.14",
+		42.42:   "42.4",
+		1234.6:  "1235",
+	}
+	for v, want := range cases {
+		if got := fmtG(v); got != want {
+			t.Errorf("fmtG(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

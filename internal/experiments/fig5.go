@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ced/internal/dataset"
+)
+
+// Fig5Config parameterises Figure 5: sample renderings of generated digits
+// from different writers (the paper shows several '8' and '0' from NIST to
+// illustrate how widely orientation and size differ between scribes —
+// the digits here are synthetic but serve the same purpose).
+type Fig5Config struct {
+	// Classes lists the digit classes to render; defaults to {8, 0} as in
+	// the paper.
+	Classes []int
+	// PerClass is how many samples (each from a different writer) to show
+	// per class. Defaults to 3.
+	PerClass int
+	// Grid is the raster side; defaults to 24 so the ASCII art fits a
+	// terminal row.
+	Grid int
+	Seed int64
+}
+
+func (c Fig5Config) withDefaults() Fig5Config {
+	if len(c.Classes) == 0 {
+		c.Classes = []int{8, 0}
+	}
+	if c.PerClass <= 0 {
+		c.PerClass = 3
+	}
+	if c.Grid <= 0 {
+		c.Grid = 24
+	}
+	if c.Seed == 0 {
+		c.Seed = 8
+	}
+	return c
+}
+
+// Fig5Result holds the rendered samples and their contour strings.
+type Fig5Result struct {
+	Config   Fig5Config
+	Images   []dataset.Image
+	Contours []string
+}
+
+// RunFig5 regenerates Figure 5: per requested class, PerClass samples from
+// distinct writers.
+func RunFig5(cfg Fig5Config, progress Progress) Fig5Result {
+	cfg = cfg.withDefaults()
+	progress.printf("fig5: rendering %d samples per class for classes %v", cfg.PerClass, cfg.Classes)
+	// Generate enough digits that every (class, writer) pair requested
+	// appears: Count = 10 per writer round; use PerClass writers.
+	ds, imgs := dataset.DigitImages(dataset.DigitsConfig{
+		Count:   10 * cfg.PerClass,
+		Writers: cfg.PerClass,
+		Grid:    cfg.Grid,
+	}, cfg.Seed)
+	res := Fig5Result{Config: cfg}
+	for _, class := range cfg.Classes {
+		for i := range ds.Strings {
+			if ds.Labels[i] == class {
+				res.Images = append(res.Images, imgs[i])
+				res.Contours = append(res.Contours, ds.Strings[i])
+			}
+		}
+	}
+	return res
+}
+
+// Render prints the sample images side by side per class, with their
+// contour strings below — the visual content of Figure 5.
+func (r Fig5Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Figure 5: generated digits from different writers (classes %v)\n\n", r.Config.Classes)
+	for i, im := range r.Images {
+		fmt.Fprintf(w, "class %d, sample %d (%dx%d raster):\n", im.Label, i, im.W, im.H)
+		art := im.String()
+		for _, line := range strings.Split(strings.TrimRight(art, "\n"), "\n") {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+		contour := r.Contours[i]
+		if len(contour) > 64 {
+			contour = contour[:64] + "..."
+		}
+		fmt.Fprintf(w, "  contour (%d symbols): %s\n\n", len(r.Contours[i]), contour)
+	}
+	return nil
+}

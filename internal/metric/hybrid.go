@@ -1,0 +1,44 @@
+package metric
+
+import (
+	"fmt"
+
+	"ced/internal/core"
+)
+
+// ContextualHybrid returns a contextual metric that runs the exact cubic
+// algorithm when |x|+|y| <= threshold and the quadratic heuristic
+// otherwise. The §4.1 agreement study shows the heuristic is almost always
+// exact, and its rare overshoots shrink with string length (the paper
+// reports max gaps of 0.03 on short dictionary words vs 0.008 on long
+// contours) — so spending the cubic cost only on short strings buys back
+// most of the residual error at quadratic-ish average cost.
+//
+// A non-positive threshold defaults to 64.
+func ContextualHybrid(threshold int) Metric {
+	if threshold <= 0 {
+		threshold = 64
+	}
+	return New("dC*", func(a, b []rune) float64 {
+		if len(a)+len(b) <= threshold {
+			return core.Distance(a, b)
+		}
+		return core.Heuristic(a, b)
+	})
+}
+
+// ContextualWindowed returns the windowed contextual distance: Algorithm 1
+// with the edit-length dimension capped at dE + window, an
+// O(|x|·|y|·(dE+window)) middle ground between the heuristic (window 0)
+// and the exact cubic algorithm (window >= |x|+|y|−dE). Its value is
+// always sandwiched between dC and dC,h. This addresses the §5 open
+// problem about Algorithm 1's cubic complexity; see the windowed ablation
+// bench for the accuracy/cost curve.
+//
+// A negative window is treated as 0.
+func ContextualWindowed(window int) Metric {
+	name := fmt.Sprintf("dC+%d", window)
+	return New(name, func(a, b []rune) float64 {
+		return core.Windowed(a, b, window)
+	})
+}

@@ -1,0 +1,77 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ced/internal/core"
+)
+
+func randStr(rng *rand.Rand, maxLen int) []rune {
+	n := rng.Intn(maxLen + 1)
+	s := make([]rune, n)
+	for i := range s {
+		s[i] = rune('a' + rng.Intn(3))
+	}
+	return s
+}
+
+func TestContextualHybridSwitchesAtThreshold(t *testing.T) {
+	h := ContextualHybrid(8)
+	if h.Name() != "dC*" {
+		t.Errorf("name = %q", h.Name())
+	}
+	rng := rand.New(rand.NewSource(150))
+	for i := 0; i < 200; i++ {
+		a := randStr(rng, 10)
+		b := randStr(rng, 10)
+		got := h.Distance(a, b)
+		var want float64
+		if len(a)+len(b) <= 8 {
+			want = core.Distance(a, b)
+		} else {
+			want = core.Heuristic(a, b)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("hybrid(%q,%q) = %v, want %v", string(a), string(b), got, want)
+		}
+	}
+}
+
+func TestContextualHybridDefaultThreshold(t *testing.T) {
+	h := ContextualHybrid(0)
+	// Short strings (<= 64 total) must be exact.
+	a, b := []rune("ababa"), []rune("baab")
+	if got, want := h.Distance(a, b), core.Distance(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("default hybrid = %v, want exact %v", got, want)
+	}
+}
+
+func TestContextualWindowedMetric(t *testing.T) {
+	w0 := ContextualWindowed(0)
+	if w0.Name() != "dC+0" {
+		t.Errorf("name = %q", w0.Name())
+	}
+	wNeg := ContextualWindowed(-3)
+	rng := rand.New(rand.NewSource(151))
+	for i := 0; i < 100; i++ {
+		a := randStr(rng, 10)
+		b := randStr(rng, 10)
+		heur := core.Heuristic(a, b)
+		if got := w0.Distance(a, b); math.Abs(got-heur) > 1e-12 {
+			t.Fatalf("window 0 = %v, want heuristic %v", got, heur)
+		}
+		if got := wNeg.Distance(a, b); math.Abs(got-heur) > 1e-12 {
+			t.Fatalf("negative window = %v, want heuristic %v", got, heur)
+		}
+	}
+	wBig := ContextualWindowed(100)
+	for i := 0; i < 100; i++ {
+		a := randStr(rng, 10)
+		b := randStr(rng, 10)
+		if got, want := wBig.Distance(a, b), core.Distance(a, b); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("big window = %v, want exact %v", got, want)
+		}
+	}
+}

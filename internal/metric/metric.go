@@ -1,0 +1,156 @@
+// Package metric defines the uniform distance interface used by the search
+// structures and the experiment harness, together with adapters for every
+// distance studied in the paper and a name-based registry for the CLI tools.
+//
+// The interface operates on []rune so the hot search loops never re-decode
+// UTF-8; corpora are converted once at index-build time.
+package metric
+
+import (
+	"fmt"
+	"sort"
+
+	"ced/internal/core"
+	"ced/internal/editdist"
+	"ced/internal/norm"
+)
+
+// Metric is a distance function between strings of symbols. Implementations
+// must be safe for concurrent use (all the ones in this repository are pure
+// functions).
+//
+// Only some of the registered distances are true metrics (dE, dC, dYB);
+// dmax, dmin, dsum violate the triangle inequality and dC,h and dMV are not
+// proven metrics — the paper (and this harness) nevertheless runs them all
+// through triangle-inequality-based searchers to compare behaviour.
+type Metric interface {
+	// Name returns the distance's display name, matching the paper's
+	// notation (e.g. "dC,h").
+	Name() string
+	// Distance returns the distance between a and b.
+	Distance(a, b []rune) float64
+}
+
+type funcMetric struct {
+	name string
+	fn   func(a, b []rune) float64
+}
+
+func (m funcMetric) Name() string                 { return m.name }
+func (m funcMetric) Distance(a, b []rune) float64 { return m.fn(a, b) }
+
+// New wraps a plain function as a Metric.
+func New(name string, fn func(a, b []rune) float64) Metric {
+	return funcMetric{name: name, fn: fn}
+}
+
+// Levenshtein returns the plain edit distance dE.
+func Levenshtein() Metric {
+	return New("dE", func(a, b []rune) float64 {
+		return float64(editdist.Distance(a, b))
+	})
+}
+
+// Contextual returns the exact contextual normalised distance dC
+// (Algorithm 1, cubic time).
+func Contextual() Metric {
+	return New("dC", core.Distance)
+}
+
+// ContextualHeuristic returns the quadratic heuristic dC,h of §4.1, the
+// variant the paper uses for all large experiments.
+func ContextualHeuristic() Metric {
+	return New("dC,h", core.Heuristic)
+}
+
+// YujianBo returns the Yujian–Bo normalised metric dYB.
+func YujianBo() Metric {
+	return New("dYB", norm.YujianBo)
+}
+
+// MarzalVidal returns the exact Marzal–Vidal normalised distance dMV.
+func MarzalVidal() Metric {
+	return New("dMV", norm.MarzalVidal)
+}
+
+// MaxNormalised returns dmax = dE/max(|x|,|y|) (not a metric).
+func MaxNormalised() Metric {
+	return New("dmax", norm.Max)
+}
+
+// MinNormalised returns dmin = dE/min(|x|,|y|) (not a metric).
+func MinNormalised() Metric {
+	return New("dmin", norm.Min)
+}
+
+// SumNormalised returns dsum = dE/(|x|+|y|) (not a metric).
+func SumNormalised() Metric {
+	return New("dsum", norm.Sum)
+}
+
+// builders maps every accepted name (canonical and aliases) to a metric
+// constructor. Construction is cheap; no state is shared.
+var builders = map[string]func() Metric{
+	"de":   Levenshtein,
+	"e":    Levenshtein,
+	"dc":   Contextual,
+	"c":    Contextual,
+	"dc,h": ContextualHeuristic,
+	"dch":  ContextualHeuristic,
+	"ch":   ContextualHeuristic,
+	"dyb":  YujianBo,
+	"yb":   YujianBo,
+	"dmv":  MarzalVidal,
+	"mv":   MarzalVidal,
+	"dmax": MaxNormalised,
+	"max":  MaxNormalised,
+	"dmin": MinNormalised,
+	"min":  MinNormalised,
+	"dsum": SumNormalised,
+	"sum":  SumNormalised,
+}
+
+// ByName returns the metric registered under name (case-insensitive; both
+// the paper notation "dC,h" and short aliases like "ch" are accepted).
+func ByName(name string) (Metric, error) {
+	b, ok := builders[normalise(name)]
+	if !ok {
+		return nil, fmt.Errorf("metric: unknown distance %q (known: %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// Names returns the canonical distance names, sorted.
+func Names() []string {
+	out := []string{"dE", "dC", "dC,h", "dYB", "dMV", "dmax", "dmin", "dsum"}
+	sort.Strings(out)
+	return out
+}
+
+func normalise(name string) string {
+	lower := make([]rune, 0, len(name))
+	for _, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		lower = append(lower, r)
+	}
+	return string(lower)
+}
+
+// Counter wraps a Metric and counts how many times Distance is invoked —
+// the per-query statistic reported in the paper's Figures 3 and 4. It is
+// not safe for concurrent use; use one Counter per goroutine and sum.
+type Counter struct {
+	M Metric
+	N int64
+}
+
+// Name returns the wrapped metric's name.
+func (c *Counter) Name() string { return c.M.Name() }
+
+// Distance increments the counter and delegates.
+func (c *Counter) Distance(a, b []rune) float64 {
+	c.N++
+	return c.M.Distance(a, b)
+}

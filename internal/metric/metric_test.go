@@ -1,0 +1,105 @@
+package metric
+
+import (
+	"math"
+	"testing"
+)
+
+const eps = 1e-12
+
+func TestAllMetricsOnKnownPair(t *testing.T) {
+	a, b := []rune("ab"), []rune("aba")
+	// dE = 1.
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{Levenshtein(), 1},
+		{Contextual(), 1.0 / 3},          // one deletion from "aba" side / insertion into "ab"
+		{ContextualHeuristic(), 1.0 / 3}, // heuristic agrees here
+		{YujianBo(), 2.0 / 6},            // 2*1/(2+3+1)
+		{MarzalVidal(), 1.0 / 3},         // weight 1 over path length 3
+		{MaxNormalised(), 1.0 / 3},
+		{MinNormalised(), 1.0 / 2},
+		{SumNormalised(), 1.0 / 5},
+	}
+	for _, c := range cases {
+		if got := c.m.Distance(a, b); math.Abs(got-c.want) > eps {
+			t.Errorf("%s(ab,aba) = %v, want %v", c.m.Name(), got, c.want)
+		}
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	wantNames := map[string]string{
+		"dE":   Levenshtein().Name(),
+		"dC":   Contextual().Name(),
+		"dC,h": ContextualHeuristic().Name(),
+		"dYB":  YujianBo().Name(),
+		"dMV":  MarzalVidal().Name(),
+		"dmax": MaxNormalised().Name(),
+		"dmin": MinNormalised().Name(),
+		"dsum": SumNormalised().Name(),
+	}
+	for want, got := range wantNames {
+		if got != want {
+			t.Errorf("name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"dE", "de", "e", "dC,h", "dch", "CH", "yb", "dmax", "MV", "dmin", "dsum", "c"} {
+		m, err := ByName(alias)
+		if err != nil {
+			t.Errorf("ByName(%q) failed: %v", alias, err)
+			continue
+		}
+		if m == nil {
+			t.Errorf("ByName(%q) returned nil metric", alias)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("Names() returned %d entries, want 8", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted at %d: %v", i, names)
+		}
+	}
+	for _, n := range names {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("canonical name %q not resolvable: %v", n, err)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := &Counter{M: Levenshtein()}
+	if c.Name() != "dE" {
+		t.Errorf("Counter name = %q", c.Name())
+	}
+	a, b := []rune("abc"), []rune("axc")
+	for i := 0; i < 5; i++ {
+		if got := c.Distance(a, b); got != 1 {
+			t.Errorf("counted distance = %v, want 1", got)
+		}
+	}
+	if c.N != 5 {
+		t.Errorf("counter N = %d, want 5", c.N)
+	}
+}
+
+func TestNewWrapsFunction(t *testing.T) {
+	m := New("custom", func(a, b []rune) float64 { return 42 })
+	if m.Name() != "custom" || m.Distance(nil, nil) != 42 {
+		t.Error("New() wrapper broken")
+	}
+}

@@ -1,0 +1,117 @@
+package search
+
+import (
+	"math"
+
+	"ced/internal/metric"
+)
+
+// BKTree is a Burkhard-Keller tree: a tree for *integer-valued* metrics
+// (here the plain edit distance dE) where each child edge is labelled with
+// a distance value. Queries prune edges outside [d − best, d + best]. It is
+// the classic dictionary-search structure and serves as the dE-only
+// ablation baseline; real-valued metrics like dC need LAESA or a VP-tree.
+type BKTree struct {
+	corpus [][]rune
+	m      metric.Metric
+	root   *bkNode
+	size   int
+}
+
+type bkNode struct {
+	index    int
+	children map[int]*bkNode
+}
+
+// NewBKTree builds a BK-tree over corpus. The metric must return
+// non-negative integer values (as dE does); NewBKTree does not verify this,
+// and a fractional metric silently degrades lookup correctness.
+func NewBKTree(corpus [][]rune, m metric.Metric) *BKTree {
+	t := &BKTree{corpus: corpus, m: m}
+	for i := range corpus {
+		t.insert(i)
+	}
+	return t
+}
+
+func (t *BKTree) insert(i int) {
+	t.size++
+	if t.root == nil {
+		t.root = &bkNode{index: i}
+		return
+	}
+	node := t.root
+	for {
+		// Duplicates (distance 0) simply hang off the 0-labelled edge.
+		d := int(t.m.Distance(t.corpus[i], t.corpus[node.index]))
+		child, ok := node.children[d]
+		if !ok {
+			if node.children == nil {
+				node.children = make(map[int]*bkNode)
+			}
+			node.children[d] = &bkNode{index: i}
+			return
+		}
+		node = child
+	}
+}
+
+// Name returns "bktree".
+func (t *BKTree) Name() string { return "bktree" }
+
+// Size returns the corpus size.
+func (t *BKTree) Size() int { return t.size }
+
+// Search returns the nearest neighbour of q.
+func (t *BKTree) Search(q []rune) Result {
+	best := Result{Index: -1, Distance: math.Inf(1)}
+	comps := 0
+	var walk func(n *bkNode)
+	walk = func(n *bkNode) {
+		d := t.m.Distance(q, t.corpus[n.index])
+		comps++
+		if d < best.Distance {
+			best.Index = n.index
+			best.Distance = d
+		}
+		for edge, child := range n.children {
+			if float64(edge) >= d-best.Distance && float64(edge) <= d+best.Distance {
+				walk(child)
+			}
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	best.Computations = comps
+	return best
+}
+
+// Radius returns every corpus element within distance r of q (inclusive),
+// with the number of distance computations spent — the classic BK-tree
+// range query used by the spell-checking example.
+func (t *BKTree) Radius(q []rune, r float64) ([]Result, int) {
+	var out []Result
+	comps := 0
+	var walk func(n *bkNode)
+	walk = func(n *bkNode) {
+		d := t.m.Distance(q, t.corpus[n.index])
+		comps++
+		if d <= r {
+			out = append(out, Result{Index: n.index, Distance: d})
+		}
+		for edge, child := range n.children {
+			if float64(edge) >= d-r && float64(edge) <= d+r {
+				walk(child)
+			}
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	sortHits(out)
+	for i := range out {
+		out[i].Computations = comps
+	}
+	return out, comps
+}

@@ -1,0 +1,139 @@
+package search
+
+import (
+	"math"
+	"sort"
+)
+
+// KSearcher is implemented by searchers that can answer k-nearest-neighbour
+// queries (Linear, LAESA, VPTree).
+type KSearcher interface {
+	Searcher
+	// KNearest returns the k nearest corpus elements, closest first.
+	KNearest(q []rune, k int) []Result
+}
+
+// RadiusSearcher is implemented by searchers that can answer range queries
+// (Linear, LAESA, VPTree, BKTree).
+type RadiusSearcher interface {
+	Searcher
+	// Radius returns the corpus elements within distance r (inclusive),
+	// sorted by distance, and the number of distance computations spent.
+	Radius(q []rune, r float64) ([]Result, int)
+}
+
+// Interface conformance checks.
+var (
+	_ KSearcher      = (*Linear)(nil)
+	_ KSearcher      = (*LAESA)(nil)
+	_ KSearcher      = (*VPTree)(nil)
+	_ RadiusSearcher = (*Linear)(nil)
+	_ RadiusSearcher = (*LAESA)(nil)
+	_ RadiusSearcher = (*VPTree)(nil)
+	_ RadiusSearcher = (*BKTree)(nil)
+)
+
+// Radius returns every corpus element within distance r of q, scanning the
+// whole corpus.
+func (s *Linear) Radius(q []rune, r float64) ([]Result, int) {
+	var hits []Result
+	for i, c := range s.corpus {
+		if d := s.m.Distance(q, c); d <= r {
+			hits = append(hits, Result{Index: i, Distance: d, Computations: len(s.corpus)})
+		}
+	}
+	sortHits(hits)
+	return hits, len(s.corpus)
+}
+
+// KNearest returns the k nearest corpus elements using best-first tree
+// descent with a shrinking k-th-best bound.
+func (t *VPTree) KNearest(q []rune, k int) []Result {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	if k > len(t.corpus) {
+		k = len(t.corpus)
+	}
+	top := make([]Result, 0, k)
+	tau := math.Inf(1)
+	comps := 0
+	insert := func(idx int, d float64) {
+		pos := sort.Search(len(top), func(i int) bool { return top[i].Distance > d })
+		if len(top) < k {
+			top = append(top, Result{})
+		} else if pos >= k {
+			return
+		}
+		copy(top[pos+1:], top[pos:])
+		top[pos] = Result{Index: idx, Distance: d}
+		if len(top) == k {
+			tau = top[k-1].Distance
+		}
+	}
+	var walk func(n *vpNode)
+	walk = func(n *vpNode) {
+		if n == nil {
+			return
+		}
+		d := t.m.Distance(q, t.corpus[n.index])
+		comps++
+		insert(n.index, d)
+		if d <= n.radius {
+			walk(n.inside)
+			if d+tau >= n.radius {
+				walk(n.outside)
+			}
+		} else {
+			walk(n.outside)
+			if d-tau <= n.radius {
+				walk(n.inside)
+			}
+		}
+	}
+	walk(t.root)
+	for i := range top {
+		top[i].Computations = comps
+	}
+	return top
+}
+
+// Radius returns every corpus element within distance r of q, pruning
+// subtrees that cannot intersect the query ball.
+func (t *VPTree) Radius(q []rune, r float64) ([]Result, int) {
+	var hits []Result
+	comps := 0
+	var walk func(n *vpNode)
+	walk = func(n *vpNode) {
+		if n == nil {
+			return
+		}
+		d := t.m.Distance(q, t.corpus[n.index])
+		comps++
+		if d <= r {
+			hits = append(hits, Result{Index: n.index, Distance: d})
+		}
+		if d-r <= n.radius {
+			walk(n.inside)
+		}
+		if d+r >= n.radius {
+			walk(n.outside)
+		}
+	}
+	walk(t.root)
+	sortHits(hits)
+	for i := range hits {
+		hits[i].Computations = comps
+	}
+	return hits, comps
+}
+
+// sortHits orders range-query hits by (distance, index).
+func sortHits(hits []Result) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Distance != hits[j].Distance {
+			return hits[i].Distance < hits[j].Distance
+		}
+		return hits[i].Index < hits[j].Index
+	})
+}

@@ -1,0 +1,162 @@
+package search
+
+import (
+	"math"
+	"sort"
+)
+
+// KNearest returns the k nearest corpus elements to q, closest first. It
+// generalises Search's elimination: a candidate is discarded only when its
+// lower bound exceeds the k-th best distance found so far, so fewer
+// candidates are pruned than in the 1-NN case (k-NN is intrinsically more
+// expensive). With k >= corpus size it degenerates to a full scan.
+func (s *LAESA) KNearest(q []rune, k int) []Result {
+	n := len(s.corpus)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	g := make([]float64, n)
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	top := make([]Result, 0, k) // sorted ascending by distance
+	kth := math.Inf(1)
+	comps := 0
+	pivotsLeft := len(s.pivots)
+
+	insert := func(idx int, d float64) {
+		pos := sort.Search(len(top), func(i int) bool { return top[i].Distance > d })
+		if len(top) < k {
+			top = append(top, Result{})
+		} else if pos >= k {
+			return
+		}
+		copy(top[pos+1:], top[pos:])
+		top[pos] = Result{Index: idx, Distance: d}
+		if len(top) == k {
+			kth = top[k-1].Distance
+		}
+	}
+
+	for len(alive) > 0 {
+		selPos := -1
+		selPivot := false
+		for pos, u := range alive {
+			_, isPivot := s.pivotRow[u]
+			if pivotsLeft > 0 && isPivot != selPivot {
+				if isPivot {
+					selPos, selPivot = pos, true
+				}
+				continue
+			}
+			if selPos < 0 || g[u] < g[alive[selPos]] {
+				selPos = pos
+			}
+		}
+		u := alive[selPos]
+		alive[selPos] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+
+		d := s.m.Distance(q, s.corpus[u])
+		comps++
+		insert(u, d)
+		if row, ok := s.pivotRow[u]; ok {
+			pivotsLeft--
+			r := s.rows[row]
+			for _, v := range alive {
+				if lb := math.Abs(d - r[v]); lb > g[v] {
+					g[v] = lb
+				}
+			}
+		}
+		w := alive[:0]
+		for _, v := range alive {
+			if g[v] <= kth {
+				w = append(w, v)
+			} else if _, isPivot := s.pivotRow[v]; isPivot {
+				pivotsLeft--
+			}
+		}
+		alive = w
+	}
+	for i := range top {
+		top[i].Computations = comps
+	}
+	return top
+}
+
+// Radius returns every corpus element within distance r of q (inclusive),
+// sorted by distance, plus the number of distance computations spent.
+// Candidates whose lower bound exceeds r are eliminated without computing
+// their distance; everything else is verified exactly.
+func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
+	n := len(s.corpus)
+	if n == 0 {
+		return nil, 0
+	}
+	g := make([]float64, n)
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	var hits []Result
+	comps := 0
+	pivotsLeft := len(s.pivots)
+	for len(alive) > 0 {
+		selPos := -1
+		selPivot := false
+		for pos, u := range alive {
+			_, isPivot := s.pivotRow[u]
+			if pivotsLeft > 0 && isPivot != selPivot {
+				if isPivot {
+					selPos, selPivot = pos, true
+				}
+				continue
+			}
+			if selPos < 0 || g[u] < g[alive[selPos]] {
+				selPos = pos
+			}
+		}
+		u := alive[selPos]
+		alive[selPos] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+
+		d := s.m.Distance(q, s.corpus[u])
+		comps++
+		if d <= r {
+			hits = append(hits, Result{Index: u, Distance: d})
+		}
+		if row, ok := s.pivotRow[u]; ok {
+			pivotsLeft--
+			rw := s.rows[row]
+			for _, v := range alive {
+				if lb := math.Abs(d - rw[v]); lb > g[v] {
+					g[v] = lb
+				}
+			}
+		}
+		w := alive[:0]
+		for _, v := range alive {
+			if g[v] <= r {
+				w = append(w, v)
+			} else if _, isPivot := s.pivotRow[v]; isPivot {
+				pivotsLeft--
+			}
+		}
+		alive = w
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Distance != hits[j].Distance {
+			return hits[i].Distance < hits[j].Distance
+		}
+		return hits[i].Index < hits[j].Index
+	})
+	for i := range hits {
+		hits[i].Computations = comps
+	}
+	return hits, comps
+}

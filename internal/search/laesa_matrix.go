@@ -1,0 +1,63 @@
+package search
+
+import "ced/internal/metric"
+
+// NewLAESAFromMatrix builds a LAESA index whose preprocessing distances are
+// taken from a precomputed full corpus×corpus distance matrix
+// (matrix[i][j] = d(corpus[i], corpus[j])) instead of being recomputed.
+//
+// This exists for the pivot-count sweeps of the paper's Figures 3 and 4:
+// the sweep builds LAESA indexes for a dozen pivot counts over the same
+// corpus and metric, and sharing one matrix makes the preprocessing cost of
+// the whole sweep one matrix instead of one per pivot count.
+// PreprocessComputations is reported as 0, since no metric evaluations are
+// spent; queries still evaluate m for real.
+func NewLAESAFromMatrix(corpus [][]rune, m metric.Metric, matrix [][]float64, numPivots int, strategy PivotStrategy, seed int64) *LAESA {
+	index := make(map[*rune]int, len(corpus))
+	for i := range corpus {
+		if len(corpus[i]) == 0 {
+			panic("search: NewLAESAFromMatrix requires non-empty corpus strings")
+		}
+		index[&corpus[i][0]] = i
+	}
+	mm := matrixMetric{matrix: matrix, index: index}
+	pivots, _, _ := selectPivots(corpus, mm, numPivots, strategy, seed)
+	rows := make([][]float64, len(pivots))
+	for r, p := range pivots {
+		rows[r] = matrix[p]
+	}
+	pr := make(map[int]int, len(pivots))
+	for r, p := range pivots {
+		pr[p] = r
+	}
+	return &LAESA{
+		corpus:   corpus,
+		m:        m,
+		pivots:   pivots,
+		rows:     rows,
+		pivotRow: pr,
+	}
+}
+
+// matrixMetric resolves corpus-element distances from a precomputed matrix
+// by slice identity (first-element address). It only supports pairs of
+// corpus elements — which is all selectPivots asks of it.
+type matrixMetric struct {
+	matrix [][]float64
+	index  map[*rune]int
+}
+
+func (mm matrixMetric) Name() string { return "matrix" }
+
+func (mm matrixMetric) Distance(a, b []rune) float64 {
+	return mm.matrix[mm.find(a)][mm.find(b)]
+}
+
+func (mm matrixMetric) find(s []rune) int {
+	if len(s) > 0 {
+		if i, ok := mm.index[&s[0]]; ok {
+			return i
+		}
+	}
+	panic("search: matrixMetric asked about a non-corpus string")
+}

@@ -1,0 +1,81 @@
+package search
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ced/internal/metric"
+)
+
+// laesaSnapshot is the gob wire format of a LAESA index. The metric itself
+// is not serialised (functions cannot be); the loader re-attaches one and
+// the snapshot records the metric's name so mismatches are caught.
+type laesaSnapshot struct {
+	MetricName string
+	Corpus     []string
+	Pivots     []int
+	Rows       [][]float64
+	Preprocess int
+}
+
+// Save writes the index (corpus, pivots and the pivot distance matrix — the
+// expensive part of preprocessing) to w. Load restores it without
+// recomputing any distances.
+func (s *LAESA) Save(w io.Writer) error {
+	snap := laesaSnapshot{
+		MetricName: s.m.Name(),
+		Corpus:     make([]string, len(s.corpus)),
+		Pivots:     s.pivots,
+		Rows:       s.rows,
+		Preprocess: s.PreprocessComputations,
+	}
+	for i, r := range s.corpus {
+		snap.Corpus[i] = string(r)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("search: saving LAESA index: %w", err)
+	}
+	return nil
+}
+
+// LoadLAESA restores an index written by Save, attaching m as the query
+// metric. It fails if m's name differs from the metric the index was built
+// with — pivot distances computed under one distance are meaningless (and
+// unsound as bounds) under another.
+func LoadLAESA(r io.Reader, m metric.Metric) (*LAESA, error) {
+	var snap laesaSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("search: loading LAESA index: %w", err)
+	}
+	if snap.MetricName != m.Name() {
+		return nil, fmt.Errorf("search: index was built with metric %q, loader supplied %q",
+			snap.MetricName, m.Name())
+	}
+	if len(snap.Pivots) != len(snap.Rows) {
+		return nil, fmt.Errorf("search: corrupt index: %d pivots but %d rows", len(snap.Pivots), len(snap.Rows))
+	}
+	corpus := make([][]rune, len(snap.Corpus))
+	for i, s := range snap.Corpus {
+		corpus[i] = []rune(s)
+	}
+	pr := make(map[int]int, len(snap.Pivots))
+	for rIdx, p := range snap.Pivots {
+		if p < 0 || p >= len(corpus) {
+			return nil, fmt.Errorf("search: corrupt index: pivot %d out of corpus range", p)
+		}
+		if len(snap.Rows[rIdx]) != len(corpus) {
+			return nil, fmt.Errorf("search: corrupt index: row %d has %d entries for corpus of %d",
+				rIdx, len(snap.Rows[rIdx]), len(corpus))
+		}
+		pr[p] = rIdx
+	}
+	return &LAESA{
+		corpus:                 corpus,
+		m:                      m,
+		pivots:                 snap.Pivots,
+		rows:                   snap.Rows,
+		pivotRow:               pr,
+		PreprocessComputations: snap.Preprocess,
+	}, nil
+}

@@ -1,0 +1,60 @@
+package search
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ced/internal/metric"
+)
+
+func TestLAESASaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	corpus := randomCorpus(rng, 100, 9, alpha)
+	queries := randomCorpus(rng, 25, 9, alpha)
+	m := metric.ContextualHeuristic()
+	orig := NewLAESA(corpus, m, 12, MaxSum, 9)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLAESA(&buf, metric.ContextualHeuristic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != orig.Size() || loaded.NumPivots() != orig.NumPivots() {
+		t.Fatalf("loaded shape %d/%d, want %d/%d",
+			loaded.Size(), loaded.NumPivots(), orig.Size(), orig.NumPivots())
+	}
+	if loaded.PreprocessComputations != orig.PreprocessComputations {
+		t.Error("preprocess count not preserved")
+	}
+	for _, q := range queries {
+		a, b := orig.Search(q), loaded.Search(q)
+		if a.Index != b.Index || a.Distance != b.Distance || a.Computations != b.Computations {
+			t.Fatalf("loaded index differs on %q: %+v vs %+v", string(q), a, b)
+		}
+	}
+}
+
+func TestLoadLAESAMetricMismatch(t *testing.T) {
+	corpus := [][]rune{[]rune("ab"), []rune("ba")}
+	orig := NewLAESA(corpus, metric.Levenshtein(), 1, MaxSum, 1)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLAESA(&buf, metric.YujianBo()); err == nil {
+		t.Error("metric mismatch should fail")
+	} else if !strings.Contains(err.Error(), "dE") {
+		t.Errorf("error should name the original metric: %v", err)
+	}
+}
+
+func TestLoadLAESACorruptData(t *testing.T) {
+	if _, err := LoadLAESA(bytes.NewBufferString("not gob"), metric.Levenshtein()); err == nil {
+		t.Error("garbage input should fail")
+	}
+}

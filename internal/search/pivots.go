@@ -1,0 +1,126 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ced/internal/metric"
+)
+
+// PivotStrategy selects the base prototypes (pivots) of LAESA.
+type PivotStrategy int
+
+// Pivot selection strategies. MaxSum is the accumulated-distance criterion
+// of the original LAESA paper (Micó, Oncina, Vidal 1994): each new pivot is
+// the element maximising the sum of distances to the already-chosen pivots.
+// MaxMin maximises the minimum distance instead (a classic alternative);
+// Random picks uniformly (the ablation baseline).
+const (
+	MaxSum PivotStrategy = iota
+	MaxMin
+	Random
+)
+
+// String names the strategy.
+func (s PivotStrategy) String() string {
+	switch s {
+	case MaxSum:
+		return "max-sum"
+	case MaxMin:
+		return "max-min"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("PivotStrategy(%d)", int(s))
+	}
+}
+
+// selectPivots chooses numPivots pivot indices from corpus and returns them
+// together with the pivot-to-corpus distance matrix rows and the number of
+// distance computations spent. The distance rows double as the selection
+// criterion accumulator, so selection costs no extra metric calls beyond the
+// matrix LAESA needs anyway.
+func selectPivots(corpus [][]rune, m metric.Metric, numPivots int, strategy PivotStrategy, seed int64) (pivots []int, rows [][]float64, computations int) {
+	n := len(corpus)
+	if numPivots > n {
+		numPivots = n
+	}
+	if numPivots <= 0 {
+		return nil, nil, 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pivots = make([]int, 0, numPivots)
+	rows = make([][]float64, 0, numPivots)
+	isPivot := make([]bool, n)
+
+	// Selection score per candidate: accumulated sum (MaxSum) or running
+	// minimum (MaxMin) of distances to chosen pivots.
+	score := make([]float64, n)
+	if strategy == MaxMin {
+		for i := range score {
+			score[i] = -1 // "no pivot seen yet" marker
+		}
+	}
+
+	next := rng.Intn(n) // first pivot: random element (paper: arbitrary)
+	for len(pivots) < numPivots {
+		pivots = append(pivots, next)
+		isPivot[next] = true
+		row := make([]float64, n)
+		for i, c := range corpus {
+			if i == next {
+				continue
+			}
+			row[i] = m.Distance(corpus[next], c)
+			computations++
+		}
+		rows = append(rows, row)
+		if len(pivots) == numPivots {
+			break
+		}
+		switch strategy {
+		case Random:
+			for {
+				cand := rng.Intn(n)
+				if !isPivot[cand] {
+					next = cand
+					break
+				}
+			}
+		case MaxMin:
+			best := -1.0
+			nextIdx := -1
+			for i := 0; i < n; i++ {
+				if isPivot[i] {
+					continue
+				}
+				if score[i] < 0 || row[i] < score[i] {
+					score[i] = row[i]
+				}
+				if score[i] > best {
+					best = score[i]
+					nextIdx = i
+				}
+			}
+			next = nextIdx
+		default: // MaxSum
+			best := -1.0
+			nextIdx := -1
+			for i := 0; i < n; i++ {
+				if isPivot[i] {
+					continue
+				}
+				score[i] += row[i]
+				if score[i] > best {
+					best = score[i]
+					nextIdx = i
+				}
+			}
+			next = nextIdx
+		}
+		if next < 0 {
+			break // fewer distinct elements than requested pivots
+		}
+	}
+	return pivots, rows, computations
+}

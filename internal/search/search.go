@@ -1,0 +1,98 @@
+// Package search implements the nearest-neighbour searchers of the paper's
+// evaluation: LAESA (the algorithm used in §4.3–§4.4), plus AESA, an
+// exhaustive linear scan, a vantage-point tree and a BK-tree for ablation
+// comparisons. All searchers report the number of distance evaluations per
+// query — the cost measure of Figures 3 and 4 (distance computations
+// dominate search time for edit distances).
+package search
+
+import "ced/internal/metric"
+
+// Result is the outcome of a nearest-neighbour query.
+type Result struct {
+	// Index is the position of the nearest neighbour in the corpus, or -1
+	// when the corpus is empty.
+	Index int
+	// Distance is the distance from the query to that neighbour.
+	Distance float64
+	// Computations is the number of metric evaluations spent on the query.
+	Computations int
+}
+
+// Searcher finds the nearest neighbour of a query in a fixed corpus.
+// Implementations are safe for concurrent queries: Search does not mutate
+// the index.
+type Searcher interface {
+	// Name identifies the search algorithm (e.g. "laesa").
+	Name() string
+	// Search returns the nearest corpus element to q.
+	Search(q []rune) Result
+	// Size returns the number of corpus elements.
+	Size() int
+}
+
+// Linear is the exhaustive searcher: every query computes the distance to
+// every corpus element. It is the baseline of Table 2 ("exhaustive search")
+// and the correctness oracle for the other searchers.
+type Linear struct {
+	corpus [][]rune
+	m      metric.Metric
+}
+
+// NewLinear builds an exhaustive searcher over corpus.
+func NewLinear(corpus [][]rune, m metric.Metric) *Linear {
+	return &Linear{corpus: corpus, m: m}
+}
+
+// Name returns "linear".
+func (s *Linear) Name() string { return "linear" }
+
+// Size returns the corpus size.
+func (s *Linear) Size() int { return len(s.corpus) }
+
+// Search scans the whole corpus.
+func (s *Linear) Search(q []rune) Result {
+	best := Result{Index: -1}
+	for i, c := range s.corpus {
+		d := s.m.Distance(q, c)
+		if best.Index < 0 || d < best.Distance {
+			best.Index = i
+			best.Distance = d
+		}
+	}
+	best.Computations = len(s.corpus)
+	return best
+}
+
+// KNearest returns the k nearest corpus elements (ties broken by corpus
+// order), closest first. It costs exactly len(corpus) distance evaluations.
+func (s *Linear) KNearest(q []rune, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(s.corpus) {
+		k = len(s.corpus)
+	}
+	// Simple bounded insertion: k is small in every caller (k-NN rules).
+	top := make([]Result, 0, k)
+	for i, c := range s.corpus {
+		d := s.m.Distance(q, c)
+		if len(top) < k || d < top[len(top)-1].Distance {
+			pos := len(top)
+			if len(top) < k {
+				top = append(top, Result{})
+			} else {
+				pos = k - 1
+			}
+			for pos > 0 && top[pos-1].Distance > d {
+				top[pos] = top[pos-1]
+				pos--
+			}
+			top[pos] = Result{Index: i, Distance: d}
+		}
+	}
+	for i := range top {
+		top[i].Computations = len(s.corpus)
+	}
+	return top
+}

@@ -1,0 +1,125 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ced/internal/metric"
+)
+
+// VPTree is a vantage-point tree (Yianilos 1993): a binary tree where each
+// node holds a vantage element and the median distance from it to the
+// elements below; queries prune whole subtrees with the triangle
+// inequality. It needs only O(n log n) preprocessing distance computations
+// (vs LAESA's pivots×n) but prunes less aggressively per computed distance.
+// Included for the "other methods that use metric properties" ablation of
+// §4.3.
+type VPTree struct {
+	corpus [][]rune
+	m      metric.Metric
+	root   *vpNode
+
+	// PreprocessComputations counts the distance evaluations spent
+	// building the tree.
+	PreprocessComputations int
+}
+
+type vpNode struct {
+	index   int // corpus index of the vantage point
+	radius  float64
+	inside  *vpNode // elements with d(vp, ·) <= radius
+	outside *vpNode
+}
+
+// NewVPTree builds a vantage-point tree over corpus; seed drives the random
+// vantage-point choices.
+func NewVPTree(corpus [][]rune, m metric.Metric, seed int64) *VPTree {
+	t := &VPTree{corpus: corpus, m: m}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, len(corpus))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx, rng)
+	return t
+}
+
+func (t *VPTree) build(idx []int, rng *rand.Rand) *vpNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	// Random vantage point; swap it out of the candidate list.
+	vpPos := rng.Intn(len(idx))
+	idx[0], idx[vpPos] = idx[vpPos], idx[0]
+	node := &vpNode{index: idx[0]}
+	rest := idx[1:]
+	if len(rest) == 0 {
+		return node
+	}
+	dists := make([]float64, len(rest))
+	for i, u := range rest {
+		dists[i] = t.m.Distance(t.corpus[node.index], t.corpus[u])
+		t.PreprocessComputations++
+	}
+	// Median split: sort candidates by distance to the vantage point.
+	order := make([]int, len(rest))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	mid := len(order) / 2
+	node.radius = dists[order[mid]]
+	inside := make([]int, 0, mid+1)
+	outside := make([]int, 0, len(order)-mid)
+	for _, o := range order {
+		if dists[o] <= node.radius {
+			inside = append(inside, rest[o])
+		} else {
+			outside = append(outside, rest[o])
+		}
+	}
+	node.inside = t.build(inside, rng)
+	node.outside = t.build(outside, rng)
+	return node
+}
+
+// Name returns "vptree".
+func (t *VPTree) Name() string { return "vptree" }
+
+// Size returns the corpus size.
+func (t *VPTree) Size() int { return len(t.corpus) }
+
+// Search returns the nearest neighbour of q.
+func (t *VPTree) Search(q []rune) Result {
+	best := Result{Index: -1, Distance: math.Inf(1)}
+	comps := 0
+	var walk func(n *vpNode)
+	walk = func(n *vpNode) {
+		if n == nil {
+			return
+		}
+		d := t.m.Distance(q, t.corpus[n.index])
+		comps++
+		if d < best.Distance {
+			best.Index = n.index
+			best.Distance = d
+		}
+		// Visit the side containing q first; prune the other side when the
+		// ball around q cannot cross the split radius.
+		if d <= n.radius {
+			walk(n.inside)
+			if d+best.Distance >= n.radius {
+				walk(n.outside)
+			}
+		} else {
+			walk(n.outside)
+			if d-best.Distance <= n.radius {
+				walk(n.inside)
+			}
+		}
+	}
+	walk(t.root)
+	best.Computations = comps
+	return best
+}

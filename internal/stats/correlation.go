@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// SpearmanRho returns the Spearman rank correlation coefficient between two
+// paired samples, in [-1, 1]. Ties receive fractional (average) ranks, the
+// standard treatment. It returns 0 for fewer than two pairs or when either
+// sample is constant, and panics on length mismatch (caller bug).
+//
+// The experiment harness uses it to quantify how similarly two distances
+// *order* string pairs — normalisations that reorder neighbours can change
+// classification outcomes even when their histograms look alike.
+func SpearmanRho(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: SpearmanRho on samples of different lengths")
+	}
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	ra := fractionalRanks(a)
+	rb := fractionalRanks(b)
+	return pearson(ra, rb)
+}
+
+// fractionalRanks assigns 1-based ranks with ties averaged.
+func fractionalRanks(vals []float64) []float64 {
+	n := len(vals)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] < vals[order[j]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && vals[order[j+1]] == vals[order[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[order[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// pearson computes the Pearson correlation of two equal-length samples,
+// returning 0 when either is constant.
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(va) * math.Sqrt(vb))
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpearmanPerfectCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	if got := SpearmanRho(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("rho = %v, want 1", got)
+	}
+	// Any monotone transform preserves rho = 1.
+	c := []float64{0.1, 0.2, 7, 100, 101}
+	if got := SpearmanRho(a, c); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone rho = %v, want 1", got)
+	}
+}
+
+func TestSpearmanPerfectAnticorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	if got := SpearmanRho(a, b); math.Abs(got+1) > 1e-12 {
+		t.Errorf("rho = %v, want -1", got)
+	}
+}
+
+func TestSpearmanIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	n := 2000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	if got := SpearmanRho(a, b); math.Abs(got) > 0.1 {
+		t.Errorf("independent samples rho = %v, want ~0", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// With ties, fractional ranks keep rho well-defined and symmetric.
+	a := []float64{1, 1, 2, 3}
+	b := []float64{5, 5, 6, 7}
+	got := SpearmanRho(a, b)
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("tied rho = %v, want 1", got)
+	}
+	if got2 := SpearmanRho(b, a); got2 != got {
+		t.Errorf("asymmetric: %v vs %v", got, got2)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if SpearmanRho(nil, nil) != 0 {
+		t.Error("empty should be 0")
+	}
+	if SpearmanRho([]float64{1}, []float64{2}) != 0 {
+		t.Error("single pair should be 0")
+	}
+	if SpearmanRho([]float64{3, 3, 3}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant sample should be 0")
+	}
+}
+
+func TestSpearmanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	SpearmanRho([]float64{1}, []float64{1, 2})
+}
+
+func TestFractionalRanks(t *testing.T) {
+	r := fractionalRanks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("rank[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Histogram counts values into fixed-width bins anchored at zero, while also
+// keeping a running Summary of the raw values. It is the structure behind
+// the paper's Figures 1 and 2 and the intrinsic-dimensionality computation.
+type Histogram struct {
+	Summary
+	binWidth float64
+	counts   []int
+}
+
+// NewHistogram returns a histogram with the given bin width. It panics if
+// the width is not positive (a caller bug, not a runtime condition).
+func NewHistogram(binWidth float64) *Histogram {
+	if binWidth <= 0 {
+		panic("stats: histogram bin width must be positive")
+	}
+	return &Histogram{binWidth: binWidth}
+}
+
+// BinWidth returns the histogram's bin width.
+func (h *Histogram) BinWidth() float64 { return h.binWidth }
+
+// Add records one non-negative value. Negative values are clamped to bin 0
+// (distances are never negative; clamping keeps a buggy metric from
+// panicking the harness while tests catch the negativity separately).
+func (h *Histogram) Add(v float64) {
+	h.Summary.Add(v)
+	idx := 0
+	if v > 0 {
+		idx = int(v / h.binWidth)
+	}
+	for len(h.counts) <= idx {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[idx]++
+}
+
+// Bin is one histogram bucket: the half-open interval [Lo, Hi) and its count.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Bins returns the non-empty prefix of buckets, from 0 up to the largest
+// value seen.
+func (h *Histogram) Bins() []Bin {
+	out := make([]Bin, len(h.counts))
+	for i, c := range h.counts {
+		out[i] = Bin{
+			Lo:    float64(i) * h.binWidth,
+			Hi:    float64(i+1) * h.binWidth,
+			Count: c,
+		}
+	}
+	return out
+}
+
+// Counts returns the raw per-bin counts (shared backing array; callers must
+// not modify it).
+func (h *Histogram) Counts() []int { return h.counts }
+
+// WriteSeries writes the histogram as "bin-midpoint count" lines — the
+// format gnuplot consumes and the one used to regenerate the paper's
+// figures.
+func (h *Histogram) WriteSeries(w io.Writer) error {
+	for i, c := range h.counts {
+		mid := (float64(i) + 0.5) * h.binWidth
+		if _, err := fmt.Fprintf(w, "%g\t%d\n", mid, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render writes an ASCII bar rendering of the histogram, at most width
+// characters wide, for quick terminal inspection of figure shapes.
+func (h *Histogram) Render(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	maxCount := 0
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		lo := float64(i) * h.binWidth
+		if _, err := fmt.Fprintf(w, "%8.3f |%-*s| %d\n", lo, width, strings.Repeat("#", bar), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge adds the counts and summary of other into h. The bin widths must
+// match; Merge panics otherwise (mixing widths is a programming error).
+func (h *Histogram) Merge(other *Histogram) {
+	if h.binWidth != other.binWidth {
+		panic("stats: merging histograms with different bin widths")
+	}
+	for len(h.counts) < len(other.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	// Merge the Welford summaries (Chan et al. parallel combination).
+	if other.n == 0 {
+		return
+	}
+	if h.n == 0 {
+		h.Summary = other.Summary
+		return
+	}
+	na, nb := float64(h.n), float64(other.n)
+	delta := other.mean - h.mean
+	total := na + nb
+	h.mean += delta * nb / total
+	h.m2 += other.m2 + delta*delta*na*nb/total
+	h.n += other.n
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

@@ -1,0 +1,78 @@
+// Package stats provides the statistical machinery of the paper's
+// evaluation: running summaries (Welford), histograms of distances
+// (Figures 1 and 2) and the Chávez intrinsic dimensionality (Table 1).
+package stats
+
+import "math"
+
+// Summary accumulates a stream of values and reports mean, variance and
+// extremes in O(1) memory using Welford's online algorithm.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add feeds one value into the summary.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the number of values added.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the population variance (0 when fewer than two values).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest value added (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest value added (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// IntrinsicDim returns the intrinsic dimensionality of the distance
+// distribution, ρ = µ²/(2σ²), as defined by Chávez, Navarro, Baeza-Yates
+// and Marroquín ("Searching in metric spaces", ACM Computing Surveys 2001)
+// — the paper's reference [1]. Concentrated histograms (small variance
+// relative to the mean) give high ρ and are hard to search with
+// triangle-inequality pruning; the paper's Table 1 reports this statistic
+// per distance and dataset.
+//
+// It returns +Inf when the variance is zero and there is at least one
+// value, and 0 for an empty summary.
+func (s *Summary) IntrinsicDim() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	v := s.Variance()
+	if v == 0 {
+		return math.Inf(1)
+	}
+	return s.mean * s.mean / (2 * v)
+}

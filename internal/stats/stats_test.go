@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.IntrinsicDim() != 0 {
+		t.Error("empty summary should be all zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if math.Abs(s.Mean()-5) > eps {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.Variance()-4) > eps {
+		t.Errorf("variance = %v, want 4 (population)", s.Variance())
+	}
+	if math.Abs(s.Std()-2) > eps {
+		t.Errorf("std = %v, want 2", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	// rho = 25/(2*4) = 3.125
+	if math.Abs(s.IntrinsicDim()-3.125) > eps {
+		t.Errorf("intrinsic dim = %v, want 3.125", s.IntrinsicDim())
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(200)
+		vals := make([]float64, n)
+		var s Summary
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+			s.Add(vals[i])
+		}
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(n)
+		varr := 0.0
+		for _, v := range vals {
+			varr += (v - mean) * (v - mean)
+		}
+		varr /= float64(n)
+		if math.Abs(s.Mean()-mean) > 1e-9 || math.Abs(s.Variance()-varr) > 1e-9 {
+			t.Fatalf("welford mismatch: %v/%v vs %v/%v", s.Mean(), s.Variance(), mean, varr)
+		}
+	}
+}
+
+func TestIntrinsicDimDegenerate(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	s.Add(3)
+	if !math.IsInf(s.IntrinsicDim(), 1) {
+		t.Error("zero-variance intrinsic dim should be +Inf")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0.5)
+	for _, v := range []float64{0, 0.49, 0.5, 0.99, 1.7, 0.2} {
+		h.Add(v)
+	}
+	bins := h.Bins()
+	if len(bins) != 4 {
+		t.Fatalf("got %d bins, want 4: %+v", len(bins), bins)
+	}
+	wantCounts := []int{3, 2, 0, 1}
+	for i, b := range bins {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bin %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+		if math.Abs(b.Lo-float64(i)*0.5) > eps || math.Abs(b.Hi-float64(i+1)*0.5) > eps {
+			t.Errorf("bin %d bounds wrong: %+v", i, b)
+		}
+	}
+	if h.N() != 6 {
+		t.Errorf("histogram summary N = %d, want 6", h.N())
+	}
+	if h.BinWidth() != 0.5 {
+		t.Errorf("BinWidth = %v", h.BinWidth())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(-0.5)
+	if h.Counts()[0] != 1 {
+		t.Error("negative value should land in bin 0")
+	}
+}
+
+func TestHistogramPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(0) did not panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestHistogramWriteSeries(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	var buf bytes.Buffer
+	if err := h.WriteSeries(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "0.5\t1\n1.5\t2\n"
+	if buf.String() != want {
+		t.Errorf("series = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(1)
+	for i := 0; i < 10; i++ {
+		h.Add(0.5)
+	}
+	h.Add(1.5)
+	var buf bytes.Buffer
+	if err := h.Render(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Errorf("render should contain a full-width bar:\n%s", out)
+	}
+	if !strings.Contains(out, "| 10\n") || !strings.Contains(out, "| 1\n") {
+		t.Errorf("render should show counts:\n%s", out)
+	}
+	// Default width when <= 0.
+	var buf2 bytes.Buffer
+	if err := h.Render(&buf2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), strings.Repeat("#", 60)) {
+		t.Error("default render width should be 60")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := NewHistogram(0.25)
+	b := NewHistogram(0.25)
+	all := NewHistogram(0.25)
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 4
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 || math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Errorf("merged summary mismatch: %v/%v vs %v/%v", a.Mean(), a.Variance(), all.Mean(), all.Variance())
+	}
+	ca, call := a.Counts(), all.Counts()
+	if len(ca) != len(call) {
+		t.Fatalf("merged bins = %d, want %d", len(ca), len(call))
+	}
+	for i := range ca {
+		if ca[i] != call[i] {
+			t.Errorf("bin %d = %d, want %d", i, ca[i], call[i])
+		}
+	}
+}
+
+func TestHistogramMergeEmptyCases(t *testing.T) {
+	a := NewHistogram(1)
+	b := NewHistogram(1)
+	b.Add(2)
+	a.Merge(b) // empty <- non-empty
+	if a.N() != 1 || a.Mean() != 2 {
+		t.Error("merge into empty failed")
+	}
+	c := NewHistogram(1)
+	a.Merge(c) // non-empty <- empty
+	if a.N() != 1 {
+		t.Error("merge of empty changed summary")
+	}
+}
+
+func TestHistogramMergePanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merge with different widths did not panic")
+		}
+	}()
+	NewHistogram(1).Merge(NewHistogram(2))
+}
+
+func TestSummaryQuickMeanWithinBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		anyFinite := false
+		for _, v := range vals {
+			v = math.Mod(v, 1000)
+			if math.IsNaN(v) {
+				continue
+			}
+			anyFinite = true
+			s.Add(v)
+		}
+		if !anyFinite || s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-eps && s.Mean() <= s.Max()+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

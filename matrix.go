@@ -1,0 +1,63 @@
+package ced
+
+import (
+	"runtime"
+	"sync"
+
+	"ced/internal/metric"
+)
+
+// DistanceMatrix computes the full symmetric distance matrix over data in
+// parallel: out[i][j] = m.Distance(data[i], data[j]), with zeros on the
+// diagonal. workers <= 0 uses all CPUs.
+//
+// This is the bulk primitive behind the histogram and intrinsic-
+// dimensionality analyses; it is exposed because downstream users of a
+// distance library almost always end up needing it.
+func DistanceMatrix(data []string, m Metric, workers int) [][]float64 {
+	n := len(data)
+	im := internalMetric(m)
+	runes := toRunes(data)
+	out := make([][]float64, n)
+	cells := make([]float64, n*n)
+	for i := range out {
+		out[i] = cells[i*n : (i+1)*n]
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				for j := i + 1; j < n; j++ {
+					v := im.Distance(runes[i], runes[j])
+					out[i][j] = v
+					out[j][i] = v
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// ContextualHybrid returns a contextual metric that computes the exact
+// distance for pairs with |x|+|y| at most threshold symbols and the
+// heuristic for longer pairs (threshold <= 0 means 64). See the ablation
+// benches for the cost/accuracy trade-off it navigates.
+func ContextualHybrid(threshold int) Metric {
+	return stringMetric{m: metric.ContextualHybrid(threshold)}
+}
+
+// ContextualWindowed returns the windowed contextual distance: Algorithm 1
+// truncated to edit lengths at most dE + window. window = 0 is exactly the
+// paper's heuristic dC,h; growing the window converges monotonically to
+// the exact dC at O(|x|·|y|·(dE+window)) cost — a practical answer to the
+// paper's §5 remark that the exact algorithm's cubic complexity "is
+// clearly too high".
+func ContextualWindowed(window int) Metric {
+	return stringMetric{m: metric.ContextualWindowed(window)}
+}

@@ -1,0 +1,149 @@
+package ced_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ced"
+)
+
+func TestDistanceMatrix(t *testing.T) {
+	data := []string{"casa", "cosa", "masa", "queso"}
+	m := ced.Levenshtein()
+	dm := ced.DistanceMatrix(data, m, 2)
+	if len(dm) != 4 {
+		t.Fatalf("rows = %d", len(dm))
+	}
+	for i := range dm {
+		if dm[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v", i, i, dm[i][i])
+		}
+		for j := range dm[i] {
+			if dm[i][j] != dm[j][i] {
+				t.Errorf("matrix not symmetric at (%d,%d)", i, j)
+			}
+			if want := m.Distance(data[i], data[j]); dm[i][j] != want {
+				t.Errorf("[%d][%d] = %v, want %v", i, j, dm[i][j], want)
+			}
+		}
+	}
+}
+
+func TestDistanceMatrixWorkerIndependent(t *testing.T) {
+	data := ced.GenerateSpanish(60, 21).Strings
+	m := ced.ContextualHeuristic()
+	a := ced.DistanceMatrix(data, m, 1)
+	b := ced.DistanceMatrix(data, m, 8)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("matrix differs by worker count at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDistanceMatrixEmpty(t *testing.T) {
+	if dm := ced.DistanceMatrix(nil, ced.Levenshtein(), 0); len(dm) != 0 {
+		t.Error("empty input should give empty matrix")
+	}
+}
+
+func TestContextualHybrid(t *testing.T) {
+	hybrid := ced.ContextualHybrid(16)
+	exact := ced.Contextual()
+	heur := ced.ContextualHeuristic()
+	if hybrid.Name() != "dC*" {
+		t.Errorf("name = %q", hybrid.Name())
+	}
+	// Short pair: must equal the exact value.
+	a, b := "ababa", "baab"
+	if got := hybrid.Distance(a, b); math.Abs(got-exact.Distance(a, b)) > 1e-12 {
+		t.Errorf("short pair: hybrid %v != exact %v", got, exact.Distance(a, b))
+	}
+	// Long pair (beyond the threshold): must equal the heuristic value.
+	x := "abababababababababab"
+	y := "babababababababababa"
+	if got := hybrid.Distance(x, y); math.Abs(got-heur.Distance(x, y)) > 1e-12 {
+		t.Errorf("long pair: hybrid %v != heuristic %v", got, heur.Distance(x, y))
+	}
+	// Default threshold.
+	def := ced.ContextualHybrid(0)
+	if got := def.Distance(a, b); math.Abs(got-exact.Distance(a, b)) > 1e-12 {
+		t.Error("default-threshold hybrid should be exact on short strings")
+	}
+}
+
+func TestHybridNeverBelowExact(t *testing.T) {
+	words := ced.GenerateSpanish(40, 30).Strings
+	hybrid := ced.ContextualHybrid(10)
+	exact := ced.Contextual()
+	for i := 0; i < len(words); i++ {
+		for j := i + 1; j < len(words); j++ {
+			h := hybrid.Distance(words[i], words[j])
+			e := exact.Distance(words[i], words[j])
+			if h < e-1e-12 {
+				t.Fatalf("hybrid %v < exact %v for %q %q", h, e, words[i], words[j])
+			}
+		}
+	}
+}
+
+func TestIndexSaveLoad(t *testing.T) {
+	corpus := ced.GenerateSpanish(80, 50).Strings
+	m := ced.ContextualHeuristic()
+	orig := ced.NewLAESA(corpus, m, 8)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ced.LoadLAESAIndex(&buf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("loaded len = %d", loaded.Len())
+	}
+	for _, q := range []string{"casa", "xyz", corpus[3]} {
+		a, b := orig.Nearest(q), loaded.Nearest(q)
+		if a.Value != b.Value || a.Distance != b.Distance {
+			t.Fatalf("loaded index differs on %q: %+v vs %+v", q, a, b)
+		}
+	}
+	// Wrong metric is rejected.
+	var buf2 bytes.Buffer
+	if err := orig.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ced.LoadLAESAIndex(&buf2, ced.Levenshtein()); err == nil {
+		t.Error("metric mismatch should fail")
+	}
+	// Non-LAESA indexes refuse to save.
+	if err := ced.NewLinear(corpus, m).Save(&buf); err == nil {
+		t.Error("linear index save should fail")
+	}
+}
+
+func TestContextualWindowedFacade(t *testing.T) {
+	exact := ced.Contextual()
+	heur := ced.ContextualHeuristic()
+	w0 := ced.ContextualWindowed(0)
+	wBig := ced.ContextualWindowed(1000)
+	if w0.Name() != "dC+0" || wBig.Name() != "dC+1000" {
+		t.Errorf("names = %q, %q", w0.Name(), wBig.Name())
+	}
+	words := ced.GenerateSpanish(30, 31).Strings
+	for i := 0; i < len(words); i++ {
+		for j := i + 1; j < len(words); j++ {
+			h := heur.Distance(words[i], words[j])
+			e := exact.Distance(words[i], words[j])
+			if got := w0.Distance(words[i], words[j]); math.Abs(got-h) > 1e-12 {
+				t.Fatalf("window 0 %v != heuristic %v", got, h)
+			}
+			if got := wBig.Distance(words[i], words[j]); math.Abs(got-e) > 1e-12 {
+				t.Fatalf("window 1000 %v != exact %v", got, e)
+			}
+		}
+	}
+}

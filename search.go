@@ -1,0 +1,172 @@
+package ced
+
+import (
+	"fmt"
+	"io"
+
+	"ced/internal/search"
+)
+
+// SearchResult is the outcome of a nearest-neighbour query.
+type SearchResult struct {
+	// Index is the position of the neighbour in the corpus passed at index
+	// construction, or -1 for an empty corpus.
+	Index int
+	// Value is the neighbour itself.
+	Value string
+	// Distance is the query-to-neighbour distance.
+	Distance float64
+	// Computations is the number of distance evaluations the query spent —
+	// the cost measure of the paper's Figures 3 and 4.
+	Computations int
+}
+
+// Index is a nearest-neighbour search index over a fixed corpus of strings.
+type Index struct {
+	corpus   []string
+	searcher search.Searcher
+}
+
+// Nearest returns the corpus string nearest to q.
+func (ix *Index) Nearest(q string) SearchResult {
+	r := ix.searcher.Search([]rune(q))
+	out := SearchResult{Index: r.Index, Distance: r.Distance, Computations: r.Computations}
+	if r.Index >= 0 {
+		out.Value = ix.corpus[r.Index]
+	}
+	return out
+}
+
+// KNearest returns the k nearest corpus strings, closest first. Every index
+// built by this package supports it.
+func (ix *Index) KNearest(q string, k int) []SearchResult {
+	ks, ok := ix.searcher.(search.KSearcher)
+	if !ok {
+		return nil
+	}
+	return ix.convert(ks.KNearest([]rune(q), k))
+}
+
+// Radius returns every corpus string within distance r of q (inclusive),
+// sorted by distance. Every index built by this package supports it.
+func (ix *Index) Radius(q string, r float64) []SearchResult {
+	rs, ok := ix.searcher.(search.RadiusSearcher)
+	if !ok {
+		return nil
+	}
+	hits, _ := rs.Radius([]rune(q), r)
+	return ix.convert(hits)
+}
+
+func (ix *Index) convert(rs []search.Result) []SearchResult {
+	out := make([]SearchResult, len(rs))
+	for i, r := range rs {
+		out[i] = SearchResult{Index: r.Index, Distance: r.Distance, Computations: r.Computations}
+		if r.Index >= 0 {
+			out[i].Value = ix.corpus[r.Index]
+		}
+	}
+	return out
+}
+
+// Len returns the corpus size.
+func (ix *Index) Len() int { return ix.searcher.Size() }
+
+// Algorithm returns the name of the underlying search algorithm.
+func (ix *Index) Algorithm() string { return ix.searcher.Name() }
+
+// NewLAESA builds a LAESA index (Micó–Oncina–Vidal 1994) over corpus with
+// the given number of base prototypes (pivots). Preprocessing computes
+// pivots×len(corpus) distances; queries then use the triangle inequality to
+// skip most distance computations.
+//
+// m should be a true metric (Contextual, Levenshtein, YujianBo) for exact
+// results; with non-metrics (MaxNormalised, and in principle
+// ContextualHeuristic or MarzalVidal) the neighbour may occasionally be
+// non-nearest, exactly as in the paper's experiments.
+func NewLAESA(corpus []string, m Metric, pivots int) *Index {
+	return &Index{
+		corpus:   corpus,
+		searcher: search.NewLAESA(toRunes(corpus), internalMetric(m), pivots, search.MaxSum, 1),
+	}
+}
+
+// NewLinear builds an exhaustive-search index: every query computes the
+// distance to every corpus element. It is the correctness baseline for the
+// other indexes.
+func NewLinear(corpus []string, m Metric) *Index {
+	return &Index{
+		corpus:   corpus,
+		searcher: search.NewLinear(toRunes(corpus), internalMetric(m)),
+	}
+}
+
+// NewVPTree builds a vantage-point tree index: O(n log n) preprocessing
+// distances, triangle-inequality pruning at query time.
+func NewVPTree(corpus []string, m Metric) *Index {
+	return &Index{
+		corpus:   corpus,
+		searcher: search.NewVPTree(toRunes(corpus), internalMetric(m), 1),
+	}
+}
+
+// NewTrie builds a prefix-trie index specialised for the plain edit
+// distance dE (the metric is implied, not chosen): the classic dictionary
+// structure, exploiting shared prefixes rather than metric axioms. Its
+// SearchResult.Computations counts visited trie nodes rather than distance
+// evaluations.
+func NewTrie(corpus []string) *Index {
+	return &Index{corpus: corpus, searcher: search.NewTrie(toRunes(corpus))}
+}
+
+// NewIndex builds an index by algorithm name: "laesa" (with the given
+// pivot count), "linear", "vptree", or "trie" (dE only; m is ignored).
+func NewIndex(algorithm string, corpus []string, m Metric, pivots int) (*Index, error) {
+	switch algorithm {
+	case "laesa":
+		return NewLAESA(corpus, m, pivots), nil
+	case "linear":
+		return NewLinear(corpus, m), nil
+	case "vptree":
+		return NewVPTree(corpus, m), nil
+	case "trie":
+		return NewTrie(corpus), nil
+	default:
+		return nil, fmt.Errorf("ced: unknown search algorithm %q (known: laesa, linear, vptree, trie)", algorithm)
+	}
+}
+
+func toRunes(ss []string) [][]rune {
+	out := make([][]rune, len(ss))
+	for i, s := range ss {
+		out[i] = []rune(s)
+	}
+	return out
+}
+
+// Save serialises a LAESA index (corpus, pivots and the preprocessing
+// distance matrix) so it can be reloaded without recomputing distances.
+// Only LAESA indexes support saving.
+func (ix *Index) Save(w io.Writer) error {
+	la, ok := ix.searcher.(*search.LAESA)
+	if !ok {
+		return fmt.Errorf("ced: Save is only supported for LAESA indexes (this is %q)", ix.Algorithm())
+	}
+	return la.Save(w)
+}
+
+// LoadLAESAIndex restores an index written by (*Index).Save, attaching m
+// as the query metric; m must be the same distance the index was built
+// with (checked by name).
+func LoadLAESAIndex(r io.Reader, m Metric) (*Index, error) {
+	la, err := search.LoadLAESA(r, internalMetric(m))
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the string corpus view from the loaded index.
+	corpus := make([]string, la.Size())
+	for i, rs := range la.Corpus() {
+		corpus[i] = string(rs)
+	}
+	return &Index{corpus: corpus, searcher: la}, nil
+}

@@ -109,7 +109,7 @@ func TestIndexSearch(t *testing.T) {
 
 func TestNewIndexByName(t *testing.T) {
 	corpus := []string{"a", "b"}
-	for _, alg := range []string{"laesa", "linear", "vptree"} {
+	for _, alg := range []string{"laesa", "linear", "vptree", "bktree"} {
 		ix, err := ced.NewIndex(alg, corpus, ced.Levenshtein(), 1)
 		if err != nil {
 			t.Fatalf("NewIndex(%s): %v", alg, err)
@@ -120,6 +120,9 @@ func TestNewIndexByName(t *testing.T) {
 	}
 	if _, err := ced.NewIndex("btree", corpus, ced.Levenshtein(), 1); err == nil {
 		t.Error("unknown algorithm should fail")
+	}
+	if _, err := ced.NewIndex("bktree", corpus, ced.Contextual(), 1); err == nil {
+		t.Error("bktree with a fractional metric should fail")
 	}
 }
 

@@ -6,8 +6,9 @@ import (
 	"ced/internal/classify"
 )
 
-// Classification reports a 1-NN classification run: error rate, per-query
-// search cost, and the confusion matrix.
+// Classification reports a 1-NN classification run in the units of the
+// paper's Table 2: error rate as a percentage, per-query search cost in
+// distance computations, and the confusion matrix.
 type Classification struct {
 	// Tested and Errors count classified queries and label mismatches.
 	Tested, Errors int
@@ -21,8 +22,11 @@ type Classification struct {
 
 // Classify labels every test string with the class of its nearest
 // neighbour in the index (whose corpus must be train.Strings) and compares
-// against the test labels — the paper's §4.4 protocol. Both datasets must
-// be labelled.
+// against the test labels — the protocol of the paper's §4.4 (Table 2).
+// Both datasets must be labelled. Cost is one Nearest query per test
+// string, so the index choice dominates: n distance computations per query
+// on a linear index versus the LAESA counts of Figure 3. For serving
+// single classification queries over HTTP, see Server and cmd/cedserve.
 func Classify(index *Index, train, test *Dataset) (Classification, error) {
 	if !train.Labelled() || !test.Labelled() {
 		return Classification{}, fmt.Errorf("ced: Classify requires labelled train and test datasets")

@@ -1,0 +1,99 @@
+// Command cedserve serves distance, k-NN and classification queries over a
+// corpus through an HTTP JSON API.
+//
+// Usage:
+//
+//	cedserve [-addr :8080] [-corpus FILE] [-d dC,h] [-index laesa] [-pivots 16]
+//	         [-workers 0] [-cache 4096] [-seed 1] [-sample 0]
+//
+// The corpus file uses the dataset format (one string per line, optional
+// trailing "\tlabel"); labels enable the /classify endpoints. Without
+// -corpus, -sample N serves a generated N-word Spanish-like dictionary, so
+// the server can be tried with no data at hand:
+//
+//	cedserve -sample 5000 &
+//	curl localhost:8080/healthz
+//	curl -d '{"a":"contextual","b":"normalised"}' localhost:8080/distance
+//	curl -d '{"pairs":[{"a":"casa","b":"cosa"},{"a":"gato","b":"gatos"}]}' \
+//	     localhost:8080/distance/batch
+//	curl -d '{"query":"contextal","k":3}' localhost:8080/knn
+//
+// Endpoints: GET /healthz; POST /distance, /distance/batch, /knn,
+// /knn/batch, /classify, /classify/batch. Every response reports the
+// number of distance computations spent and the server-side latency in
+// milliseconds. See README.md for the full wire format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"ced"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		corpus  = flag.String("corpus", "", "dataset file to serve (string [\\tlabel] per line)")
+		sample  = flag.Int("sample", 0, "serve a generated Spanish-like dictionary of this size instead of -corpus")
+		dist    = flag.String("d", "dC,h", "distance to serve (see ced -list)")
+		index   = flag.String("index", "laesa", "search index: laesa, vptree, bktree (dE only), linear")
+		pivots  = flag.Int("pivots", 16, "LAESA pivot count")
+		workers = flag.Int("workers", 0, "batch worker pool size (0 = all CPUs)")
+		cache   = flag.Int("cache", 4096, "query rune-cache entries (0 or negative disables)")
+		seed    = flag.Int64("seed", 1, "seed for randomised index construction")
+	)
+	flag.Parse()
+	srv, info, err := build(*corpus, *sample, *dist, *index, *pivots, *workers, *cache, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cedserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("cedserve: serving %d strings (%s index, %s metric, labelled=%v) on %s",
+		info.CorpusSize, info.Algorithm, info.Metric, info.Labelled, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// build loads or generates the corpus and constructs the server; split from
+// main so the end-to-end tests can drive it without a process boundary.
+func build(corpusPath string, sample int, dist, index string, pivots, workers, cache int, seed int64) (*ced.Server, ced.ServerInfo, error) {
+	var (
+		data *ced.Dataset
+		err  error
+	)
+	switch {
+	case corpusPath != "" && sample > 0:
+		return nil, ced.ServerInfo{}, fmt.Errorf("-corpus and -sample are mutually exclusive")
+	case corpusPath != "":
+		data, err = ced.ReadDatasetFile(corpusPath)
+		if err != nil {
+			return nil, ced.ServerInfo{}, err
+		}
+	case sample > 0:
+		data = ced.GenerateSpanish(sample, seed)
+	default:
+		return nil, ced.ServerInfo{}, fmt.Errorf("need -corpus FILE or -sample N")
+	}
+	m, err := ced.ByName(dist)
+	if err != nil {
+		return nil, ced.ServerInfo{}, err
+	}
+	if cache <= 0 {
+		cache = -1 // flag semantics: 0 disables; ServerConfig treats 0 as "default"
+	}
+	srv, err := ced.NewServer(data, ced.ServerConfig{
+		Algorithm: index,
+		Metric:    m,
+		Pivots:    pivots,
+		Seed:      seed,
+		Workers:   workers,
+		CacheSize: cache,
+	})
+	if err != nil {
+		return nil, ced.ServerInfo{}, err
+	}
+	return srv, srv.Info(), nil
+}

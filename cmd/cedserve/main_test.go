@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCorpus writes a small labelled corpus in the dataset file format.
+func writeCorpus(t *testing.T) string {
+	t.Helper()
+	lines := "casa\t0\ncosa\t0\ncaso\t0\nmasa\t1\npasa\t1\nqueso\t2\ngato\t3\ngatos\t3\n"
+	path := filepath.Join(t.TempDir(), "corpus.tsv")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func post(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestEndToEndAllIndexKinds drives the full stack — flag-level build, the
+// ced.Server facade, the JSON handler — through httptest for every index
+// kind, exercising /distance, /distance/batch, /knn and /classify.
+func TestEndToEndAllIndexKinds(t *testing.T) {
+	corpus := writeCorpus(t)
+	for _, index := range []string{"laesa", "vptree", "bktree", "linear"} {
+		t.Run(index, func(t *testing.T) {
+			dist := "dC,h"
+			if index == "bktree" {
+				dist = "dE" // the BK-tree prunes on integer distances
+			}
+			srv, info, err := build(corpus, 0, dist, index, 4, 2, 128, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.CorpusSize != 8 || !info.Labelled {
+				t.Fatalf("info = %+v", info)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			// /healthz
+			resp, err := http.Get(ts.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/healthz status = %d", resp.StatusCode)
+			}
+
+			// /distance: identical strings are at distance 0 under every
+			// metric of the paper.
+			var d struct {
+				Distance     float64 `json:"distance"`
+				Computations int     `json:"computations"`
+			}
+			if code := post(t, ts.URL+"/distance", `{"a":"queso","b":"queso"}`, &d); code != http.StatusOK {
+				t.Fatalf("/distance status = %d", code)
+			}
+			if d.Distance != 0 || d.Computations != 1 {
+				t.Fatalf("/distance = %+v", d)
+			}
+
+			// /distance/batch preserves order and matches the single calls.
+			var b struct {
+				Distances    []float64 `json:"distances"`
+				Computations int       `json:"computations"`
+			}
+			body := `{"pairs":[{"a":"casa","b":"cosa"},{"a":"gato","b":"gato"},{"a":"queso","b":"gatos"}]}`
+			if code := post(t, ts.URL+"/distance/batch", body, &b); code != http.StatusOK {
+				t.Fatalf("/distance/batch status = %d", code)
+			}
+			if len(b.Distances) != 3 || b.Computations != 3 || b.Distances[1] != 0 {
+				t.Fatalf("/distance/batch = %+v", b)
+			}
+			var single struct {
+				Distance float64 `json:"distance"`
+			}
+			post(t, ts.URL+"/distance", `{"a":"queso","b":"gatos"}`, &single)
+			if single.Distance != b.Distances[2] {
+				t.Fatalf("batch disagrees with single: %v != %v", b.Distances[2], single.Distance)
+			}
+
+			// /knn: a corpus member is its own nearest neighbour at 0.
+			var k struct {
+				Results []struct {
+					Value    string  `json:"value"`
+					Distance float64 `json:"distance"`
+				} `json:"results"`
+				Computations int `json:"computations"`
+			}
+			if code := post(t, ts.URL+"/knn", `{"query":"queso","k":2}`, &k); code != http.StatusOK {
+				t.Fatalf("/knn status = %d", code)
+			}
+			if len(k.Results) != 2 || k.Results[0].Value != "queso" || k.Results[0].Distance != 0 {
+				t.Fatalf("/knn = %+v", k)
+			}
+			if k.Computations <= 0 || k.Results[1].Distance < k.Results[0].Distance {
+				t.Fatalf("/knn metrics = %+v", k)
+			}
+
+			// /classify: "gatito" is nearest the cat family (label 3).
+			var c struct {
+				Label    int `json:"label"`
+				Neighbor struct {
+					Value string `json:"value"`
+				} `json:"neighbor"`
+				Computations int `json:"computations"`
+			}
+			if code := post(t, ts.URL+"/classify", `{"query":"gatito"}`, &c); code != http.StatusOK {
+				t.Fatalf("/classify status = %d", code)
+			}
+			if c.Label != 3 || c.Computations <= 0 {
+				t.Fatalf("/classify = %+v", c)
+			}
+		})
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	corpus := writeCorpus(t)
+	if _, _, err := build("", 0, "dC,h", "laesa", 4, 0, 0, 1); err == nil {
+		t.Error("no corpus and no sample should fail")
+	}
+	if _, _, err := build(corpus, 10, "dC,h", "laesa", 4, 0, 0, 1); err == nil {
+		t.Error("corpus and sample together should fail")
+	}
+	if _, _, err := build("/no/such/file", 0, "dC,h", "laesa", 4, 0, 0, 1); err == nil {
+		t.Error("missing corpus file should fail")
+	}
+	if _, _, err := build(corpus, 0, "no-such-metric", "laesa", 4, 0, 0, 1); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	if _, _, err := build(corpus, 0, "dC,h", "rtree", 4, 0, 0, 1); err == nil {
+		t.Error("unknown index should fail")
+	}
+	if _, _, err := build(corpus, 0, "dC,h", "bktree", 4, 0, 0, 1); err == nil {
+		t.Error("bktree with fractional metric should fail")
+	}
+}
+
+func TestBuildSampleCorpus(t *testing.T) {
+	srv, info, err := build("", 500, "dC,h", "laesa", 8, 0, -1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CorpusSize != 500 || info.Labelled {
+		t.Fatalf("info = %+v", info)
+	}
+	// The generated dictionary is unlabelled: classify must refuse.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code := post(t, ts.URL+"/classify", `{"query":"hola"}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("/classify on unlabelled corpus: status = %d", code)
+	}
+	if code := post(t, ts.URL+"/knn", `{"query":"hola","k":1}`, nil); code != http.StatusOK {
+		t.Fatalf("/knn status = %d", code)
+	}
+}

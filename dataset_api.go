@@ -2,9 +2,10 @@ package ced
 
 import "ced/internal/dataset"
 
-// Dataset is a named collection of strings with optional class labels; see
+// Dataset is a named collection of strings with optional class labels —
+// the unit of data the paper's three corpora (§4.2) are loaded into; see
 // the Generate* functions. It aliases the internal dataset type, so values
-// flow directly into the experiment harness and CLI tools.
+// flow directly into the experiment harness, the CLI tools and NewServer.
 type Dataset = dataset.Dataset
 
 // DNAOptions configures GenerateDNA; zero values take the documented
@@ -15,29 +16,38 @@ type DNAOptions = dataset.DNAConfig
 // defaults. It aliases dataset.DigitsConfig.
 type DigitsOptions = dataset.DigitsConfig
 
-// GenerateSpanish generates n distinct Spanish-like words — the offline
-// substitute for the SISAP Spanish dictionary used in the paper.
+// GenerateSpanish generates n distinct Spanish-like words in O(n) expected
+// time — the offline substitute for the 86,062-word SISAP Spanish
+// dictionary used throughout the paper's evaluation (Figure 1's
+// histograms, Table 1's first row, Figure 3's search experiments).
 // Deterministic for a given (n, seed).
 func GenerateSpanish(n int, seed int64) *Dataset { return dataset.Spanish(n, seed) }
 
 // GenerateDNA generates gene-like sequences over acgt, labelled by gene
-// family — the offline substitute for the paper's Listeria gene set.
-// Deterministic for a given (opts, seed).
+// family, in time linear in the total sequence length — the offline
+// substitute for the Listeria monocytogenes gene set of the paper's
+// Figure 2 histograms and Table 1's third row. Deterministic for a given
+// (opts, seed).
 func GenerateDNA(opts DNAOptions, seed int64) *Dataset { return dataset.DNA(opts, seed) }
 
 // GenerateDigits generates synthetic handwritten digits encoded as Freeman
-// chain-code contour strings (alphabet '0'..'7'), labelled 0–9 — the
-// offline substitute for the paper's NIST SD3 contour strings.
-// Deterministic for a given (opts, seed).
+// chain-code contour strings (alphabet '0'..'7'), labelled 0–9, in
+// O(Count·Grid²) time (stroke rasterising dominates) — the offline
+// substitute for the NIST SD3 contour strings of the paper's Figure 4
+// search sweeps and Table 2 classification. Deterministic for a given
+// (opts, seed).
 func GenerateDigits(opts DigitsOptions, seed int64) *Dataset { return dataset.Digits(opts, seed) }
 
-// PerturbQueries derives count query strings by applying ops random edit
-// operations to random members of base — the protocol of the SISAP
-// genqueries tool the paper uses for its search experiments.
+// PerturbQueries derives count query strings in O(count·ops) time by
+// applying ops random edit operations to random members of base — the
+// protocol of the SISAP genqueries tool the paper uses to build the query
+// sets of its §4.3 search experiments (Figures 3 and 4).
 func PerturbQueries(base *Dataset, count, ops int, seed int64) *Dataset {
 	return dataset.PerturbQueries(base, count, ops, seed)
 }
 
-// ReadDatasetFile loads a dataset written by (*Dataset).WriteFile: one
-// string per line with an optional trailing tab-separated integer label.
+// ReadDatasetFile loads a dataset written by (*Dataset).WriteFile in one
+// linear pass: one string per line with an optional trailing tab-separated
+// integer label (the on-disk format consumed by cmd/cedserve's -corpus
+// flag). The dataset is labelled only when every line carries a label.
 func ReadDatasetFile(path string) (*Dataset, error) { return dataset.ReadFile(path) }

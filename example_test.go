@@ -47,6 +47,66 @@ func ExampleNewLAESA() {
 	// casa
 }
 
+// KNearest ranks the k closest corpus strings; on a linear index ties are
+// broken by corpus order.
+func ExampleIndex_KNearest() {
+	corpus := []string{"casa", "cosa", "caso", "masa", "queso"}
+	ix := ced.NewLinear(corpus, ced.Levenshtein())
+	for _, r := range ix.KNearest("cas", 3) {
+		fmt.Println(r.Value, r.Distance)
+	}
+	// Output:
+	// casa 1
+	// caso 1
+	// cosa 2
+}
+
+// DistanceMatrix computes every pairwise distance in parallel — the bulk
+// primitive behind the paper's histograms and dimensionality estimates.
+func ExampleDistanceMatrix() {
+	words := []string{"ab", "abc", "b"}
+	for _, row := range ced.DistanceMatrix(words, ced.Levenshtein(), 2) {
+		fmt.Println(row)
+	}
+	// Output:
+	// [0 1 1]
+	// [1 0 2]
+	// [1 2 0]
+}
+
+// BatchDistance fans a list of pairs out over a worker pool and returns
+// the distances in input order — the library form of cedserve's
+// /distance/batch endpoint.
+func ExampleBatchDistance() {
+	pairs := []ced.Pair{{A: "ababa", B: "baab"}, {A: "gato", B: "gatos"}, {A: "queso", B: "queso"}}
+	for i, d := range ced.BatchDistance(pairs, ced.Contextual(), 2) {
+		fmt.Printf("dC(%s, %s) = %.4f\n", pairs[i].A, pairs[i].B, d)
+	}
+	// Output:
+	// dC(ababa, baab) = 0.5333
+	// dC(gato, gatos) = 0.2000
+	// dC(queso, queso) = 0.0000
+}
+
+// A Server bundles a corpus, an index and a worker pool for embedding in a
+// larger service; cmd/cedserve wraps the same object in an HTTP API.
+func ExampleNewServer() {
+	data := &ced.Dataset{
+		Name:    "demo",
+		Strings: []string{"casa", "cosa", "caso"},
+		Labels:  []int{0, 0, 1},
+	}
+	srv, err := ced.NewServer(data, ced.ServerConfig{Algorithm: "linear", Metric: ced.Levenshtein()})
+	if err != nil {
+		panic(err)
+	}
+	d, _ := srv.Distance("casa", "cosa")
+	p, _, _ := srv.Classify("cas")
+	fmt.Println(d, p.Label, p.Neighbor.Value)
+	// Output:
+	// 1 0 casa
+}
+
 // Radius finds every dictionary word within a distance budget — the
 // spell-checking primitive.
 func ExampleIndex_Radius() {

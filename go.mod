@@ -1,0 +1,3 @@
+module ced
+
+go 1.24

@@ -1,0 +1,40 @@
+// Package pool provides the striped fan-out primitive shared by the bulk
+// distance APIs (ced.DistanceMatrix, ced.BatchDistance) and the serving
+// engine's batch endpoints.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Fan runs fn(i) for every i in [0, n), striped across a pool of worker
+// goroutines: worker w handles i = w, w+workers, w+2·workers, … so the
+// work divides with no locking or queueing. workers <= 0 uses all CPUs;
+// the pool never exceeds n goroutines and runs inline when one worker
+// suffices. Fan returns after every fn call has completed.
+func Fan(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

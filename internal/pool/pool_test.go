@@ -1,0 +1,20 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestFanCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 64} {
+		for _, n := range []int{0, 1, 7, 100} {
+			counts := make([]int32, n)
+			Fan(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}

@@ -6,7 +6,7 @@ import (
 )
 
 // KSearcher is implemented by searchers that can answer k-nearest-neighbour
-// queries (Linear, LAESA, VPTree).
+// queries (Linear, LAESA, VPTree, BKTree).
 type KSearcher interface {
 	Searcher
 	// KNearest returns the k nearest corpus elements, closest first.
@@ -27,6 +27,7 @@ var (
 	_ KSearcher      = (*Linear)(nil)
 	_ KSearcher      = (*LAESA)(nil)
 	_ KSearcher      = (*VPTree)(nil)
+	_ KSearcher      = (*BKTree)(nil)
 	_ RadiusSearcher = (*Linear)(nil)
 	_ RadiusSearcher = (*LAESA)(nil)
 	_ RadiusSearcher = (*VPTree)(nil)
@@ -46,6 +47,50 @@ func (s *Linear) Radius(q []rune, r float64) ([]Result, int) {
 	return hits, len(s.corpus)
 }
 
+// topK accumulates the k nearest candidates for the tree walkers, keeping
+// them sorted by (distance, corpus index) — the same tie-break as
+// Linear.KNearest, so every searcher ranks ties identically and
+// deterministically. tau is the current k-th-best distance (+Inf until k
+// candidates are held), the walkers' pruning bound.
+type topK struct {
+	k   int
+	res []Result
+	tau float64
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, res: make([]Result, 0, k), tau: math.Inf(1)}
+}
+
+// insert offers a candidate; it is dropped unless it beats the current
+// k-th best under (distance, index) order.
+func (t *topK) insert(idx int, d float64) {
+	pos := sort.Search(len(t.res), func(i int) bool {
+		if t.res[i].Distance != d {
+			return t.res[i].Distance > d
+		}
+		return t.res[i].Index > idx
+	})
+	if len(t.res) < t.k {
+		t.res = append(t.res, Result{})
+	} else if pos >= t.k {
+		return
+	}
+	copy(t.res[pos+1:], t.res[pos:])
+	t.res[pos] = Result{Index: idx, Distance: d}
+	if len(t.res) == t.k {
+		t.tau = t.res[t.k-1].Distance
+	}
+}
+
+// results stamps the per-query computation count on every held Result.
+func (t *topK) results(comps int) []Result {
+	for i := range t.res {
+		t.res[i].Computations = comps
+	}
+	return t.res
+}
+
 // KNearest returns the k nearest corpus elements using best-first tree
 // descent with a shrinking k-th-best bound.
 func (t *VPTree) KNearest(q []rune, k int) []Result {
@@ -55,22 +100,8 @@ func (t *VPTree) KNearest(q []rune, k int) []Result {
 	if k > len(t.corpus) {
 		k = len(t.corpus)
 	}
-	top := make([]Result, 0, k)
-	tau := math.Inf(1)
+	top := newTopK(k)
 	comps := 0
-	insert := func(idx int, d float64) {
-		pos := sort.Search(len(top), func(i int) bool { return top[i].Distance > d })
-		if len(top) < k {
-			top = append(top, Result{})
-		} else if pos >= k {
-			return
-		}
-		copy(top[pos+1:], top[pos:])
-		top[pos] = Result{Index: idx, Distance: d}
-		if len(top) == k {
-			tau = top[k-1].Distance
-		}
-	}
 	var walk func(n *vpNode)
 	walk = func(n *vpNode) {
 		if n == nil {
@@ -78,24 +109,21 @@ func (t *VPTree) KNearest(q []rune, k int) []Result {
 		}
 		d := t.m.Distance(q, t.corpus[n.index])
 		comps++
-		insert(n.index, d)
+		top.insert(n.index, d)
 		if d <= n.radius {
 			walk(n.inside)
-			if d+tau >= n.radius {
+			if d+top.tau >= n.radius {
 				walk(n.outside)
 			}
 		} else {
 			walk(n.outside)
-			if d-tau <= n.radius {
+			if d-top.tau <= n.radius {
 				walk(n.inside)
 			}
 		}
 	}
 	walk(t.root)
-	for i := range top {
-		top[i].Computations = comps
-	}
-	return top
+	return top.results(comps)
 }
 
 // Radius returns every corpus element within distance r of q, pruning
@@ -126,6 +154,36 @@ func (t *VPTree) Radius(q []rune, r float64) ([]Result, int) {
 		hits[i].Computations = comps
 	}
 	return hits, comps
+}
+
+// KNearest returns the k nearest corpus elements from a BK-tree, pruning
+// child edges outside [d − τ, d + τ] where τ is the current k-th-best
+// distance (∞ until k candidates are found) — the natural k-NN extension
+// of the 1-NN pruning rule in Search. The walk visits children in Go map
+// order, but topK's (distance, index) ordering makes the result set and
+// ranking deterministic regardless.
+func (t *BKTree) KNearest(q []rune, k int) []Result {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	if k > t.size {
+		k = t.size
+	}
+	top := newTopK(k)
+	comps := 0
+	var walk func(n *bkNode)
+	walk = func(n *bkNode) {
+		d := t.m.Distance(q, t.corpus[n.index])
+		comps++
+		top.insert(n.index, d)
+		for edge, child := range n.children {
+			if float64(edge) >= d-top.tau && float64(edge) <= d+top.tau {
+				walk(child)
+			}
+		}
+	}
+	walk(t.root)
+	return top.results(comps)
 }
 
 // sortHits orders range-query hits by (distance, index).

@@ -66,6 +66,45 @@ func TestVPTreeRadiusMatchesLinear(t *testing.T) {
 	}
 }
 
+func TestBKTreeKNearestMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	corpus := randomCorpus(rng, 130, 9, alpha)
+	queries := randomCorpus(rng, 25, 9, alpha)
+	m := metric.Levenshtein()
+	lin := NewLinear(corpus, m)
+	bk := NewBKTree(corpus, m)
+	for _, q := range queries {
+		for _, k := range []int{1, 4, 9} {
+			want := lin.KNearest(q, k)
+			got := bk.KNearest(q, k)
+			if len(got) != k {
+				t.Fatalf("k=%d: %d results", k, len(got))
+			}
+			for i := range got {
+				// topK breaks distance ties by corpus index, exactly like
+				// Linear, so the full (Index, Distance) ranking must match
+				// deterministically despite the map-order tree walk.
+				if got[i].Distance != want[i].Distance || got[i].Index != want[i].Index {
+					t.Fatalf("k=%d rank %d: %+v vs %+v", k, i, got[i], want[i])
+				}
+				if got[i].Computations <= 0 || got[i].Computations > len(corpus) {
+					t.Fatalf("computations = %d", got[i].Computations)
+				}
+			}
+		}
+	}
+	if got := bk.KNearest([]rune("aa"), 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := bk.KNearest([]rune("aa"), 1000); len(got) != len(corpus) {
+		t.Error("k>n should clamp")
+	}
+	empty := NewBKTree(nil, m)
+	if got := empty.KNearest([]rune("aa"), 2); got != nil {
+		t.Error("empty tree should return nil")
+	}
+}
+
 func TestLinearRadius(t *testing.T) {
 	corpus := [][]rune{[]rune("aaaa"), []rune("aaab"), []rune("bbbb")}
 	lin := NewLinear(corpus, metric.Levenshtein())

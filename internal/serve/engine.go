@@ -1,0 +1,293 @@
+// Package serve implements the batch-serving subsystem behind cmd/cedserve:
+// a query engine that holds a corpus and a metric-space search index in
+// memory and answers distance, k-NN and classification requests — singly or
+// in batches fanned out over a worker pool — while reporting the number of
+// distance computations each request spent (the cost measure of the paper's
+// Figures 3 and 4).
+//
+// The engine is deliberately HTTP-agnostic: http.go wraps it in JSON
+// endpoints, and the public ced.Server facade re-exports it for embedding.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ced/internal/metric"
+	"ced/internal/pool"
+	"ced/internal/search"
+)
+
+// Algorithms lists the index kinds New accepts, in the order they appear in
+// the paper's §4.3 comparison (LAESA, then the "other methods that use
+// metric properties", then the exhaustive baseline).
+var Algorithms = []string{"laesa", "vptree", "bktree", "linear"}
+
+// Config selects and tunes the search index behind an Engine.
+type Config struct {
+	// Algorithm is one of Algorithms. Empty defaults to "laesa".
+	Algorithm string
+	// Pivots is the LAESA base-prototype count (ignored by the other
+	// algorithms). <= 0 defaults to 16, clamped to the corpus size.
+	Pivots int
+	// Seed drives the randomised index construction (LAESA pivot
+	// seeding, VP-tree vantage choices). Fixed seed ⇒ identical index.
+	Seed int64
+	// Workers sizes the batch worker pool. <= 0 uses all CPUs.
+	Workers int
+	// CacheSize bounds the query→[]rune LRU cache. <= 0 disables it.
+	CacheSize int
+}
+
+// Pair is one query pair for the batch-distance APIs; ced.Pair aliases it.
+type Pair struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// Neighbor is one k-NN answer element.
+type Neighbor struct {
+	// Index is the neighbour's position in the corpus.
+	Index int `json:"index"`
+	// Value is the corpus string itself.
+	Value string `json:"value"`
+	// Distance is the query-to-neighbour distance.
+	Distance float64 `json:"distance"`
+}
+
+// Prediction is one nearest-neighbour classification answer.
+type Prediction struct {
+	// Label is the class label of the nearest corpus element.
+	Label int `json:"label"`
+	// Neighbor is that nearest element.
+	Neighbor Neighbor `json:"neighbor"`
+}
+
+// Engine answers queries against a fixed corpus through a metric-space
+// index. All methods are safe for concurrent use: the index is immutable
+// after construction and the caches are internally locked.
+type Engine struct {
+	corpus   []string
+	labels   []int // nil when the corpus is unlabelled
+	m        metric.Metric
+	searcher search.Searcher
+	workers  int
+	cache    *runeCache
+	requests atomic.Uint64
+}
+
+// New builds an engine over corpus with the given metric and index
+// configuration. labels must be empty or exactly len(corpus) long; when
+// present they enable Classify. The BK-tree index prunes on integer
+// distance values, so it is only accepted with the plain edit distance dE.
+func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, error) {
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("serve: empty corpus")
+	}
+	if len(labels) != 0 && len(labels) != len(corpus) {
+		return nil, fmt.Errorf("serve: %d corpus strings but %d labels", len(corpus), len(labels))
+	}
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil metric")
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "laesa"
+	}
+	if cfg.Pivots <= 0 {
+		cfg.Pivots = 16
+	}
+	if cfg.Pivots > len(corpus) {
+		cfg.Pivots = len(corpus)
+	}
+	runes := make([][]rune, len(corpus))
+	for i, s := range corpus {
+		runes[i] = []rune(s)
+	}
+	var searcher search.Searcher
+	switch cfg.Algorithm {
+	case "laesa":
+		searcher = search.NewLAESA(runes, m, cfg.Pivots, search.MaxSum, cfg.Seed)
+	case "linear":
+		searcher = search.NewLinear(runes, m)
+	case "vptree":
+		searcher = search.NewVPTree(runes, m, cfg.Seed)
+	case "bktree":
+		if m.Name() != "dE" {
+			return nil, fmt.Errorf("serve: the bktree index prunes on integer distances and requires dE, not %q", m.Name())
+		}
+		searcher = search.NewBKTree(runes, m)
+	default:
+		return nil, fmt.Errorf("serve: unknown index algorithm %q (known: laesa, vptree, bktree, linear)", cfg.Algorithm)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		corpus:   corpus,
+		labels:   labels,
+		m:        m,
+		searcher: searcher,
+		workers:  workers,
+		cache:    newRuneCache(cfg.CacheSize),
+	}, nil
+}
+
+// Info is the engine snapshot reported by /healthz.
+type Info struct {
+	Algorithm  string     `json:"algorithm"`
+	Metric     string     `json:"metric"`
+	CorpusSize int        `json:"corpus_size"`
+	Labelled   bool       `json:"labelled"`
+	Workers    int        `json:"workers"`
+	Requests   uint64     `json:"requests"`
+	Cache      CacheStats `json:"cache"`
+}
+
+// Info returns the current engine snapshot.
+func (e *Engine) Info() Info {
+	return Info{
+		Algorithm:  e.searcher.Name(),
+		Metric:     e.m.Name(),
+		CorpusSize: e.searcher.Size(),
+		Labelled:   len(e.labels) > 0,
+		Workers:    e.workers,
+		Requests:   e.requests.Load(),
+		Cache:      e.cache.Stats(),
+	}
+}
+
+// Labelled reports whether classification queries are possible.
+func (e *Engine) Labelled() bool { return len(e.labels) > 0 }
+
+// countRequest bumps the served-request counter (one per API call, batch or
+// single).
+func (e *Engine) countRequest() { e.requests.Add(1) }
+
+// Distance computes the metric between a and b. The second return is the
+// number of distance computations spent (always 1; present for API symmetry
+// with the search queries).
+func (e *Engine) Distance(a, b string) (float64, int) {
+	e.countRequest()
+	return e.m.Distance(e.cache.Get(a), e.cache.Get(b)), 1
+}
+
+// BatchDistance computes the metric for every pair, fanned out over the
+// worker pool with the same index-striding pattern as ced.DistanceMatrix.
+// It returns one distance per pair, in order, and the total computation
+// count (one per pair).
+//
+// Batch methods decode runes inline rather than through the LRU cache:
+// bulk payloads are dominated by one-off strings, which would serialise
+// the workers on the cache mutex and evict the hot interactive-query
+// entries the cache exists for.
+func (e *Engine) BatchDistance(pairs []Pair) ([]float64, int) {
+	e.countRequest()
+	out := make([]float64, len(pairs))
+	e.fanOut(len(pairs), func(i int) {
+		out[i] = e.m.Distance([]rune(pairs[i].A), []rune(pairs[i].B))
+	})
+	return out, len(pairs)
+}
+
+// KNearest returns the k nearest corpus elements to q, closest first, and
+// the number of distance computations the index spent answering.
+func (e *Engine) KNearest(q string, k int) ([]Neighbor, int, error) {
+	e.countRequest()
+	return e.knn(e.cache.Get(q), k)
+}
+
+// BatchKNearest answers a k-NN query per input string over the worker
+// pool (decoding inline, bypassing the cache — see BatchDistance). The
+// computation count is summed across queries.
+func (e *Engine) BatchKNearest(queries []string, k int) ([][]Neighbor, int, error) {
+	e.countRequest()
+	if err := e.checkK(k); err != nil {
+		return nil, 0, err
+	}
+	if _, ok := e.searcher.(search.KSearcher); !ok {
+		return nil, 0, fmt.Errorf("serve: index %q does not support k-NN", e.searcher.Name())
+	}
+	out := make([][]Neighbor, len(queries))
+	comps := make([]int, len(queries))
+	e.fanOut(len(queries), func(i int) {
+		out[i], comps[i], _ = e.knn([]rune(queries[i]), k)
+	})
+	return out, sum(comps), nil
+}
+
+func (e *Engine) checkK(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("serve: k must be positive (got %d)", k)
+	}
+	return nil
+}
+
+func (e *Engine) knn(q []rune, k int) ([]Neighbor, int, error) {
+	if err := e.checkK(k); err != nil {
+		return nil, 0, err
+	}
+	ks, ok := e.searcher.(search.KSearcher)
+	if !ok {
+		return nil, 0, fmt.Errorf("serve: index %q does not support k-NN", e.searcher.Name())
+	}
+	rs := ks.KNearest(q, k)
+	out := make([]Neighbor, len(rs))
+	comps := 0
+	for i, r := range rs {
+		out[i] = Neighbor{Index: r.Index, Value: e.corpus[r.Index], Distance: r.Distance}
+		comps = r.Computations // every result of one query carries the same total
+	}
+	return out, comps, nil
+}
+
+// Classify labels q with the class of its nearest corpus element (the
+// paper's §4.4 protocol, one query at a time) and reports the distance
+// computations spent. It fails when the corpus is unlabelled.
+func (e *Engine) Classify(q string) (Prediction, int, error) {
+	e.countRequest()
+	return e.classify(e.cache.Get(q))
+}
+
+// BatchClassify classifies every query over the worker pool (decoding
+// inline, bypassing the cache — see BatchDistance), summing the
+// computation counts.
+func (e *Engine) BatchClassify(queries []string) ([]Prediction, int, error) {
+	e.countRequest()
+	if !e.Labelled() {
+		return nil, 0, errUnlabelled
+	}
+	out := make([]Prediction, len(queries))
+	comps := make([]int, len(queries))
+	e.fanOut(len(queries), func(i int) {
+		out[i], comps[i], _ = e.classify([]rune(queries[i]))
+	})
+	return out, sum(comps), nil
+}
+
+var errUnlabelled = fmt.Errorf("serve: corpus is unlabelled; /classify needs a corpus file with \"string\\tlabel\" lines")
+
+func (e *Engine) classify(q []rune) (Prediction, int, error) {
+	if !e.Labelled() {
+		return Prediction{}, 0, errUnlabelled
+	}
+	r := e.searcher.Search(q)
+	return Prediction{
+		Label:    e.labels[r.Index],
+		Neighbor: Neighbor{Index: r.Index, Value: e.corpus[r.Index], Distance: r.Distance},
+	}, r.Computations, nil
+}
+
+// fanOut runs fn(i) for i in [0, n) across the engine's worker pool.
+func (e *Engine) fanOut(n int, fn func(i int)) {
+	pool.Fan(n, e.workers, fn)
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ced/internal/metric"
+)
+
+var (
+	testCorpus = []string{"casa", "cosa", "caso", "masa", "pasa", "queso", "gato", "gatos"}
+	testLabels = []int{0, 0, 0, 1, 1, 2, 3, 3}
+)
+
+func newTestEngine(t *testing.T, algorithm string) *Engine {
+	t.Helper()
+	m := metric.ContextualHeuristic()
+	if algorithm == "bktree" {
+		m = metric.Levenshtein()
+	}
+	e, err := New(testCorpus, testLabels, m, Config{Algorithm: algorithm, Pivots: 3, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	m := metric.Levenshtein()
+	if _, err := New(nil, nil, m, Config{}); err == nil {
+		t.Error("empty corpus should fail")
+	}
+	if _, err := New(testCorpus, []int{1, 2}, m, Config{}); err == nil {
+		t.Error("label length mismatch should fail")
+	}
+	if _, err := New(testCorpus, nil, nil, Config{}); err == nil {
+		t.Error("nil metric should fail")
+	}
+	if _, err := New(testCorpus, nil, m, Config{Algorithm: "quadtree"}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if _, err := New(testCorpus, nil, metric.Contextual(), Config{Algorithm: "bktree"}); err == nil {
+		t.Error("bktree with a fractional metric should fail")
+	}
+	// Pivots beyond the corpus size must clamp, not crash.
+	if _, err := New(testCorpus, nil, m, Config{Algorithm: "laesa", Pivots: 10000}); err != nil {
+		t.Errorf("oversized pivots: %v", err)
+	}
+}
+
+func TestDistanceAndBatchAgree(t *testing.T) {
+	for _, alg := range Algorithms {
+		e := newTestEngine(t, alg)
+		pairs := []Pair{{A: "casa", B: "cosa"}, {A: "gato", B: "gatos"}, {A: "queso", B: "queso"}, {A: "", B: "abc"}}
+		batch, comps := e.BatchDistance(pairs)
+		if comps != len(pairs) {
+			t.Errorf("%s: batch computations = %d, want %d", alg, comps, len(pairs))
+		}
+		for i, p := range pairs {
+			single, c := e.Distance(p.A, p.B)
+			if c != 1 {
+				t.Errorf("%s: single computations = %d", alg, c)
+			}
+			if single != batch[i] {
+				t.Errorf("%s: pair %d: batch %v != single %v", alg, i, batch[i], single)
+			}
+		}
+		if d, _ := e.Distance("queso", "queso"); d != 0 {
+			t.Errorf("%s: self-distance = %v", alg, d)
+		}
+	}
+}
+
+func TestKNearestAcrossAlgorithms(t *testing.T) {
+	for _, alg := range Algorithms {
+		e := newTestEngine(t, alg)
+		ns, comps, err := e.KNearest("cas", 3)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(ns) != 3 {
+			t.Fatalf("%s: %d neighbours", alg, len(ns))
+		}
+		for i := 1; i < len(ns); i++ {
+			if ns[i].Distance < ns[i-1].Distance {
+				t.Errorf("%s: results not sorted: %+v", alg, ns)
+			}
+		}
+		if comps <= 0 || comps > len(testCorpus) {
+			t.Errorf("%s: computations = %d", alg, comps)
+		}
+		// "casa" and "caso" tie under dC,h; any tied element may rank first.
+		if ns[0].Value != "casa" && ns[0].Value != "caso" {
+			t.Errorf("%s: nearest to \"cas\" = %q", alg, ns[0].Value)
+		}
+		if _, _, err := e.KNearest("cas", 0); err == nil {
+			t.Errorf("%s: k=0 should fail", alg)
+		}
+	}
+}
+
+func TestBatchKNearestMatchesSingles(t *testing.T) {
+	e := newTestEngine(t, "laesa")
+	queries := []string{"cas", "gat", "ques", "masa"}
+	batch, comps, err := e.BatchKNearest(queries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("%d batch results", len(batch))
+	}
+	total := 0
+	for i, q := range queries {
+		single, c, err := e.KNearest(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += c
+		for j := range single {
+			if math.Abs(single[j].Distance-batch[i][j].Distance) > 1e-12 {
+				t.Errorf("query %q rank %d: batch %v != single %v", q, j, batch[i][j], single[j])
+			}
+		}
+	}
+	if comps != total {
+		t.Errorf("batch computations = %d, want sum of singles %d", comps, total)
+	}
+	if _, _, err := e.BatchKNearest(queries, -1); err == nil {
+		t.Error("negative k should fail")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	for _, alg := range Algorithms {
+		e := newTestEngine(t, alg)
+		p, comps, err := e.Classify("gatito")
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if p.Label != 3 || !strings.HasPrefix(p.Neighbor.Value, "gato") {
+			t.Errorf("%s: prediction = %+v", alg, p)
+		}
+		if comps <= 0 {
+			t.Errorf("%s: computations = %d", alg, comps)
+		}
+		ps, total, err := e.BatchClassify([]string{"gatito", "cesa"})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(ps) != 2 || ps[0].Label != 3 || ps[1].Label != 0 {
+			t.Errorf("%s: batch predictions = %+v", alg, ps)
+		}
+		if total <= 0 {
+			t.Errorf("%s: batch computations = %d", alg, total)
+		}
+	}
+}
+
+func TestClassifyUnlabelled(t *testing.T) {
+	e, err := New(testCorpus, nil, metric.Levenshtein(), Config{Algorithm: "linear"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Classify("gato"); err == nil {
+		t.Error("classify on unlabelled corpus should fail")
+	}
+	if _, _, err := e.BatchClassify([]string{"gato"}); err == nil {
+		t.Error("batch classify on unlabelled corpus should fail")
+	}
+}
+
+func TestInfoAndCacheCounters(t *testing.T) {
+	e := newTestEngine(t, "vptree")
+	e.Distance("hola", "adios")
+	e.Distance("hola", "adios") // same strings: two cache hits
+	info := e.Info()
+	if info.Algorithm != "vptree" || info.Metric != "dC,h" || info.CorpusSize != len(testCorpus) {
+		t.Errorf("info = %+v", info)
+	}
+	if !info.Labelled {
+		t.Error("labelled corpus reported unlabelled")
+	}
+	if info.Requests != 2 {
+		t.Errorf("requests = %d", info.Requests)
+	}
+	if info.Cache.Hits != 2 || info.Cache.Misses != 2 {
+		t.Errorf("cache stats = %+v", info.Cache)
+	}
+}
+
+func TestWorkerPoolAgreesAtEveryWidth(t *testing.T) {
+	// The striped fan-out must produce identical results whatever the
+	// worker count, including widths above the batch size.
+	pairs := make([]Pair, 37)
+	for i := range pairs {
+		pairs[i] = Pair{A: testCorpus[i%len(testCorpus)], B: testCorpus[(i*3+1)%len(testCorpus)]}
+	}
+	var want []float64
+	for _, workers := range []int{1, 2, 3, 64} {
+		e, err := New(testCorpus, nil, metric.ContextualHeuristic(),
+			Config{Algorithm: "linear", Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := e.BatchDistance(pairs)
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d pair %d: %v != %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

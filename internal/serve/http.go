@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies: batch requests are the largest
+// legitimate payloads, and 8 MiB holds ~100k average word pairs.
+const maxBodyBytes = 8 << 20
+
+// NewHandler wraps an engine in the cedserve JSON API:
+//
+//	GET  /healthz            liveness + engine/cache statistics
+//	POST /distance           {"a": ..., "b": ...}
+//	POST /distance/batch     {"pairs": [{"a": ..., "b": ...}, ...]}
+//	POST /knn                {"query": ..., "k": ...}
+//	POST /knn/batch          {"queries": [...], "k": ...}
+//	POST /classify           {"query": ...}
+//	POST /classify/batch     {"queries": [...]}
+//
+// Every response carries the number of distance computations spent and the
+// server-side latency in milliseconds, so clients can monitor index
+// effectiveness per request.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Info: e.Info()})
+	})
+	mux.HandleFunc("POST /distance", func(w http.ResponseWriter, r *http.Request) {
+		var req distanceRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		d, comps := e.Distance(req.A, req.B)
+		writeJSON(w, http.StatusOK, distanceResponse{
+			Metric: e.m.Name(), Distance: d, queryMeta: meta(comps, start),
+		})
+	})
+	mux.HandleFunc("POST /distance/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchDistanceRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		ds, comps := e.BatchDistance(req.Pairs)
+		writeJSON(w, http.StatusOK, batchDistanceResponse{
+			Metric: e.m.Name(), Distances: ds, queryMeta: meta(comps, start),
+		})
+	})
+	mux.HandleFunc("POST /knn", func(w http.ResponseWriter, r *http.Request) {
+		var req knnRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		ns, comps, err := e.KNearest(req.Query, req.K)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, knnResponse{Results: ns, queryMeta: meta(comps, start)})
+	})
+	mux.HandleFunc("POST /knn/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchKNNRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		ns, comps, err := e.BatchKNearest(req.Queries, req.K)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, batchKNNResponse{Results: ns, queryMeta: meta(comps, start)})
+	})
+	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
+		var req classifyRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		p, comps, err := e.Classify(req.Query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, classifyResponse{Prediction: p, queryMeta: meta(comps, start)})
+	})
+	mux.HandleFunc("POST /classify/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchClassifyRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		ps, comps, err := e.BatchClassify(req.Queries)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, batchClassifyResponse{Results: ps, queryMeta: meta(comps, start)})
+	})
+	return mux
+}
+
+// Request bodies.
+type (
+	distanceRequest      struct{ A, B string }
+	batchDistanceRequest struct {
+		Pairs []Pair `json:"pairs"`
+	}
+	knnRequest struct {
+		Query string `json:"query"`
+		K     int    `json:"k"`
+	}
+	batchKNNRequest struct {
+		Queries []string `json:"queries"`
+		K       int      `json:"k"`
+	}
+	classifyRequest struct {
+		Query string `json:"query"`
+	}
+	batchClassifyRequest struct {
+		Queries []string `json:"queries"`
+	}
+)
+
+// queryMeta carries the per-request metrics embedded in every response.
+type queryMeta struct {
+	// Computations is the number of distance evaluations the request
+	// spent — the paper's search-cost measure, summed over a batch.
+	Computations int `json:"computations"`
+	// LatencyMS is the server-side handling time in milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func meta(comps int, start time.Time) queryMeta {
+	return queryMeta{Computations: comps, LatencyMS: float64(time.Since(start)) / float64(time.Millisecond)}
+}
+
+// Response bodies.
+type (
+	healthResponse struct {
+		Status string `json:"status"`
+		Info   Info   `json:"info"`
+	}
+	distanceResponse struct {
+		Metric   string  `json:"metric"`
+		Distance float64 `json:"distance"`
+		queryMeta
+	}
+	batchDistanceResponse struct {
+		Metric    string    `json:"metric"`
+		Distances []float64 `json:"distances"`
+		queryMeta
+	}
+	knnResponse struct {
+		Results []Neighbor `json:"results"`
+		queryMeta
+	}
+	batchKNNResponse struct {
+		Results [][]Neighbor `json:"results"`
+		queryMeta
+	}
+	classifyResponse struct {
+		Prediction
+		queryMeta
+	}
+	batchClassifyResponse struct {
+		Results []Prediction `json:"results"`
+		queryMeta
+	}
+)
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decode parses a JSON request body into dst, rejecting unknown fields and
+// oversized bodies. On failure it writes the error response and returns
+// false.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding these response types cannot fail; a broken connection is
+	// the client's problem and surfaces in the server error log.
+	_ = json.NewEncoder(w).Encode(body)
+}

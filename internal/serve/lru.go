@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// runeCache is a thread-safe LRU cache mapping query strings to their
+// []rune decodings. The serving hot path converts every incoming query
+// string to runes before handing it to a metric or searcher; repeated
+// queries (the common case behind a load balancer) hit the cache and skip
+// the UTF-8 decode and allocation entirely.
+//
+// Cached slices are shared between callers and must be treated as
+// immutable — every consumer in internal/search and internal/metric reads
+// them without mutation.
+type runeCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key   string
+	runes []rune
+}
+
+// CacheStats is a snapshot of the cache counters, reported by /healthz.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// newRuneCache builds a cache holding at most capacity entries.
+// capacity <= 0 disables caching: Get always decodes.
+func newRuneCache(capacity int) *runeCache {
+	c := &runeCache{capacity: capacity}
+	if capacity > 0 {
+		c.order = list.New()
+		c.entries = make(map[string]*list.Element, capacity)
+	}
+	return c
+}
+
+// Get returns the rune decoding of s, from cache when possible.
+func (c *runeCache) Get(s string) []rune {
+	if c.capacity <= 0 {
+		return []rune(s)
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[s]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		rs := el.Value.(*cacheEntry).runes
+		c.mu.Unlock()
+		return rs
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Decode outside the lock: conversion cost dominates for long strings,
+	// and racing inserts of the same key are harmless (last one wins).
+	rs := []rune(s)
+
+	c.mu.Lock()
+	if el, ok := c.entries[s]; ok {
+		// Lost the race to another goroutine; reuse its entry.
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		return el.Value.(*cacheEntry).runes
+	}
+	c.entries[s] = c.order.PushFront(&cacheEntry{key: s, runes: rs})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+	return rs
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *runeCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{Capacity: c.capacity, Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+	if c.order != nil {
+		st.Size = c.order.Len()
+	}
+	return st
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRuneCacheHitMissEvict(t *testing.T) {
+	c := newRuneCache(2)
+	if got := string(c.Get("ñu")); got != "ñu" {
+		t.Fatalf("Get = %q", got)
+	}
+	c.Get("ñu") // hit
+	c.Get("b")  // miss; cache now full: [b, ñu]
+	c.Get("ñu") // hit, refreshes ñu: [ñu, b]
+	c.Get("c")  // miss; evicts b, the least recently used
+	if st := c.Stats(); st.Hits != 2 || st.Misses != 3 || st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	c.Get("ñu") // survived the eviction: hit
+	if st := c.Stats(); st.Hits != 3 {
+		t.Fatalf("expected ñu to survive eviction; stats = %+v", st)
+	}
+	c.Get("b") // was evicted: miss
+	if st := c.Stats(); st.Misses != 4 {
+		t.Fatalf("expected b to have been evicted; stats = %+v", st)
+	}
+}
+
+func TestRuneCacheDisabled(t *testing.T) {
+	c := newRuneCache(0)
+	if got := string(c.Get("hola")); got != "hola" {
+		t.Fatalf("Get = %q", got)
+	}
+	if st := c.Stats(); st.Size != 0 || st.Hits != 0 {
+		t.Fatalf("disabled cache should not track entries: %+v", st)
+	}
+}
+
+func TestRuneCacheConcurrent(t *testing.T) {
+	// Hammer a small cache from many goroutines; run with -race.
+	c := newRuneCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				if got := string(c.Get(key)); got != key {
+					t.Errorf("Get(%q) = %q", key, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > 8 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("lost lookups: %+v", st)
+	}
+}

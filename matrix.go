@@ -1,19 +1,20 @@
 package ced
 
 import (
-	"runtime"
-	"sync"
-
 	"ced/internal/metric"
+	"ced/internal/pool"
 )
 
 // DistanceMatrix computes the full symmetric distance matrix over data in
 // parallel: out[i][j] = m.Distance(data[i], data[j]), with zeros on the
-// diagonal. workers <= 0 uses all CPUs.
+// diagonal. It evaluates the metric n·(n−1)/2 times (each unordered pair
+// once, mirrored into both triangles), striped over the worker pool with
+// no locking; workers <= 0 uses all CPUs.
 //
-// This is the bulk primitive behind the histogram and intrinsic-
-// dimensionality analyses; it is exposed because downstream users of a
-// distance library almost always end up needing it.
+// This is the bulk primitive behind the paper's distance histograms
+// (Figures 1–2) and intrinsic-dimensionality estimates (Table 1, computed
+// as μ²/2σ² over exactly these pairwise distances); BatchDistance and the
+// cedserve worker pool reuse its striding pattern.
 func DistanceMatrix(data []string, m Metric, workers int) [][]float64 {
 	n := len(data)
 	im := internalMetric(m)
@@ -23,31 +24,21 @@ func DistanceMatrix(data []string, m Metric, workers int) [][]float64 {
 	for i := range out {
 		out[i] = cells[i*n : (i+1)*n]
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				for j := i + 1; j < n; j++ {
-					v := im.Distance(runes[i], runes[j])
-					out[i][j] = v
-					out[j][i] = v
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+	pool.Fan(n, workers, func(i int) {
+		for j := i + 1; j < n; j++ {
+			v := im.Distance(runes[i], runes[j])
+			out[i][j] = v
+			out[j][i] = v
+		}
+	})
 	return out
 }
 
-// ContextualHybrid returns a contextual metric that computes the exact
-// distance for pairs with |x|+|y| at most threshold symbols and the
-// heuristic for longer pairs (threshold <= 0 means 64). See the ablation
-// benches for the cost/accuracy trade-off it navigates.
+// ContextualHybrid returns a contextual metric that computes the exact dC
+// (Algorithm 1, O(|x|·|y|·(|x|+|y|)) time) for pairs with |x|+|y| at most
+// threshold symbols and the O(|x|·|y|) heuristic dC,h of §4.1 for longer
+// pairs (threshold <= 0 means 64). See the ablation benches in
+// bench_test.go for the cost/accuracy trade-off it navigates.
 func ContextualHybrid(threshold int) Metric {
 	return stringMetric{m: metric.ContextualHybrid(threshold)}
 }

@@ -7,7 +7,10 @@ import (
 	"ced/internal/search"
 )
 
-// SearchResult is the outcome of a nearest-neighbour query.
+// SearchResult is the outcome of a nearest-neighbour query. Its
+// Computations field is the paper's cost measure: §4.3 evaluates searchers
+// by distance computations per query (Figures 3 and 4), since metric
+// evaluations dominate search time for edit distances.
 type SearchResult struct {
 	// Index is the position of the neighbour in the corpus passed at index
 	// construction, or -1 for an empty corpus.
@@ -21,13 +24,17 @@ type SearchResult struct {
 	Computations int
 }
 
-// Index is a nearest-neighbour search index over a fixed corpus of strings.
+// Index is a nearest-neighbour search index over a fixed corpus of
+// strings — the apparatus of the paper's §4.3–§4.4 experiments. Indexes
+// are immutable once built and safe for concurrent queries.
 type Index struct {
 	corpus   []string
 	searcher search.Searcher
 }
 
-// Nearest returns the corpus string nearest to q.
+// Nearest returns the corpus string nearest to q — the 1-NN query of the
+// paper's §4.3. Cost ranges from O(pivots + ε·n) distance computations for
+// LAESA (Figure 3's vertical axis) to exactly n for a linear index.
 func (ix *Index) Nearest(q string) SearchResult {
 	r := ix.searcher.Search([]rune(q))
 	out := SearchResult{Index: r.Index, Distance: r.Distance, Computations: r.Computations}
@@ -37,8 +44,11 @@ func (ix *Index) Nearest(q string) SearchResult {
 	return out
 }
 
-// KNearest returns the k nearest corpus strings, closest first. Every index
-// built by this package supports it.
+// KNearest returns the k nearest corpus strings, closest first — the
+// k-NN generalisation of the paper's 1-NN protocol. Every metric-space
+// index (laesa, linear, vptree, bktree) supports it, pruning with a
+// shrinking k-th-best bound so the cost approaches Nearest's as the
+// corpus grows relative to k; a trie index returns nil.
 func (ix *Index) KNearest(q string, k int) []SearchResult {
 	ks, ok := ix.searcher.(search.KSearcher)
 	if !ok {
@@ -48,7 +58,10 @@ func (ix *Index) KNearest(q string, k int) []SearchResult {
 }
 
 // Radius returns every corpus string within distance r of q (inclusive),
-// sorted by distance. Every index built by this package supports it.
+// sorted by distance — the range query that motivates the paper's
+// insistence on true metrics: triangle-inequality pruning is only sound
+// when the distance is one (dC qualifies; dmax, dmin, dsum do not). Every
+// index built by this package supports it.
 func (ix *Index) Radius(q string, r float64) []SearchResult {
 	rs, ok := ix.searcher.(search.RadiusSearcher)
 	if !ok {
@@ -69,16 +82,19 @@ func (ix *Index) convert(rs []search.Result) []SearchResult {
 	return out
 }
 
-// Len returns the corpus size.
+// Len returns the corpus size in O(1).
 func (ix *Index) Len() int { return ix.searcher.Size() }
 
-// Algorithm returns the name of the underlying search algorithm.
+// Algorithm returns the name of the underlying search algorithm
+// ("laesa", "linear", "vptree", "bktree" or "trie") in O(1).
 func (ix *Index) Algorithm() string { return ix.searcher.Name() }
 
 // NewLAESA builds a LAESA index (Micó–Oncina–Vidal 1994) over corpus with
-// the given number of base prototypes (pivots). Preprocessing computes
-// pivots×len(corpus) distances; queries then use the triangle inequality to
-// skip most distance computations.
+// the given number of base prototypes (pivots) — the searcher of the
+// paper's §4.3–§4.4 experiments (Figures 3–4, Table 2). Preprocessing
+// computes pivots×len(corpus) distances and stores them in O(pivots·n)
+// memory; queries then use the triangle inequality to skip most distance
+// computations (the per-query cost plotted on Figure 3's vertical axis).
 //
 // m should be a true metric (Contextual, Levenshtein, YujianBo) for exact
 // results; with non-metrics (MaxNormalised, and in principle
@@ -92,8 +108,9 @@ func NewLAESA(corpus []string, m Metric, pivots int) *Index {
 }
 
 // NewLinear builds an exhaustive-search index: every query computes the
-// distance to every corpus element. It is the correctness baseline for the
-// other indexes.
+// distance to all n corpus elements (exactly n computations, no
+// preprocessing). It is Table 2's "exhaustive search" column and the
+// correctness baseline for the other indexes.
 func NewLinear(corpus []string, m Metric) *Index {
 	return &Index{
 		corpus:   corpus,
@@ -101,13 +118,32 @@ func NewLinear(corpus []string, m Metric) *Index {
 	}
 }
 
-// NewVPTree builds a vantage-point tree index: O(n log n) preprocessing
-// distances, triangle-inequality pruning at query time.
+// NewVPTree builds a vantage-point tree index (Yianilos 1993): O(n log n)
+// preprocessing distances and O(n) memory, triangle-inequality pruning at
+// query time. It is one of the "other methods that use metric properties"
+// the paper's §4.3 positions LAESA against: cheaper to build than LAESA
+// but prunes less per computed distance.
 func NewVPTree(corpus []string, m Metric) *Index {
 	return &Index{
 		corpus:   corpus,
 		searcher: search.NewVPTree(toRunes(corpus), internalMetric(m), 1),
 	}
+}
+
+// NewBKTree builds a Burkhard–Keller tree index: O(n log n) expected
+// preprocessing distances, pruning child edges whose integer label falls
+// outside [d−best, d+best]. It is the classic dictionary-search ablation
+// baseline for the paper's §4.3 comparison. The tree's edge labels are
+// integers, so a fractional metric would silently corrupt lookups; only
+// the integer-valued Levenshtein (dE) is accepted.
+func NewBKTree(corpus []string, m Metric) (*Index, error) {
+	if m.Name() != "dE" {
+		return nil, fmt.Errorf("ced: the bktree index prunes on integer distances and requires dE, not %q", m.Name())
+	}
+	return &Index{
+		corpus:   corpus,
+		searcher: search.NewBKTree(toRunes(corpus), internalMetric(m)),
+	}, nil
 }
 
 // NewTrie builds a prefix-trie index specialised for the plain edit
@@ -120,7 +156,9 @@ func NewTrie(corpus []string) *Index {
 }
 
 // NewIndex builds an index by algorithm name: "laesa" (with the given
-// pivot count), "linear", "vptree", or "trie" (dE only; m is ignored).
+// pivot count), "linear", "vptree", "bktree" (dE only — the BK-tree
+// prunes on integer distances, so a fractional metric is rejected), or
+// "trie" (dE only; m is ignored).
 func NewIndex(algorithm string, corpus []string, m Metric, pivots int) (*Index, error) {
 	switch algorithm {
 	case "laesa":
@@ -129,10 +167,12 @@ func NewIndex(algorithm string, corpus []string, m Metric, pivots int) (*Index, 
 		return NewLinear(corpus, m), nil
 	case "vptree":
 		return NewVPTree(corpus, m), nil
+	case "bktree":
+		return NewBKTree(corpus, m)
 	case "trie":
 		return NewTrie(corpus), nil
 	default:
-		return nil, fmt.Errorf("ced: unknown search algorithm %q (known: laesa, linear, vptree, trie)", algorithm)
+		return nil, fmt.Errorf("ced: unknown search algorithm %q (known: laesa, linear, vptree, bktree, trie)", algorithm)
 	}
 }
 
@@ -144,9 +184,10 @@ func toRunes(ss []string) [][]rune {
 	return out
 }
 
-// Save serialises a LAESA index (corpus, pivots and the preprocessing
-// distance matrix) so it can be reloaded without recomputing distances.
-// Only LAESA indexes support saving.
+// Save serialises a LAESA index (corpus, pivots and the pivots×n
+// preprocessing distance matrix) so it can be reloaded without recomputing
+// the preprocessing distances — the expensive part of §4.3's setup. Only
+// LAESA indexes support saving; writing is O(pivots·n) values.
 func (ix *Index) Save(w io.Writer) error {
 	la, ok := ix.searcher.(*search.LAESA)
 	if !ok {
@@ -155,9 +196,9 @@ func (ix *Index) Save(w io.Writer) error {
 	return la.Save(w)
 }
 
-// LoadLAESAIndex restores an index written by (*Index).Save, attaching m
-// as the query metric; m must be the same distance the index was built
-// with (checked by name).
+// LoadLAESAIndex restores an index written by (*Index).Save in O(pivots·n)
+// time with zero distance computations, attaching m as the query metric; m
+// must be the same distance the index was built with (checked by name).
 func LoadLAESAIndex(r io.Reader, m Metric) (*Index, error) {
 	la, err := search.LoadLAESA(r, internalMetric(m))
 	if err != nil {

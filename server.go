@@ -1,0 +1,111 @@
+package ced
+
+import (
+	"net/http"
+
+	"ced/internal/serve"
+)
+
+// Neighbor is one k-NN answer element returned by the serving layer. It
+// aliases the internal serve type so Server results marshal to the same
+// JSON the HTTP API emits.
+type Neighbor = serve.Neighbor
+
+// Prediction is one nearest-neighbour classification answer from the
+// serving layer (the paper's §4.4 decision rule applied to a single query).
+type Prediction = serve.Prediction
+
+// ServerInfo is the engine snapshot reported by Server.Info and the
+// /healthz endpoint: index and metric identity, corpus size, request and
+// cache counters.
+type ServerInfo = serve.Info
+
+// ServerConfig configures NewServer. The zero value serves the corpus
+// through a 16-pivot LAESA index with the dC,h heuristic metric, all CPUs
+// in the batch worker pool, and a 4096-entry query cache.
+type ServerConfig struct {
+	// Algorithm selects the search index: "laesa" (default), "vptree",
+	// "bktree" (requires Metric dE) or "linear". These are the metric-
+	// space structures compared in the paper's §4.3.
+	Algorithm string
+	// Metric is the distance to serve; nil defaults to
+	// ContextualHeuristic (dC,h), the variant the paper uses at scale.
+	Metric Metric
+	// Pivots is the LAESA base-prototype count; <= 0 defaults to 16.
+	Pivots int
+	// Seed drives randomised index construction; a fixed seed rebuilds an
+	// identical index.
+	Seed int64
+	// Workers sizes the batch worker pool; <= 0 uses all CPUs.
+	Workers int
+	// CacheSize bounds the LRU cache of query→rune decodings; < 0
+	// disables the cache and 0 defaults to 4096 entries.
+	CacheSize int
+}
+
+// Server is the embeddable batch-serving engine behind cmd/cedserve: a
+// corpus, a metric-space index and a worker pool, exposed both as Go
+// methods and as an http.Handler. Construction costs the index
+// preprocessing distances (pivots×n for LAESA, O(n log n) for a VP-tree);
+// every later query reports how many distance computations it spent — the
+// cost measure of the paper's Figures 3 and 4. All methods are safe for
+// concurrent use.
+type Server struct {
+	eng *serve.Engine
+}
+
+// NewServer builds a serving engine over corpus. When the corpus is
+// labelled (Dataset.Labelled), the classify endpoints are enabled.
+func NewServer(corpus *Dataset, cfg ServerConfig) (*Server, error) {
+	m := cfg.Metric
+	if m == nil {
+		m = ContextualHeuristic()
+	}
+	cache := cfg.CacheSize
+	switch {
+	case cache == 0:
+		cache = 4096
+	case cache < 0:
+		cache = 0
+	}
+	eng, err := serve.New(corpus.Strings, corpus.Labels, internalMetric(m), serve.Config{
+		Algorithm: cfg.Algorithm,
+		Pivots:    cfg.Pivots,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		CacheSize: cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng}, nil
+}
+
+// Handler returns the JSON HTTP API over this server: /healthz, /distance,
+// /knn, /classify and their /batch variants. See cmd/cedserve for the
+// standalone daemon and README.md for the wire format.
+func (s *Server) Handler() http.Handler { return serve.NewHandler(s.eng) }
+
+// Info returns the current engine snapshot (corpus size, request count,
+// cache hit statistics).
+func (s *Server) Info() ServerInfo { return s.eng.Info() }
+
+// Distance computes the served metric between a and b, returning the value
+// and the number of distance computations spent (always 1).
+func (s *Server) Distance(a, b string) (float64, int) { return s.eng.Distance(a, b) }
+
+// BatchDistance evaluates the served metric on every pair using the worker
+// pool, returning one distance per pair (in order) and the total
+// computation count. For a one-off batch without a Server, use the
+// package-level BatchDistance.
+func (s *Server) BatchDistance(pairs []Pair) ([]float64, int) {
+	return s.eng.BatchDistance(pairs)
+}
+
+// KNearest returns the k nearest corpus elements to q, closest first, with
+// the distance computations the index spent.
+func (s *Server) KNearest(q string, k int) ([]Neighbor, int, error) { return s.eng.KNearest(q, k) }
+
+// Classify labels q with the class of its nearest corpus element. The
+// corpus passed to NewServer must have been labelled.
+func (s *Server) Classify(q string) (Prediction, int, error) { return s.eng.Classify(q) }

@@ -164,6 +164,42 @@ func benchMetric(b *testing.B, m metric.Metric, kind string, n int) {
 	}
 }
 
+// --- Ablation: cutoff-bounded exact kernel (BENCH_kernel.json) ---
+
+// BenchmarkContextualBoundedDNA200 measures core.DistanceBounded under a
+// cutoff of half the true distance — the regime a metric-space searcher
+// with a good best-so-far puts the kernel in. The k-band proves the
+// distance exceeds the cutoff after only the quadratic heuristic, so the
+// cubic sweep is abandoned; compare with BenchmarkContextualExactDNA200.
+func BenchmarkContextualBoundedDNA200(b *testing.B) {
+	x, y := distPairs(b, "dna", 200)
+	m := metric.Contextual().(metric.BoundedMetric)
+	cutoff := m.Distance(x, y) / 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DistanceBounded(x, y, cutoff)
+	}
+}
+
+// BenchmarkLAESAExactContextual runs LAESA queries under the *exact* dC —
+// viable only because eliminated candidates now cost a bounded evaluation
+// instead of a full cubic one (NewLAESA passes the pruning radius as the
+// cutoff). The comps/query metric is unchanged by bounding; ns/op is what
+// the cutoff buys.
+func BenchmarkLAESAExactContextual(b *testing.B) {
+	corpus := dataset.Spanish(300, 18).Runes()
+	queries := dataset.PerturbQueries(dataset.Spanish(300, 18), 40, 2, 19).Runes()
+	la := search.NewLAESA(corpus, metric.Contextual(), 30, search.MaxSum, 20)
+	comps := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comps += la.Search(queries[i%len(queries)]).Computations
+	}
+	b.ReportMetric(float64(comps)/float64(b.N), "comps/query")
+}
+
 // --- Ablations: pivot selection strategy and searcher structure ---
 
 func BenchmarkAblationPivotSelection(b *testing.B) {

@@ -49,8 +49,22 @@ func (s stringMetric) Distance(a, b string) float64 {
 }
 
 // Contextual returns the exact contextual normalised edit distance dC
-// (Algorithm 1 of the paper, O(|x|·|y|·(|x|+|y|)) time). It is a metric.
+// (Algorithm 1 of the paper, pruned to the heuristic-derived edit-length
+// band: O(|x|·|y|·kmax) time with kmax ≤ |x|+|y|, allocation-free at
+// steady state). It is a metric.
 func Contextual() Metric { return stringMetric{metric.Contextual()} }
+
+// ContextualBounded evaluates the exact contextual distance under a
+// cutoff. It returns (dC(a, b), true) whenever dC(a, b) ≤ cutoff;
+// otherwise it may abandon the evaluation as soon as the distance is
+// provably above the cutoff, returning (v, false) with an upper bound
+// v satisfying cutoff < v and dC(a, b) ≤ v. Use it to resolve "is this
+// candidate within radius r?" questions at a fraction of a full
+// evaluation; the nearest-neighbour indexes in this package already do so
+// internally when searching under dC.
+func ContextualBounded(a, b string, cutoff float64) (float64, bool) {
+	return core.DistanceBounded([]rune(a), []rune(b), cutoff)
+}
 
 // ContextualHeuristic returns the quadratic-time heuristic dC,h (§4.1 of
 // the paper). It never undershoots dC and equals it on ~90% of pairs; the

@@ -286,3 +286,17 @@ func TestNewTrieIndex(t *testing.T) {
 		t.Errorf("trie KNearest should be nil, got %v", got)
 	}
 }
+
+func TestContextualBounded(t *testing.T) {
+	want := ced.Contextual().Distance("ababa", "baab") // 8/15
+	if d, exact := ced.ContextualBounded("ababa", "baab", 1); !exact || d != want {
+		t.Errorf("generous cutoff: got (%v, %v), want (%v, true)", d, exact, want)
+	}
+	d, exact := ced.ContextualBounded("ababa", "baab", 0.1)
+	if exact && d != want {
+		t.Errorf("exact result under tight cutoff must match: %v vs %v", d, want)
+	}
+	if !exact && d <= 0.1 {
+		t.Errorf("bail value %v at or below the cutoff", d)
+	}
+}

@@ -23,10 +23,14 @@
 //     (Algorithm 1) over ni[i][j][k], the maximum number of insertions on an
 //     internal path from x[:i] to y[:j] using exactly k operations.
 //
-// Compute runs Algorithm 1 exactly; HeuristicCompute runs the quadratic
-// heuristic dC,h of §4.1 (evaluate only the minimal feasible k), which the
+// Compute runs Algorithm 1 exactly — pruned to the edit-length band that
+// the §4.1 heuristic upper bound proves sufficient, on pooled scratch
+// memory (workspace.go) — and HeuristicCompute runs the quadratic heuristic
+// dC,h of §4.1 itself (evaluate only the minimal feasible k), which the
 // paper reports equals the exact value in about 90% of cases and which this
-// package guarantees to be an upper bound of it.
+// package guarantees to be an upper bound of it. DistanceBounded evaluates
+// the exact distance under a caller-supplied cutoff, abandoning the
+// dynamic program when the band proves the distance exceeds it.
 package core
 
 import "math"
@@ -57,8 +61,10 @@ type Result struct {
 }
 
 // Distance returns the exact contextual normalised edit distance between x
-// and y, running Algorithm 1 of the paper in O(|x|·|y|·(|x|+|y|)) time and
-// O(|y|·(|x|+|y|)) space.
+// and y, running the banded Algorithm 1 of the paper in
+// O(|x|·|y|·kmax) time — kmax ≤ |x|+|y| is the heuristic-derived edit-length
+// band, see workspace.go — and O(|y|·kmax) space, allocation-free at steady
+// state.
 func Distance(x, y []rune) float64 {
 	return Compute(x, y).Distance
 }
@@ -68,8 +74,37 @@ func DistanceStrings(x, y string) float64 {
 	return Distance([]rune(x), []rune(y))
 }
 
-// Compute runs the exact Algorithm 1 and returns the full decomposition of
-// the optimal path.
+// DistanceBounded evaluates the exact contextual distance under a cutoff:
+// it returns (dC(x, y), true) whenever dC(x, y) ≤ cutoff, and otherwise may
+// abandon the evaluation once the edit-length band proves dC(x, y) > cutoff,
+// returning (v, false) with cutoff < v and dC(x, y) ≤ v. Metric-space
+// searchers pass their current pruning radius as the cutoff so that
+// far-away candidates cost a fraction of a full evaluation; see
+// Workspace.ComputeBounded for the exact contract.
+func DistanceBounded(x, y []rune, cutoff float64) (float64, bool) {
+	w := workspaces.Get().(*Workspace)
+	res, exact := w.ComputeBounded(x, y, cutoff)
+	workspaces.Put(w)
+	return res.Distance, exact
+}
+
+// Compute runs the exact Algorithm 1 — pruned to the edit-length band
+// derived from the §4.1 heuristic upper bound and running on pooled scratch
+// memory (see workspace.go) — and returns the full decomposition of the
+// optimal path. The result is bit-identical to computeReference, the
+// unpruned seed algorithm, which the package's differential fuzz tests
+// enforce.
+func Compute(x, y []rune) Result {
+	w := workspaces.Get().(*Workspace)
+	res := w.Compute(x, y)
+	workspaces.Put(w)
+	return res
+}
+
+// computeReference is the unpruned seed implementation of Algorithm 1,
+// retained verbatim as the differential-testing reference for the banded
+// kernel (workspace.go): it allocates its planes per call and always sweeps
+// the full edit-length range k ∈ [0, |x|+|y|].
 //
 // The dynamic program fills ni[i][j][k] — the maximum number of insertions
 // over internal paths from x[:i] to y[:j] with exactly k unit operations
@@ -82,7 +117,7 @@ func DistanceStrings(x, y string) float64 {
 // is the harmonic number: insertions are applied first on growing strings,
 // substitutions on the longest intermediate string, deletions last on
 // shrinking strings (Lemma 1).
-func Compute(x, y []rune) Result {
+func computeReference(x, y []rune) Result {
 	m, n := len(x), len(y)
 	if m == 0 && n == 0 {
 		return Result{Exact: true}
@@ -183,57 +218,17 @@ func HeuristicStrings(x, y string) float64 {
 	return Heuristic([]rune(x), []rune(y))
 }
 
-// HeuristicCompute runs the dC,h dynamic program and returns the
-// decomposition it evaluated. It runs in O(|x|·|y|) time and O(|y|) space.
+// HeuristicCompute runs the dC,h dynamic program on pooled scratch rows
+// and returns the decomposition it evaluated. It runs in O(|x|·|y|) time
+// and O(|y|) space, allocation-free at steady state.
 //
 // Each cell carries (kmin, ni): the Levenshtein distance of the prefixes and
 // the maximum number of insertions over minimum-operation internal paths,
 // with ties broken toward more insertions (longer intermediate strings are
-// cheaper, Lemma 1).
+// cheaper, Lemma 1). See Workspace.HeuristicCompute for the kernel.
 func HeuristicCompute(x, y []rune) Result {
-	m, n := len(x), len(y)
-	kr := make([]int32, n+1) // kmin for the current row
-	ir := make([]int32, n+1) // max insertions at kmin
-	for j := 0; j <= n; j++ {
-		kr[j] = int32(j)
-		ir[j] = int32(j)
-	}
-	for i := 1; i <= m; i++ {
-		diagK, diagI := kr[0], ir[0]
-		kr[0] = int32(i)
-		ir[0] = 0
-		xi := x[i-1]
-		for j := 1; j <= n; j++ {
-			upK, upI := kr[j], ir[j]
-			var bk, bi int32
-			if xi == y[j-1] {
-				bk, bi = diagK, diagI // cost-0 match
-			} else {
-				bk, bi = diagK+1, diagI // substitution
-			}
-			if k := upK + 1; k < bk || (k == bk && upI > bi) {
-				bk, bi = k, upI // deletion of x[i-1]
-			}
-			if k := kr[j-1] + 1; k < bk || (k == bk && ir[j-1]+1 > bi) {
-				bk, bi = k, ir[j-1]+1 // insertion of y[j-1]
-			}
-			kr[j], ir[j] = bk, bi
-			diagK, diagI = upK, upI
-		}
-	}
-	k, ni := int(kr[n]), int(ir[n])
-	nd := m - n + ni
-	ns := k - ni - nd
-	h := harmonicPrefix(m + ni)
-	d := h[m+ni] - h[m] + h[n+nd] - h[n]
-	if ns > 0 {
-		d += float64(ns) / float64(m+ni)
-	}
-	return Result{
-		Distance:      d,
-		K:             k,
-		Insertions:    ni,
-		Substitutions: ns,
-		Deletions:     nd,
-	}
+	w := workspaces.Get().(*Workspace)
+	res := w.HeuristicCompute(x, y)
+	workspaces.Put(w)
+	return res
 }

@@ -1,6 +1,77 @@
 package core
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPrunedMatchesReference is the differential fuzz for the banded,
+// pooled kernel: Compute must be *bit-identical* — distance compared with
+// ==, not a tolerance — to computeReference, the unpruned seed algorithm,
+// on every input. The band only removes edit lengths whose analytic best
+// case already exceeds the k = dE candidate that both kernels evaluate, so
+// the float computations that remain are literally the same operations in
+// the same order.
+func FuzzPrunedMatchesReference(f *testing.F) {
+	f.Add("ababa", "baab")
+	f.Add("", "abc")
+	f.Add("abc", "")
+	f.Add("ñandú", "nandu")
+	f.Add("aaaaaaaaaa", "a")
+	f.Add("abcabcabcabc", "cbacbacba")
+	f.Fuzz(func(t *testing.T, sx, sy string) {
+		x, y := []rune(sx), []rune(sy)
+		if len(x) > 48 || len(y) > 48 {
+			t.Skip()
+		}
+		got := Compute(x, y)
+		want := computeReference(x, y)
+		want.Exact = true
+		if got != want {
+			t.Fatalf("pruned kernel diverged for %q %q:\n got %+v\nwant %+v", sx, sy, got, want)
+		}
+	})
+}
+
+// FuzzDistanceBounded asserts the DistanceBounded contract against the
+// seed algorithm: when the kernel claims exactness the value is
+// bit-identical to the reference; when it bails, the reference distance
+// really is above the cutoff and the returned value is an upper bound that
+// never dips to the cutoff or below.
+func FuzzDistanceBounded(f *testing.F) {
+	f.Add("ababa", "baab", 0.5)
+	f.Add("ababa", "baab", 0.6)
+	f.Add("", "abc", 0.0)
+	f.Add("abcdef", "xyz", -1.0)
+	f.Add("aaaa", "aaaa", 0.25)
+	f.Fuzz(func(t *testing.T, sx, sy string, cutoff float64) {
+		x, y := []rune(sx), []rune(sy)
+		if len(x) > 48 || len(y) > 48 || math.IsNaN(cutoff) {
+			t.Skip()
+		}
+		want := computeReference(x, y).Distance
+		got, exact := DistanceBounded(x, y, cutoff)
+		switch {
+		case exact:
+			if got != want {
+				t.Fatalf("exact DistanceBounded(%q,%q,%v) = %v, want %v", sx, sy, cutoff, got, want)
+			}
+		default:
+			if want <= cutoff {
+				t.Fatalf("bailed on %q %q although dC = %v <= cutoff %v", sx, sy, want, cutoff)
+			}
+			if got <= cutoff {
+				t.Fatalf("bail value %v at or below cutoff %v for %q %q", got, cutoff, sx, sy)
+			}
+			if got < want-1e-12 {
+				t.Fatalf("bail value %v below the true distance %v for %q %q", got, want, sx, sy)
+			}
+		}
+		if exact2, ok := DistanceBounded(x, y, math.Inf(1)); !ok || exact2 != want {
+			t.Fatalf("DistanceBounded(+Inf) = (%v, %v), want (%v, true)", exact2, ok, want)
+		}
+	})
+}
 
 func FuzzHeuristicUpperBound(f *testing.F) {
 	f.Add("ababa", "baab")

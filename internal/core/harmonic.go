@@ -33,9 +33,25 @@ func Harmonic(n int) float64 {
 // dC(x, y) <= UpperBound(|x|, |y|) for every pair of strings, which shows dC
 // grows at most logarithmically with the string lengths — the property that
 // makes the contextual normalisation length-aware.
+//
+// Only three harmonic values are needed, so a single running sum captures
+// them allocation-free: search layers call this on every candidate bound
+// check, where a per-call prefix array would dominate the cost.
 func UpperBound(m, n int) float64 {
-	h := harmonicPrefix(m + n)
-	return 2*h[m+n] - h[m] - h[n]
+	if n < m {
+		m, n = n, m
+	}
+	s, hm, hn := 0.0, 0.0, 0.0
+	for i := 1; i <= m+n; i++ {
+		s += 1 / float64(i)
+		if i == m {
+			hm = s
+		}
+		if i == n {
+			hn = s
+		}
+	}
+	return 2*s - hm - hn
 }
 
 // OperationCost returns the contextual cost of a single elementary operation

@@ -31,6 +31,31 @@ type Metric interface {
 	Distance(a, b []rune) float64
 }
 
+// BoundedMetric is the capability interface for metrics that can evaluate
+// a distance under a cutoff, abandoning work once the value is provably
+// above it. DistanceBounded returns (d, true) with d the exact distance —
+// guaranteed whenever the true distance is at most cutoff — or (v, false)
+// when the metric proved the true distance exceeds cutoff without
+// finishing the evaluation. On a bail, cutoff < v but v is otherwise
+// implementation-defined (the contextual kernel returns an upper bound of
+// the true distance, the banded Levenshtein engine a lower one): callers
+// may act only on the proof that the true distance exceeds the cutoff.
+// Triangle-inequality searchers pass their current pruning radius as the
+// cutoff, so eliminated candidates cost a fraction of a full evaluation.
+type BoundedMetric interface {
+	Metric
+	DistanceBounded(a, b []rune, cutoff float64) (float64, bool)
+}
+
+// Sessioner is the capability interface for metrics that can mint a
+// per-goroutine session holding private scratch memory (e.g. a reusable
+// contextual-distance workspace, making steady-state calls allocation-free
+// with no pool contention). Sessions are NOT safe for concurrent use;
+// batch layers create one per worker.
+type Sessioner interface {
+	Session() Metric
+}
+
 type funcMetric struct {
 	name string
 	fn   func(a, b []rune) float64
@@ -44,23 +69,100 @@ func New(name string, fn func(a, b []rune) float64) Metric {
 	return funcMetric{name: name, fn: fn}
 }
 
-// Levenshtein returns the plain edit distance dE.
-func Levenshtein() Metric {
-	return New("dE", func(a, b []rune) float64 {
-		return float64(editdist.Distance(a, b))
-	})
+// levenshteinMetric is dE with bounded evaluation via the banded
+// Levenshtein engine.
+type levenshteinMetric struct{}
+
+func (levenshteinMetric) Name() string { return "dE" }
+func (levenshteinMetric) Distance(a, b []rune) float64 {
+	return float64(editdist.Distance(a, b))
 }
 
-// Contextual returns the exact contextual normalised distance dC
-// (Algorithm 1, cubic time).
+// DistanceBounded resolves dE against the cutoff with the O(k·min) banded
+// engine. Bail values are lower bounds of dE (k+1: the band only proves
+// dE > k), which the BoundedMetric contract permits.
+func (levenshteinMetric) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
+	if cutoff < 0 {
+		return 0, false // dE >= 0 > cutoff; 0 is the trivial lower bound
+	}
+	longest := len(a)
+	if len(b) > longest {
+		longest = len(b)
+	}
+	if cutoff >= float64(longest) { // dE <= max(|a|,|b|): nothing to abandon
+		return float64(editdist.Distance(a, b)), true
+	}
+	k := int(cutoff) // floor: dE is integer-valued, so d <= cutoff iff d <= k
+	d := editdist.Bounded(a, b, k)
+	if d <= k {
+		return float64(d), true
+	}
+	return float64(d), false // d = k+1 > cutoff, and dE >= k+1
+}
+
+// Levenshtein returns the plain edit distance dE. It implements
+// BoundedMetric through the O(k·min(|a|,|b|)) banded engine.
+func Levenshtein() Metric {
+	return levenshteinMetric{}
+}
+
+// contextualMetric is the exact dC with bounded evaluation and private
+// workspace sessions, backed by the banded pooled kernel in internal/core.
+type contextualMetric struct{}
+
+func (contextualMetric) Name() string                 { return "dC" }
+func (contextualMetric) Distance(a, b []rune) float64 { return core.Distance(a, b) }
+func (contextualMetric) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
+	return core.DistanceBounded(a, b, cutoff)
+}
+func (contextualMetric) Session() Metric {
+	return &contextualSession{ws: core.NewWorkspace()}
+}
+
+// contextualSession is a dC evaluator bound to a private workspace. Not
+// safe for concurrent use.
+type contextualSession struct{ ws *core.Workspace }
+
+func (s *contextualSession) Name() string                 { return "dC" }
+func (s *contextualSession) Distance(a, b []rune) float64 { return s.ws.Distance(a, b) }
+func (s *contextualSession) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
+	res, exact := s.ws.ComputeBounded(a, b, cutoff)
+	return res.Distance, exact
+}
+
+// Contextual returns the exact contextual normalised distance dC: Algorithm
+// 1 of the paper, pruned to the heuristic-derived edit-length band and
+// running on pooled workspaces. It implements BoundedMetric (cutoff-aware
+// early abandon) and Sessioner (per-goroutine workspaces).
 func Contextual() Metric {
-	return New("dC", core.Distance)
+	return contextualMetric{}
+}
+
+// contextualHeuristicMetric is dC,h with private workspace sessions.
+type contextualHeuristicMetric struct{}
+
+func (contextualHeuristicMetric) Name() string                 { return "dC,h" }
+func (contextualHeuristicMetric) Distance(a, b []rune) float64 { return core.Heuristic(a, b) }
+func (contextualHeuristicMetric) Session() Metric {
+	return &contextualHeuristicSession{ws: core.NewWorkspace()}
+}
+
+// contextualHeuristicSession is a dC,h evaluator bound to a private
+// workspace. Not safe for concurrent use.
+type contextualHeuristicSession struct{ ws *core.Workspace }
+
+func (s *contextualHeuristicSession) Name() string { return "dC,h" }
+func (s *contextualHeuristicSession) Distance(a, b []rune) float64 {
+	return s.ws.HeuristicCompute(a, b).Distance
 }
 
 // ContextualHeuristic returns the quadratic heuristic dC,h of §4.1, the
-// variant the paper uses for all large experiments.
+// variant the paper uses for all large experiments. It implements Sessioner
+// (per-goroutine workspaces). It does not implement BoundedMetric: dC,h is
+// the cost of the single k = dE path, and the whole quadratic program must
+// run before that path is known — a cutoff saves nothing.
 func ContextualHeuristic() Metric {
-	return New("dC,h", core.Heuristic)
+	return contextualHeuristicMetric{}
 }
 
 // YujianBo returns the Yujian–Bo normalised metric dYB.
@@ -153,4 +255,17 @@ func (c *Counter) Name() string { return c.M.Name() }
 func (c *Counter) Distance(a, b []rune) float64 {
 	c.N++
 	return c.M.Distance(a, b)
+}
+
+// DistanceBounded increments the counter and delegates to the wrapped
+// metric's bounded evaluation when available, falling back to an exact
+// Distance otherwise — a bounded evaluation still counts as one distance
+// computation (the paper's cost measure counts evaluations, not their
+// internal work).
+func (c *Counter) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
+	c.N++
+	if bm, ok := c.M.(BoundedMetric); ok {
+		return bm.DistanceBounded(a, b, cutoff)
+	}
+	return c.M.Distance(a, b), true
 }

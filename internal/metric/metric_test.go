@@ -103,3 +103,101 @@ func TestNewWrapsFunction(t *testing.T) {
 		t.Error("New() wrapper broken")
 	}
 }
+
+func TestContextualBoundedContract(t *testing.T) {
+	m, ok := Contextual().(BoundedMetric)
+	if !ok {
+		t.Fatal("Contextual must implement BoundedMetric")
+	}
+	a, b := []rune("ababa"), []rune("baab")
+	want := m.Distance(a, b) // 8/15
+	if d, exact := m.DistanceBounded(a, b, 1.0); !exact || d != want {
+		t.Errorf("generous cutoff: got (%v, %v), want (%v, true)", d, exact, want)
+	}
+	if d, exact := m.DistanceBounded(a, b, 0.1); exact {
+		if d != want {
+			t.Errorf("exact under tight cutoff must match: %v vs %v", d, want)
+		}
+	} else if d <= 0.1 {
+		t.Errorf("bail value %v at or below cutoff", d)
+	}
+}
+
+func TestLevenshteinBoundedContract(t *testing.T) {
+	m, ok := Levenshtein().(BoundedMetric)
+	if !ok {
+		t.Fatal("Levenshtein must implement BoundedMetric")
+	}
+	a, b := []rune("kitten"), []rune("sitting")
+	if d, exact := m.DistanceBounded(a, b, 10); !exact || d != 3 {
+		t.Errorf("cutoff 10: got (%v, %v), want (3, true)", d, exact)
+	}
+	if d, exact := m.DistanceBounded(a, b, 3); !exact || d != 3 {
+		t.Errorf("cutoff at the distance must stay exact: got (%v, %v)", d, exact)
+	}
+	if d, exact := m.DistanceBounded(a, b, 2.5); exact || d <= 2.5 {
+		t.Errorf("cutoff 2.5 must bail above the cutoff: got (%v, %v)", d, exact)
+	}
+	if d, exact := m.DistanceBounded(a, b, -1); exact || d < 0 {
+		t.Errorf("negative cutoff: got (%v, %v), want a bail", d, exact)
+	}
+	if d, exact := m.DistanceBounded(a, b, math.Inf(1)); !exact || d != 3 {
+		t.Errorf("infinite cutoff: got (%v, %v), want (3, true)", d, exact)
+	}
+}
+
+func TestSessionsMatchSharedMetrics(t *testing.T) {
+	pairs := [][2]string{{"ababa", "baab"}, {"", "abc"}, {"contextual", "normalised"}, {"aa", "aa"}}
+	for _, base := range []Metric{Contextual(), ContextualHeuristic()} {
+		s, ok := base.(Sessioner)
+		if !ok {
+			t.Fatalf("%s must implement Sessioner", base.Name())
+		}
+		sess := s.Session()
+		if sess.Name() != base.Name() {
+			t.Errorf("session name %q != %q", sess.Name(), base.Name())
+		}
+		for _, p := range pairs {
+			a, b := []rune(p[0]), []rune(p[1])
+			if got, want := sess.Distance(a, b), base.Distance(a, b); got != want {
+				t.Errorf("%s session: %v != %v for %q %q", base.Name(), got, want, p[0], p[1])
+			}
+		}
+	}
+	if a, b := Contextual().(Sessioner).Session(), Contextual().(Sessioner).Session(); a == b {
+		t.Error("sessions must be private instances, not a shared singleton")
+	}
+}
+
+func TestContextualSessionBounded(t *testing.T) {
+	sess := Contextual().(Sessioner).Session()
+	bm, ok := sess.(BoundedMetric)
+	if !ok {
+		t.Fatal("contextual session must implement BoundedMetric")
+	}
+	a, b := []rune("ababa"), []rune("baab")
+	want := Contextual().Distance(a, b)
+	if d, exact := bm.DistanceBounded(a, b, 1); !exact || d != want {
+		t.Errorf("session bounded: got (%v, %v), want (%v, true)", d, exact, want)
+	}
+}
+
+func TestCounterBoundedPassthrough(t *testing.T) {
+	c := &Counter{M: Contextual()}
+	a, b := []rune("ababa"), []rune("baab")
+	if _, exact := c.DistanceBounded(a, b, 1); !exact {
+		t.Error("generous cutoff should be exact")
+	}
+	c.DistanceBounded(a, b, 0.01)
+	if c.N != 2 {
+		t.Errorf("bounded calls must count: N = %d, want 2", c.N)
+	}
+	// A non-bounded wrapped metric falls back to an exact evaluation.
+	c2 := &Counter{M: MaxNormalised()}
+	if d, exact := c2.DistanceBounded(a, b, 0.0001); !exact || d != MaxNormalised().Distance(a, b) {
+		t.Errorf("fallback must be exact: got (%v, %v)", d, exact)
+	}
+	if c2.N != 1 {
+		t.Errorf("fallback must count: N = %d", c2.N)
+	}
+}

@@ -14,15 +14,20 @@ import (
 // the pool never exceeds n goroutines and runs inline when one worker
 // suffices. Fan returns after every fn call has completed.
 func Fan(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	FanWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// FanWorker is Fan with the worker index passed through: fn(w, i) is called
+// with w in [0, Workers(n, workers)) identifying the goroutine that owns
+// index i. Callers use w to give each worker private scratch state (e.g.
+// one distance workspace per striped worker) without locking; everything
+// passed to fn(w, ·) is confined to goroutine w for the duration of the
+// call. The inline single-worker path uses w = 0.
+func FanWorker(n, workers int, fn func(worker, i int)) {
+	workers = Workers(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -32,9 +37,25 @@ func Fan(n, workers int, fn func(i int)) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < n; i += workers {
-				fn(i)
+				fn(w, i)
 			}
 		}(w)
 	}
 	wg.Wait()
+}
+
+// Workers resolves the worker-count convention shared by Fan and FanWorker:
+// workers <= 0 means all CPUs, never more goroutines than work items, and
+// at least one. Callers sizing per-worker state ask this before fanning.
+func Workers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }

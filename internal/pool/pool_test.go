@@ -18,3 +18,45 @@ func TestFanCoversEveryIndexOnce(t *testing.T) {
 		}
 	}
 }
+
+func TestFanWorkerStripesAndConfines(t *testing.T) {
+	for _, workers := range []int{-1, 1, 4, 100} {
+		n := 53
+		resolved := Workers(n, workers)
+		owner := make([]int32, n)
+		for i := range owner {
+			owner[i] = -1
+		}
+		FanWorker(n, workers, func(w, i int) {
+			if w < 0 || w >= resolved {
+				t.Errorf("worker id %d outside [0,%d)", w, resolved)
+			}
+			if !atomic.CompareAndSwapInt32(&owner[i], -1, int32(w)) {
+				t.Errorf("index %d ran twice", i)
+			}
+		})
+		for i, w := range owner {
+			if w < 0 {
+				t.Fatalf("workers=%d: index %d never ran", workers, i)
+			}
+			if want := int32(i % resolved); w != want {
+				t.Errorf("workers=%d: index %d owned by %d, want stripe %d", workers, i, w, want)
+			}
+		}
+	}
+}
+
+func TestWorkersConvention(t *testing.T) {
+	if got := Workers(10, 3); got != 3 {
+		t.Errorf("Workers(10,3) = %d", got)
+	}
+	if got := Workers(2, 8); got != 2 {
+		t.Errorf("Workers(2,8) = %d, want clamped to n", got)
+	}
+	if got := Workers(0, 8); got != 1 {
+		t.Errorf("Workers(0,8) = %d, want 1", got)
+	}
+	if got := Workers(10, 0); got < 1 {
+		t.Errorf("Workers(10,0) = %d, want >= 1", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 type BKTree struct {
 	corpus [][]rune
 	m      metric.Metric
+	bm     metric.BoundedMetric // non-nil when m supports cutoff-bounded evaluation
 	root   *bkNode
 	size   int
 }
@@ -21,13 +22,28 @@ type BKTree struct {
 type bkNode struct {
 	index    int
 	children map[int]*bkNode
+	maxEdge  int // largest child edge label; 0 for leaves
+}
+
+// distanceWithin evaluates the query-node distance under cutoff when the
+// metric supports it (exactly otherwise). The walkers pass
+// cutoff = pruning bound + the node's largest child edge: a bail then
+// proves d > bound (the node itself is rejected) and every child edge e
+// satisfies e ≤ maxEdge < d − bound (the whole [d−bound, d+bound] edge
+// window is empty), so the walker can stop without knowing d.
+func (t *BKTree) distanceWithin(q, c []rune, cutoff float64) (float64, bool) {
+	if t.bm != nil {
+		return t.bm.DistanceBounded(q, c, cutoff)
+	}
+	return t.m.Distance(q, c), true
 }
 
 // NewBKTree builds a BK-tree over corpus. The metric must return
 // non-negative integer values (as dE does); NewBKTree does not verify this,
 // and a fractional metric silently degrades lookup correctness.
 func NewBKTree(corpus [][]rune, m metric.Metric) *BKTree {
-	t := &BKTree{corpus: corpus, m: m}
+	bm, _ := m.(metric.BoundedMetric)
+	t := &BKTree{corpus: corpus, m: m, bm: bm}
 	for i := range corpus {
 		t.insert(i)
 	}
@@ -50,6 +66,9 @@ func (t *BKTree) insert(i int) {
 				node.children = make(map[int]*bkNode)
 			}
 			node.children[d] = &bkNode{index: i}
+			if d > node.maxEdge {
+				node.maxEdge = d
+			}
 			return
 		}
 		node = child
@@ -68,8 +87,11 @@ func (t *BKTree) Search(q []rune) Result {
 	comps := 0
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
-		d := t.m.Distance(q, t.corpus[n.index])
+		d, exact := t.distanceWithin(q, t.corpus[n.index], best.Distance+float64(n.maxEdge))
 		comps++
+		if !exact {
+			return // d > best + maxEdge: node rejected and every edge window empty
+		}
 		if d < best.Distance {
 			best.Index = n.index
 			best.Distance = d
@@ -95,8 +117,11 @@ func (t *BKTree) Radius(q []rune, r float64) ([]Result, int) {
 	comps := 0
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
-		d := t.m.Distance(q, t.corpus[n.index])
+		d, exact := t.distanceWithin(q, t.corpus[n.index], r+float64(n.maxEdge))
 		comps++
+		if !exact {
+			return // d > r + maxEdge: no hit here and every edge window empty
+		}
 		if d <= r {
 			out = append(out, Result{Index: n.index, Distance: d})
 		}

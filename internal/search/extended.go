@@ -107,8 +107,14 @@ func (t *VPTree) KNearest(q []rune, k int) []Result {
 		if n == nil {
 			return
 		}
-		d := t.m.Distance(q, t.corpus[n.index])
+		d, exact := t.distanceWithin(q, t.corpus[n.index], n.radius+top.tau)
 		comps++
+		if !exact {
+			// d > radius + τ: the vantage misses the top-k and the inside
+			// ball cannot hold a top-k element either (τ only shrinks).
+			walk(n.outside)
+			return
+		}
 		top.insert(n.index, d)
 		if d <= n.radius {
 			walk(n.inside)
@@ -136,8 +142,14 @@ func (t *VPTree) Radius(q []rune, r float64) ([]Result, int) {
 		if n == nil {
 			return
 		}
-		d := t.m.Distance(q, t.corpus[n.index])
+		d, exact := t.distanceWithin(q, t.corpus[n.index], n.radius+r)
 		comps++
+		if !exact {
+			// d > radius + r: the vantage is no hit and the query ball
+			// cannot intersect the inside ball.
+			walk(n.outside)
+			return
+		}
 		if d <= r {
 			hits = append(hits, Result{Index: n.index, Distance: d})
 		}
@@ -173,8 +185,11 @@ func (t *BKTree) KNearest(q []rune, k int) []Result {
 	comps := 0
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
-		d := t.m.Distance(q, t.corpus[n.index])
+		d, exact := t.distanceWithin(q, t.corpus[n.index], top.tau+float64(n.maxEdge))
 		comps++
+		if !exact {
+			return // d > τ + maxEdge: misses the top-k and every edge window
+		}
 		top.insert(n.index, d)
 		for edge, child := range n.children {
 			if float64(edge) >= d-top.tau && float64(edge) <= d+top.tau {

@@ -23,8 +23,9 @@ import (
 type LAESA struct {
 	corpus   [][]rune
 	m        metric.Metric
-	pivots   []int       // corpus indices of the base prototypes
-	rows     [][]float64 // rows[p][i] = d(corpus[pivots[p]], corpus[i])
+	bm       metric.BoundedMetric // non-nil when m supports cutoff-bounded evaluation
+	pivots   []int                // corpus indices of the base prototypes
+	rows     [][]float64          // rows[p][i] = d(corpus[pivots[p]], corpus[i])
 	pivotRow map[int]int
 
 	// PreprocessComputations is the number of distance evaluations spent
@@ -34,20 +35,42 @@ type LAESA struct {
 
 // NewLAESA builds a LAESA index over corpus with numPivots base prototypes
 // chosen by the given strategy (seed feeds the strategy's random choices).
+//
+// When the metric implements metric.BoundedMetric the query loops evaluate
+// non-pivot candidates under the current pruning radius: a candidate whose
+// distance provably exceeds the radius is rejected at a fraction of a full
+// evaluation. Pivot candidates are always evaluated exactly — their
+// distances feed the triangle-inequality bounds of the remaining
+// candidates. Bounded evaluations count as ordinary distance computations
+// (they are evaluations; only their internal work shrinks), so the
+// comps/query statistics stay comparable with the paper's.
 func NewLAESA(corpus [][]rune, m metric.Metric, numPivots int, strategy PivotStrategy, seed int64) *LAESA {
 	pivots, rows, comps := selectPivots(corpus, m, numPivots, strategy, seed)
 	pr := make(map[int]int, len(pivots))
 	for r, p := range pivots {
 		pr[p] = r
 	}
+	bm, _ := m.(metric.BoundedMetric)
 	return &LAESA{
 		corpus:                 corpus,
 		m:                      m,
+		bm:                     bm,
 		pivots:                 pivots,
 		rows:                   rows,
 		pivotRow:               pr,
 		PreprocessComputations: comps,
 	}
+}
+
+// distanceWithin evaluates the query-candidate distance under cutoff when
+// the metric supports it. The boolean is true when d is exact; false
+// guarantees the true distance exceeds cutoff (so the caller's update
+// against a best-so-far of cutoff is a no-op either way).
+func (s *LAESA) distanceWithin(q, c []rune, cutoff float64) (float64, bool) {
+	if s.bm != nil {
+		return s.bm.DistanceBounded(q, c, cutoff)
+	}
+	return s.m.Distance(q, c), true
 }
 
 // Name returns "laesa".
@@ -106,9 +129,18 @@ func (s *LAESA) Search(q []rune) Result {
 		alive[selPos] = alive[len(alive)-1]
 		alive = alive[:len(alive)-1]
 
-		d := s.m.Distance(q, s.corpus[u])
+		// Pivots need their exact distance (it tightens every remaining
+		// bound); non-pivots only race the best-so-far, so the pruning
+		// radius caps how much of the evaluation matters.
+		var d float64
+		exact := true
+		if _, isPivot := s.pivotRow[u]; isPivot {
+			d = s.m.Distance(q, s.corpus[u])
+		} else {
+			d, exact = s.distanceWithin(q, s.corpus[u], best.Distance)
+		}
 		comps++
-		if d < best.Distance {
+		if exact && d < best.Distance {
 			best.Index = u
 			best.Distance = d
 		}

@@ -61,9 +61,20 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 		alive[selPos] = alive[len(alive)-1]
 		alive = alive[:len(alive)-1]
 
-		d := s.m.Distance(q, s.corpus[u])
+		// Non-pivots compete only against the k-th best distance, so kth
+		// (still +Inf while the result set is filling) bounds how much of
+		// the evaluation matters; pivots need exact distances.
+		var d float64
+		exact := true
+		if _, isPivot := s.pivotRow[u]; isPivot {
+			d = s.m.Distance(q, s.corpus[u])
+		} else {
+			d, exact = s.distanceWithin(q, s.corpus[u], kth)
+		}
 		comps++
-		insert(u, d)
+		if exact {
+			insert(u, d)
+		}
 		if row, ok := s.pivotRow[u]; ok {
 			pivotsLeft--
 			r := s.rows[row]
@@ -125,9 +136,17 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 		alive[selPos] = alive[len(alive)-1]
 		alive = alive[:len(alive)-1]
 
-		d := s.m.Distance(q, s.corpus[u])
+		// Non-pivots only need to be resolved against the query radius;
+		// pivots need exact distances for the bounds they seed.
+		var d float64
+		exact := true
+		if _, isPivot := s.pivotRow[u]; isPivot {
+			d = s.m.Distance(q, s.corpus[u])
+		} else {
+			d, exact = s.distanceWithin(q, s.corpus[u], r)
+		}
 		comps++
-		if d <= r {
+		if exact && d <= r {
 			hits = append(hits, Result{Index: u, Distance: d})
 		}
 		if row, ok := s.pivotRow[u]; ok {

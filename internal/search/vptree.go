@@ -18,11 +18,26 @@ import (
 type VPTree struct {
 	corpus [][]rune
 	m      metric.Metric
+	bm     metric.BoundedMetric // non-nil when m supports cutoff-bounded evaluation
 	root   *vpNode
 
 	// PreprocessComputations counts the distance evaluations spent
 	// building the tree.
 	PreprocessComputations int
+}
+
+// distanceWithin evaluates the query-vantage distance under cutoff when the
+// metric supports it (exactly otherwise). The walkers pass
+// cutoff = node radius + current pruning bound: a bail then proves the
+// distance d satisfies every traversal predicate at once — d exceeds the
+// bound (no best/hit update), d − bound > radius (the inside ball cannot
+// contain an acceptable element) and d > radius (the query sits outside) —
+// so the walker can descend outside-only without knowing d.
+func (t *VPTree) distanceWithin(q, c []rune, cutoff float64) (float64, bool) {
+	if t.bm != nil {
+		return t.bm.DistanceBounded(q, c, cutoff)
+	}
+	return t.m.Distance(q, c), true
 }
 
 type vpNode struct {
@@ -35,7 +50,8 @@ type vpNode struct {
 // NewVPTree builds a vantage-point tree over corpus; seed drives the random
 // vantage-point choices.
 func NewVPTree(corpus [][]rune, m metric.Metric, seed int64) *VPTree {
-	t := &VPTree{corpus: corpus, m: m}
+	bm, _ := m.(metric.BoundedMetric)
+	t := &VPTree{corpus: corpus, m: m, bm: bm}
 	rng := rand.New(rand.NewSource(seed))
 	idx := make([]int, len(corpus))
 	for i := range idx {
@@ -99,8 +115,14 @@ func (t *VPTree) Search(q []rune) Result {
 		if n == nil {
 			return
 		}
-		d := t.m.Distance(q, t.corpus[n.index])
+		d, exact := t.distanceWithin(q, t.corpus[n.index], n.radius+best.Distance)
 		comps++
+		if !exact {
+			// d > radius + best: the vantage cannot improve the best and
+			// the inside ball cannot hold anything nearer either.
+			walk(n.outside)
+			return
+		}
 		if d < best.Distance {
 			best.Index = n.index
 			best.Distance = d

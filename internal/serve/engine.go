@@ -12,6 +12,7 @@ package serve
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"ced/internal/metric"
@@ -75,6 +76,12 @@ type Engine struct {
 	workers  int
 	cache    *runeCache
 	requests atomic.Uint64
+
+	// sessionPool recycles per-worker metric sessions (private distance
+	// workspaces) across batch requests; nil when the metric cannot mint
+	// sessions. Each session is confined to one striped worker for the
+	// duration of a batch, then returned warm for the next request.
+	sessionPool *sync.Pool
 }
 
 // New builds an engine over corpus with the given metric and index
@@ -124,14 +131,18 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		corpus:   corpus,
 		labels:   labels,
 		m:        m,
 		searcher: searcher,
 		workers:  workers,
 		cache:    newRuneCache(cfg.CacheSize),
-	}, nil
+	}
+	if s, ok := m.(metric.Sessioner); ok {
+		e.sessionPool = &sync.Pool{New: func() any { return s.Session() }}
+	}
+	return e, nil
 }
 
 // Info is the engine snapshot reported by /healthz.
@@ -182,13 +193,47 @@ func (e *Engine) Distance(a, b string) (float64, int) {
 // bulk payloads are dominated by one-off strings, which would serialise
 // the workers on the cache mutex and evict the hot interactive-query
 // entries the cache exists for.
+//
+// When the metric supports sessions (the contextual kernels do), each
+// striped worker evaluates through a private session holding its own DP
+// workspace, checked out of the engine's session pool for the duration of
+// the batch and returned warm afterwards: steady-state batch distances
+// allocate nothing and no workspace is ever shared between live workers.
 func (e *Engine) BatchDistance(pairs []Pair) ([]float64, int) {
 	e.countRequest()
 	out := make([]float64, len(pairs))
-	e.fanOut(len(pairs), func(i int) {
-		out[i] = e.m.Distance([]rune(pairs[i].A), []rune(pairs[i].B))
+	workers := pool.Workers(len(pairs), e.workers)
+	sessions := e.checkoutSessions(workers)
+	pool.FanWorker(len(pairs), workers, func(w, i int) {
+		out[i] = sessions[w].Distance([]rune(pairs[i].A), []rune(pairs[i].B))
 	})
+	e.returnSessions(sessions)
 	return out, len(pairs)
+}
+
+// checkoutSessions returns one metric per worker: private sessions from
+// the engine pool when the metric can mint them, the shared
+// (concurrency-safe) metric otherwise. Pair with returnSessions.
+func (e *Engine) checkoutSessions(workers int) []metric.Metric {
+	sessions := make([]metric.Metric, workers)
+	for w := range sessions {
+		if e.sessionPool != nil {
+			sessions[w] = e.sessionPool.Get().(metric.Metric)
+		} else {
+			sessions[w] = e.m
+		}
+	}
+	return sessions
+}
+
+// returnSessions puts checked-out sessions back for the next batch.
+func (e *Engine) returnSessions(sessions []metric.Metric) {
+	if e.sessionPool == nil {
+		return
+	}
+	for _, s := range sessions {
+		e.sessionPool.Put(s)
+	}
 }
 
 // KNearest returns the k nearest corpus elements to q, closest first, and

@@ -215,3 +215,31 @@ func TestWorkerPoolAgreesAtEveryWidth(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchDistanceSessionsMatchExact drives the per-worker-session batch
+// path with the exact contextual metric (which mints workspace sessions)
+// at several pool widths and checks every value against a direct
+// evaluation of the shared metric.
+func TestBatchDistanceSessionsMatchExact(t *testing.T) {
+	m := metric.Contextual()
+	pairs := make([]Pair, 40)
+	for i := range pairs {
+		pairs[i] = Pair{A: testCorpus[i%len(testCorpus)], B: testCorpus[(i*7+3)%len(testCorpus)]}
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		e, err := New(testCorpus, nil, m, Config{Algorithm: "linear", Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, comps := e.BatchDistance(pairs)
+		if comps != len(pairs) {
+			t.Fatalf("workers=%d: comps = %d, want %d", workers, comps, len(pairs))
+		}
+		for i, p := range pairs {
+			want := m.Distance([]rune(p.A), []rune(p.B))
+			if got[i] != want {
+				t.Fatalf("workers=%d pair %d (%q,%q): %v != %v", workers, i, p.A, p.B, got[i], want)
+			}
+		}
+	}
+}

@@ -70,10 +70,13 @@ func (c *runeCache) Get(s string) []rune {
 
 	c.mu.Lock()
 	if el, ok := c.entries[s]; ok {
-		// Lost the race to another goroutine; reuse its entry.
+		// Lost the race to another goroutine; reuse its entry. Capture the
+		// slice before releasing the lock: once c.mu is free a concurrent
+		// eviction may mutate the list element this entry lives in.
+		won := el.Value.(*cacheEntry).runes
 		c.order.MoveToFront(el)
 		c.mu.Unlock()
-		return el.Value.(*cacheEntry).runes
+		return won
 	}
 	c.entries[s] = c.order.PushFront(&cacheEntry{key: s, runes: rs})
 	if c.order.Len() > c.capacity {

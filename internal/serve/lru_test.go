@@ -38,6 +38,42 @@ func TestRuneCacheDisabled(t *testing.T) {
 	}
 }
 
+// TestRuneCacheRaceLossPath is the -race regression test for the Get path
+// that loses the insert race: many goroutines decode the same cold key
+// concurrently (all but one take the "lost the race" branch) while other
+// goroutines churn a capacity-1 cache so the contested entry is being
+// evicted at the same time. The returned slice must be captured while the
+// cache lock is held; reading it from the list element after the unlock
+// races with concurrent list mutation.
+func TestRuneCacheRaceLossPath(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		c := newRuneCache(1)
+		hot := fmt.Sprintf("contested-%d", round)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					// Even goroutines contend for the hot key; odd ones
+					// churn unique keys to keep evicting it.
+					key := hot
+					if g%2 == 1 {
+						key = fmt.Sprintf("churn-%d-%d-%d", round, g, i)
+					}
+					if got := string(c.Get(key)); got != key {
+						t.Errorf("Get(%q) = %q", key, got)
+					}
+				}
+			}(g)
+		}
+		close(start)
+		wg.Wait()
+	}
+}
+
 func TestRuneCacheConcurrent(t *testing.T) {
 	// Hammer a small cache from many goroutines; run with -race.
 	c := newRuneCache(8)

@@ -1,7 +1,8 @@
 package ced
 
 import (
-	"ced/internal/pool"
+	"ced/internal/bulk"
+	"ced/internal/metric"
 	"ced/internal/serve"
 )
 
@@ -13,17 +14,18 @@ type Pair = serve.Pair
 // BatchDistance computes m.Distance for every pair in parallel, returning
 // one distance per pair in input order. It uses the same striped worker
 // pool as DistanceMatrix (worker w handles pairs w, w+workers, w+2·workers,
-// …), so the cost is O(len(pairs)/workers) metric evaluations per worker
-// with no locking on the hot path. workers <= 0 uses all CPUs.
+// …), with one private metric session per worker — steady-state
+// evaluations through the contextual kernels allocate only the rune
+// decodings of the pair — and no locking on the hot path. workers <= 0
+// uses all CPUs.
 //
 // This is the bulk primitive behind the /distance/batch endpoint of
 // cmd/cedserve; use a Server instead when the same strings recur across
 // calls and the query cache pays off.
 func BatchDistance(pairs []Pair, m Metric, workers int) []float64 {
-	im := internalMetric(m)
 	out := make([]float64, len(pairs))
-	pool.Fan(len(pairs), workers, func(i int) {
-		out[i] = im.Distance([]rune(pairs[i].A), []rune(pairs[i].B))
+	bulk.New(internalMetric(m)).Fan(len(pairs), workers, func(s metric.Metric, i int) {
+		out[i] = s.Distance([]rune(pairs[i].A), []rune(pairs[i].B))
 	})
 	return out
 }

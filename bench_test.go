@@ -301,3 +301,18 @@ func BenchmarkContextualWindowed(b *testing.B) {
 		})
 	}
 }
+
+// --- Bulk evaluation layer: DistanceMatrix steady state (ISSUE 3) ---
+
+// 96 Spanish-like words = 4,560 exact-dC evaluations per op. The acceptance
+// measure is allocs/op divided by the evaluation count: the session-threaded
+// fan keeps it at zero per evaluation (the ~n fixed allocations are the
+// result matrix and rune decodings). BENCH_build.json records the medians.
+func BenchmarkDistanceMatrixContextual(b *testing.B) {
+	data := dataset.Spanish(96, 9).Strings
+	m := ced.Contextual()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ced.DistanceMatrix(data, m, 0)
+	}
+}

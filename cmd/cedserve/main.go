@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cedserve [-addr :8080] [-corpus FILE] [-d dC,h] [-index laesa] [-pivots 16]
-//	         [-workers 0] [-cache 4096] [-seed 1] [-sample 0]
+//	         [-workers 0] [-build-workers 0] [-cache 4096] [-seed 1] [-sample 0]
 //
 // The corpus file uses the dataset format (one string per line, optional
 // trailing "\tlabel"); labels enable the /classify endpoints. Without
@@ -36,18 +36,19 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		corpus  = flag.String("corpus", "", "dataset file to serve (string [\\tlabel] per line)")
-		sample  = flag.Int("sample", 0, "serve a generated Spanish-like dictionary of this size instead of -corpus")
-		dist    = flag.String("d", "dC,h", "distance to serve (see ced -list)")
-		index   = flag.String("index", "laesa", "search index: laesa, vptree, bktree (dE only), linear")
-		pivots  = flag.Int("pivots", 16, "LAESA pivot count")
-		workers = flag.Int("workers", 0, "batch worker pool size (0 = all CPUs)")
-		cache   = flag.Int("cache", 4096, "query rune-cache entries (0 or negative disables)")
-		seed    = flag.Int64("seed", 1, "seed for randomised index construction")
+		addr     = flag.String("addr", ":8080", "listen address")
+		corpus   = flag.String("corpus", "", "dataset file to serve (string [\\tlabel] per line)")
+		sample   = flag.Int("sample", 0, "serve a generated Spanish-like dictionary of this size instead of -corpus")
+		dist     = flag.String("d", "dC,h", "distance to serve (see ced -list)")
+		index    = flag.String("index", "laesa", "search index: laesa, vptree, bktree (dE only), linear")
+		pivots   = flag.Int("pivots", 16, "LAESA pivot count")
+		workers  = flag.Int("workers", 0, "batch worker pool size (0 = all CPUs)")
+		buildWrk = flag.Int("build-workers", 0, "index-construction worker pool size (0 = all CPUs); the built index is identical for any value")
+		cache    = flag.Int("cache", 4096, "query rune-cache entries (0 or negative disables)")
+		seed     = flag.Int64("seed", 1, "seed for randomised index construction")
 	)
 	flag.Parse()
-	srv, info, err := build(*corpus, *sample, *dist, *index, *pivots, *workers, *cache, *seed)
+	srv, info, err := build(*corpus, *sample, *dist, *index, *pivots, *workers, *buildWrk, *cache, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedserve:", err)
 		os.Exit(1)
@@ -59,7 +60,7 @@ func main() {
 
 // build loads or generates the corpus and constructs the server; split from
 // main so the end-to-end tests can drive it without a process boundary.
-func build(corpusPath string, sample int, dist, index string, pivots, workers, cache int, seed int64) (*ced.Server, ced.ServerInfo, error) {
+func build(corpusPath string, sample int, dist, index string, pivots, workers, buildWorkers, cache int, seed int64) (*ced.Server, ced.ServerInfo, error) {
 	var (
 		data *ced.Dataset
 		err  error
@@ -85,12 +86,13 @@ func build(corpusPath string, sample int, dist, index string, pivots, workers, c
 		cache = -1 // flag semantics: 0 disables; ServerConfig treats 0 as "default"
 	}
 	srv, err := ced.NewServer(data, ced.ServerConfig{
-		Algorithm: index,
-		Metric:    m,
-		Pivots:    pivots,
-		Seed:      seed,
-		Workers:   workers,
-		CacheSize: cache,
+		Algorithm:    index,
+		Metric:       m,
+		Pivots:       pivots,
+		Seed:         seed,
+		Workers:      workers,
+		BuildWorkers: buildWorkers,
+		CacheSize:    cache,
 	})
 	if err != nil {
 		return nil, ced.ServerInfo{}, err

@@ -47,7 +47,7 @@ func TestEndToEndAllIndexKinds(t *testing.T) {
 			if index == "bktree" {
 				dist = "dE" // the BK-tree prunes on integer distances
 			}
-			srv, info, err := build(corpus, 0, dist, index, 4, 2, 128, 1)
+			srv, info, err := build(corpus, 0, dist, index, 4, 2, 4, 128, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -138,28 +138,28 @@ func TestEndToEndAllIndexKinds(t *testing.T) {
 
 func TestBuildValidation(t *testing.T) {
 	corpus := writeCorpus(t)
-	if _, _, err := build("", 0, "dC,h", "laesa", 4, 0, 0, 1); err == nil {
+	if _, _, err := build("", 0, "dC,h", "laesa", 4, 0, 0, 0, 1); err == nil {
 		t.Error("no corpus and no sample should fail")
 	}
-	if _, _, err := build(corpus, 10, "dC,h", "laesa", 4, 0, 0, 1); err == nil {
+	if _, _, err := build(corpus, 10, "dC,h", "laesa", 4, 0, 0, 0, 1); err == nil {
 		t.Error("corpus and sample together should fail")
 	}
-	if _, _, err := build("/no/such/file", 0, "dC,h", "laesa", 4, 0, 0, 1); err == nil {
+	if _, _, err := build("/no/such/file", 0, "dC,h", "laesa", 4, 0, 0, 0, 1); err == nil {
 		t.Error("missing corpus file should fail")
 	}
-	if _, _, err := build(corpus, 0, "no-such-metric", "laesa", 4, 0, 0, 1); err == nil {
+	if _, _, err := build(corpus, 0, "no-such-metric", "laesa", 4, 0, 0, 0, 1); err == nil {
 		t.Error("unknown metric should fail")
 	}
-	if _, _, err := build(corpus, 0, "dC,h", "rtree", 4, 0, 0, 1); err == nil {
+	if _, _, err := build(corpus, 0, "dC,h", "rtree", 4, 0, 0, 0, 1); err == nil {
 		t.Error("unknown index should fail")
 	}
-	if _, _, err := build(corpus, 0, "dC,h", "bktree", 4, 0, 0, 1); err == nil {
+	if _, _, err := build(corpus, 0, "dC,h", "bktree", 4, 0, 0, 0, 1); err == nil {
 		t.Error("bktree with fractional metric should fail")
 	}
 }
 
 func TestBuildSampleCorpus(t *testing.T) {
-	srv, info, err := build("", 500, "dC,h", "laesa", 8, 0, -1, 42)
+	srv, info, err := build("", 500, "dC,h", "laesa", 8, 0, 2, -1, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,123 @@
+// Package bulk is the session-threaded parallel evaluation layer shared by
+// every bulk distance workload in the repository: index construction
+// (LAESA pivot rows, VP-tree partitions, BK-tree levels), the batch APIs
+// (ced.DistanceMatrix, ced.BatchDistance, the serving engine's batch
+// endpoints) and the experiment sweeps.
+//
+// It combines the striped fan-out of internal/pool with the session
+// capability of internal/metric: each striped worker evaluates through a
+// private metric session (a reusable distance workspace for the contextual
+// kernels), so steady-state bulk evaluations allocate nothing and never
+// round-trip a shared sync.Pool per call. Sessions produce bit-identical
+// values to the plain metric, and per-worker computation counters are
+// merged in worker order after the fan completes, so results and counts
+// are deterministic regardless of the worker count.
+package bulk
+
+import (
+	"sync"
+
+	"ced/internal/metric"
+	"ced/internal/pool"
+)
+
+// Evaluator owns the per-goroutine metric sessions of one bulk workload.
+// It is safe for concurrent use: sessions are checked out per goroutine
+// and recycled warm across fans. The metric itself is handed out when it
+// cannot mint sessions (plain metrics are safe for concurrent use by the
+// metric.Metric contract).
+type Evaluator struct {
+	m        metric.Metric
+	sessions *sync.Pool // nil when m is not a metric.Sessioner
+}
+
+// New returns an evaluator for m. Construction is cheap; sessions are
+// minted lazily, one per concurrently active worker, and reused afterwards.
+func New(m metric.Metric) *Evaluator {
+	e := &Evaluator{m: m}
+	if s, ok := m.(metric.Sessioner); ok {
+		e.sessions = &sync.Pool{New: func() any { return s.Session() }}
+	}
+	return e
+}
+
+// Metric returns the evaluator's underlying (concurrency-safe) metric.
+func (e *Evaluator) Metric() metric.Metric { return e.m }
+
+// Session checks out a metric confined to the calling goroutine: a private
+// session when the metric can mint one, the shared metric otherwise. Pair
+// with Release so the session's scratch memory stays warm for the next
+// caller. Use Session/Release directly for irregular concurrency (the
+// VP-tree's concurrent subtree builds); the fan methods below handle the
+// common striped case.
+func (e *Evaluator) Session() metric.Metric {
+	if e.sessions == nil {
+		return e.m
+	}
+	return e.sessions.Get().(metric.Metric)
+}
+
+// Release returns a session checked out with Session.
+func (e *Evaluator) Release(s metric.Metric) {
+	if e.sessions != nil {
+		e.sessions.Put(s)
+	}
+}
+
+// FanWorker runs fn(s, w, i) for every i in [0, n), striped across
+// pool.Workers(n, workers) goroutines exactly like pool.FanWorker, with s a
+// private session owned by worker w for the whole fan. Everything passed to
+// fn(s, w, ·) is confined to goroutine w until FanWorker returns.
+func (e *Evaluator) FanWorker(n, workers int, fn func(s metric.Metric, w, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = pool.Workers(n, workers)
+	sessions := e.checkout(workers)
+	pool.FanWorker(n, workers, func(w, i int) {
+		fn(sessions[w], w, i)
+	})
+	e.release(sessions)
+}
+
+// Fan is FanWorker without the worker index: fn(s, i) with s private to the
+// goroutine evaluating index i.
+func (e *Evaluator) Fan(n, workers int, fn func(s metric.Metric, i int)) {
+	e.FanWorker(n, workers, func(s metric.Metric, _, i int) { fn(s, i) })
+}
+
+// FanCount is Fan for workloads that report distance computations: fn
+// returns the number of metric evaluations it spent on index i, the
+// per-worker totals accumulate privately (no shared counter on the hot
+// path) and merge in worker order after every fn call has completed, so
+// the returned total is deterministic for any worker count.
+func (e *Evaluator) FanCount(n, workers int, fn func(s metric.Metric, i int) int) int {
+	if n <= 0 {
+		return 0
+	}
+	workers = pool.Workers(n, workers)
+	counts := make([]int, workers)
+	e.FanWorker(n, workers, func(s metric.Metric, w, i int) {
+		counts[w] += fn(s, i)
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// checkout returns one session per worker; release returns them.
+func (e *Evaluator) checkout(workers int) []metric.Metric {
+	sessions := make([]metric.Metric, workers)
+	for w := range sessions {
+		sessions[w] = e.Session()
+	}
+	return sessions
+}
+
+func (e *Evaluator) release(sessions []metric.Metric) {
+	for _, s := range sessions {
+		e.Release(s)
+	}
+}

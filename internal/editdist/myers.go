@@ -24,32 +24,65 @@ func Myers(a, b []rune) int {
 }
 
 // myers64 computes the Levenshtein distance with pattern length <= 64.
+// ASCII patterns — every generated corpus except the Spanish one (ñ,
+// accented vowels) — take a zero-allocation fast path with a fixed
+// [128]uint64 pattern-equality table indexed directly by symbol; wider
+// alphabets fall back to the map-backed table.
 func myers64(pattern, text []rune) int {
-	m := len(pattern)
-	peq := make(map[rune]uint64, m)
+	for _, c := range pattern {
+		if c >= 128 {
+			return myers64Map(pattern, text)
+		}
+	}
+	var peq [128]uint64
 	for i, c := range pattern {
 		peq[c] |= 1 << uint(i)
 	}
 	pv := ^uint64(0) // vertical positive deltas
 	mv := uint64(0)  // vertical negative deltas
-	score := m
-	last := uint64(1) << uint(m-1)
+	score := len(pattern)
+	last := uint64(1) << uint(len(pattern)-1)
 	for _, c := range text {
-		eq := peq[c]
-		xv := eq | mv
-		xh := (((eq & pv) + pv) ^ pv) | eq
-		ph := mv | ^(xh | pv)
-		mh := pv & xh
-		if ph&last != 0 {
-			score++
+		var eq uint64
+		if c < 128 {
+			eq = peq[c] // text symbols outside ASCII match no pattern position
 		}
-		if mh&last != 0 {
-			score--
-		}
-		ph = ph<<1 | 1
-		mh <<= 1
-		pv = mh | ^(xv | ph)
-		mv = ph & xv
+		pv, mv, score = myersStep(eq, pv, mv, score, last)
 	}
 	return score
+}
+
+// myers64Map is myers64 for patterns with symbols outside ASCII.
+func myers64Map(pattern, text []rune) int {
+	peq := make(map[rune]uint64, len(pattern))
+	for i, c := range pattern {
+		peq[c] |= 1 << uint(i)
+	}
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := len(pattern)
+	last := uint64(1) << uint(len(pattern)-1)
+	for _, c := range text {
+		pv, mv, score = myersStep(peq[c], pv, mv, score, last)
+	}
+	return score
+}
+
+// myersStep advances the bit-parallel column state by one text symbol.
+func myersStep(eq, pv, mv uint64, score int, last uint64) (uint64, uint64, int) {
+	xv := eq | mv
+	xh := (((eq & pv) + pv) ^ pv) | eq
+	ph := mv | ^(xh | pv)
+	mh := pv & xh
+	if ph&last != 0 {
+		score++
+	}
+	if mh&last != 0 {
+		score--
+	}
+	ph = ph<<1 | 1
+	mh <<= 1
+	pv = mh | ^(xv | ph)
+	mv = ph & xv
+	return pv, mv, score
 }

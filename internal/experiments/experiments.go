@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"ced/internal/bulk"
 	"ced/internal/metric"
 	"ced/internal/stats"
 )
@@ -31,12 +32,17 @@ func defaultWorkers(w int) int {
 }
 
 // pairHistogram fills one histogram per metric with the distances over all
-// unordered pairs of data, computed in parallel. Results are deterministic:
-// worker shards are merged in worker order and bin counts are
-// order-independent.
+// unordered pairs of data, computed in parallel with one private session
+// per (worker, metric). Results are deterministic: session values are
+// bit-identical to the plain metrics', worker shards are merged in worker
+// order and bin counts are order-independent.
 func pairHistogram(data [][]rune, metrics []metric.Metric, binWidth float64, workers int) []*stats.Histogram {
 	workers = defaultWorkers(workers)
 	n := len(data)
+	evs := make([]*bulk.Evaluator, len(metrics))
+	for k, m := range metrics {
+		evs[k] = bulk.New(m)
+	}
 	shards := make([][]*stats.Histogram, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -44,17 +50,22 @@ func pairHistogram(data [][]rune, metrics []metric.Metric, binWidth float64, wor
 		go func(w int) {
 			defer wg.Done()
 			local := make([]*stats.Histogram, len(metrics))
+			sess := make([]metric.Metric, len(metrics))
 			for k := range local {
 				local[k] = stats.NewHistogram(binWidth)
+				sess[k] = evs[k].Session()
 			}
 			// Stride rows over workers: row i costs n-i-1 pairs, so the
 			// stride balances load well enough.
 			for i := w; i < n; i += workers {
 				for j := i + 1; j < n; j++ {
-					for k, m := range metrics {
-						local[k].Add(m.Distance(data[i], data[j]))
+					for k := range sess {
+						local[k].Add(sess[k].Distance(data[i], data[j]))
 					}
 				}
+			}
+			for k := range sess {
+				evs[k].Release(sess[k])
 			}
 			shards[w] = local
 		}(w)

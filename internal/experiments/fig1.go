@@ -71,11 +71,14 @@ func RunFig1(cfg Fig1Config, progress Progress) Fig1Result {
 	done := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
+			// One private distance workspace per worker: the heavy
+			// exact-dC loop never round-trips the shared pool.
+			ws := core.NewWorkspace()
 			s := shard{exact: stats.NewHistogram(cfg.BinWidth), heur: stats.NewHistogram(cfg.BinWidth)}
 			for i := w; i < len(words); i += workers {
 				for j := i + 1; j < len(words); j++ {
-					de := core.Distance(words[i], words[j])
-					dh := core.Heuristic(words[i], words[j])
+					de := ws.Distance(words[i], words[j])
+					dh := ws.HeuristicCompute(words[i], words[j]).Distance
 					s.exact.Add(de)
 					s.heur.Add(dh)
 					s.pairs++

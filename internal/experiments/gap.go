@@ -94,11 +94,12 @@ func RunGap(cfg GapConfig, progress Progress) GapResult {
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
+				ws := core.NewWorkspace() // private per-worker scratch
 				la, lm, ls := 0, 0.0, 0.0
 				for idx := k; idx < len(pairs); idx += w {
 					i, j := pairs[idx][0], pairs[idx][1]
-					de := core.Distance(set.data[i], set.data[j])
-					dh := core.Heuristic(set.data[i], set.data[j])
+					de := ws.Distance(set.data[i], set.data[j])
+					dh := ws.HeuristicCompute(set.data[i], set.data[j]).Distance
 					gap := dh - de
 					if gap <= 1e-12 {
 						la++

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"ced/internal/bulk"
 	"ced/internal/dataset"
 	"ced/internal/metric"
 	"ced/internal/search"
@@ -116,6 +117,7 @@ func runSweep(name string, provider corpusProvider, cfg SweepConfig, progress Pr
 			}
 			progress.printf("%s: rep %d/%d, metric %s: sweeping %d pivot counts",
 				name, rep+1, cfg.Repetitions, m.Name(), np)
+			ev := bulk.New(m)
 			var wg sync.WaitGroup
 			sem := make(chan struct{}, defaultWorkers(cfg.Workers))
 			for pi, p := range cfg.Pivots {
@@ -124,7 +126,13 @@ func runSweep(name string, provider corpusProvider, cfg SweepConfig, progress Pr
 					defer wg.Done()
 					sem <- struct{}{}
 					defer func() { <-sem }()
-					qm := &queryMemo{inner: m}
+					// Each sweep goroutine queries through a private metric
+					// session wrapped in the per-query memo: cache misses
+					// evaluate on the session's own workspace, so concurrent
+					// pivot counts never contend on a shared pool.
+					s := ev.Session()
+					defer ev.Release(s)
+					qm := &queryMemo{inner: s}
 					la := search.NewLAESAFromMatrix(corpus, qm, matrix, p, search.MaxSum, cfg.Seed+int64(rep))
 					total := 0
 					for _, q := range queries {
@@ -154,7 +162,9 @@ func runSweep(name string, provider corpusProvider, cfg SweepConfig, progress Pr
 	return res
 }
 
-// distanceMatrix computes the full symmetric distance matrix in parallel.
+// distanceMatrix computes the full symmetric distance matrix in parallel,
+// one private metric session per striped worker (the rune-level sibling of
+// ced.DistanceMatrix).
 func distanceMatrix(corpus [][]rune, m metric.Metric, workers int) [][]float64 {
 	n := len(corpus)
 	d := make([][]float64, n)
@@ -162,22 +172,13 @@ func distanceMatrix(corpus [][]rune, m metric.Metric, workers int) [][]float64 {
 	for i := range d {
 		d[i] = cells[i*n : (i+1)*n]
 	}
-	w := defaultWorkers(workers)
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			for i := k; i < n; i += w {
-				for j := i + 1; j < n; j++ {
-					v := m.Distance(corpus[i], corpus[j])
-					d[i][j] = v
-					d[j][i] = v
-				}
-			}
-		}(k)
-	}
-	wg.Wait()
+	bulk.New(m).Fan(n, workers, func(s metric.Metric, i int) {
+		for j := i + 1; j < n; j++ {
+			v := s.Distance(corpus[i], corpus[j])
+			d[i][j] = v
+			d[j][i] = v
+		}
+	})
 	return d
 }
 

@@ -2,6 +2,7 @@ package search
 
 import (
 	"math"
+	"sync"
 
 	"ced/internal/metric"
 )
@@ -21,20 +22,55 @@ import (
 // neighbour; the paper knowingly runs those distances through LAESA anyway
 // and compares error rates, and so does this implementation.
 type LAESA struct {
-	corpus   [][]rune
-	m        metric.Metric
-	bm       metric.BoundedMetric // non-nil when m supports cutoff-bounded evaluation
-	pivots   []int                // corpus indices of the base prototypes
-	rows     [][]float64          // rows[p][i] = d(corpus[pivots[p]], corpus[i])
-	pivotRow map[int]int
+	corpus [][]rune
+	m      metric.Metric
+	bm     metric.BoundedMetric // non-nil when m supports cutoff-bounded evaluation
+	pivots []int                // corpus indices of the base prototypes
+	rows   [][]float64          // rows[p][i] = d(corpus[pivots[p]], corpus[i])
+	rowOf  []int                // rowOf[i] = row index of pivot i, -1 for non-pivots
+
+	// scratch recycles the per-query bound/candidate slices across queries
+	// (and across concurrent queriers), so steady-state searches allocate
+	// only their results.
+	scratch sync.Pool
 
 	// PreprocessComputations is the number of distance evaluations spent
 	// building the pivot matrix (and, for free, selecting the pivots).
 	PreprocessComputations int
 }
 
+// newLAESA assembles a LAESA from selected pivots and their rows, deriving
+// the rowOf lookup table the query loops index instead of a map.
+func newLAESA(corpus [][]rune, m metric.Metric, pivots []int, rows [][]float64, comps int) *LAESA {
+	bm, _ := m.(metric.BoundedMetric)
+	return &LAESA{
+		corpus:                 corpus,
+		m:                      m,
+		bm:                     bm,
+		pivots:                 pivots,
+		rows:                   rows,
+		rowOf:                  rowOfPivots(len(corpus), pivots),
+		PreprocessComputations: comps,
+	}
+}
+
+// rowOfPivots builds the dense pivot→row lookup: rowOf[i] is the row index
+// of corpus element i when it is a pivot and -1 otherwise.
+func rowOfPivots(n int, pivots []int) []int {
+	rowOf := make([]int, n)
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	for r, p := range pivots {
+		rowOf[p] = r
+	}
+	return rowOf
+}
+
 // NewLAESA builds a LAESA index over corpus with numPivots base prototypes
 // chosen by the given strategy (seed feeds the strategy's random choices).
+// Preprocessing fans the pivot-matrix rows over all CPUs; the index is
+// bit-identical for any worker count (NewLAESAWorkers controls the count).
 //
 // When the metric implements metric.BoundedMetric the query loops evaluate
 // non-pivot candidates under the current pruning radius: a candidate whose
@@ -45,21 +81,48 @@ type LAESA struct {
 // (they are evaluations; only their internal work shrinks), so the
 // comps/query statistics stay comparable with the paper's.
 func NewLAESA(corpus [][]rune, m metric.Metric, numPivots int, strategy PivotStrategy, seed int64) *LAESA {
-	pivots, rows, comps := selectPivots(corpus, m, numPivots, strategy, seed)
-	pr := make(map[int]int, len(pivots))
-	for r, p := range pivots {
-		pr[p] = r
+	return NewLAESAWorkers(corpus, m, numPivots, strategy, seed, 0)
+}
+
+// NewLAESAWorkers is NewLAESA with an explicit preprocessing worker count:
+// each pivot row is evaluated in parallel over workers striped goroutines,
+// one private metric session per worker. workers <= 0 uses all CPUs; the
+// resulting index — pivots, rows and PreprocessComputations — is
+// bit-identical to a workers = 1 build for the same seed.
+func NewLAESAWorkers(corpus [][]rune, m metric.Metric, numPivots int, strategy PivotStrategy, seed int64, workers int) *LAESA {
+	pivots, rows, comps := selectPivots(corpus, m, numPivots, strategy, seed, workers)
+	return newLAESA(corpus, m, pivots, rows, comps)
+}
+
+// laesaScratch is the per-query scratch of the LAESA query loops: the
+// triangle-inequality lower bounds g and the live-candidate list.
+type laesaScratch struct {
+	g     []float64
+	alive []int
+}
+
+// checkoutScratch returns scratch slices sized for the corpus, recycled
+// through the index's pool: g zeroed, alive reset to every corpus index.
+// Pair with s.scratch.Put(sc) when the query is done.
+func (s *LAESA) checkoutScratch() *laesaScratch {
+	n := len(s.corpus)
+	sc, _ := s.scratch.Get().(*laesaScratch)
+	if sc == nil {
+		sc = &laesaScratch{}
 	}
-	bm, _ := m.(metric.BoundedMetric)
-	return &LAESA{
-		corpus:                 corpus,
-		m:                      m,
-		bm:                     bm,
-		pivots:                 pivots,
-		rows:                   rows,
-		pivotRow:               pr,
-		PreprocessComputations: comps,
+	if cap(sc.g) < n {
+		sc.g = make([]float64, n)
+		sc.alive = make([]int, n)
 	}
+	sc.g = sc.g[:n]
+	for i := range sc.g {
+		sc.g[i] = 0
+	}
+	sc.alive = sc.alive[:n]
+	for i := range sc.alive {
+		sc.alive[i] = i
+	}
+	return sc
 }
 
 // distanceWithin evaluates the query-candidate distance under cutoff when
@@ -99,11 +162,8 @@ func (s *LAESA) Search(q []rune) Result {
 	if n == 0 {
 		return Result{Index: -1}
 	}
-	g := make([]float64, n)
-	alive := make([]int, n)
-	for i := range alive {
-		alive[i] = i
-	}
+	sc := s.checkoutScratch()
+	g, alive := sc.g, sc.alive
 	best := Result{Index: -1, Distance: math.Inf(1)}
 	comps := 0
 	pivotsLeft := len(s.pivots)
@@ -114,7 +174,7 @@ func (s *LAESA) Search(q []rune) Result {
 		selPos := -1
 		selPivot := false
 		for pos, u := range alive {
-			_, isPivot := s.pivotRow[u]
+			isPivot := s.rowOf[u] >= 0
 			if pivotsLeft > 0 && isPivot != selPivot {
 				if isPivot {
 					selPos, selPivot = pos, true
@@ -132,9 +192,10 @@ func (s *LAESA) Search(q []rune) Result {
 		// Pivots need their exact distance (it tightens every remaining
 		// bound); non-pivots only race the best-so-far, so the pruning
 		// radius caps how much of the evaluation matters.
+		row := s.rowOf[u]
 		var d float64
 		exact := true
-		if _, isPivot := s.pivotRow[u]; isPivot {
+		if row >= 0 {
 			d = s.m.Distance(q, s.corpus[u])
 		} else {
 			d, exact = s.distanceWithin(q, s.corpus[u], best.Distance)
@@ -144,7 +205,7 @@ func (s *LAESA) Search(q []rune) Result {
 			best.Index = u
 			best.Distance = d
 		}
-		if row, ok := s.pivotRow[u]; ok {
+		if row >= 0 {
 			pivotsLeft--
 			// Tighten bounds with the new pivot distance.
 			r := s.rows[row]
@@ -159,12 +220,13 @@ func (s *LAESA) Search(q []rune) Result {
 		for _, v := range alive {
 			if g[v] <= best.Distance {
 				w = append(w, v)
-			} else if _, isPivot := s.pivotRow[v]; isPivot {
+			} else if s.rowOf[v] >= 0 {
 				pivotsLeft--
 			}
 		}
 		alive = w
 	}
+	s.scratch.Put(sc)
 	best.Computations = comps
 	return best
 }

@@ -18,11 +18,8 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 	if k > n {
 		k = n
 	}
-	g := make([]float64, n)
-	alive := make([]int, n)
-	for i := range alive {
-		alive[i] = i
-	}
+	sc := s.checkoutScratch()
+	g, alive := sc.g, sc.alive
 	top := make([]Result, 0, k) // sorted ascending by distance
 	kth := math.Inf(1)
 	comps := 0
@@ -46,7 +43,7 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 		selPos := -1
 		selPivot := false
 		for pos, u := range alive {
-			_, isPivot := s.pivotRow[u]
+			isPivot := s.rowOf[u] >= 0
 			if pivotsLeft > 0 && isPivot != selPivot {
 				if isPivot {
 					selPos, selPivot = pos, true
@@ -64,9 +61,10 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 		// Non-pivots compete only against the k-th best distance, so kth
 		// (still +Inf while the result set is filling) bounds how much of
 		// the evaluation matters; pivots need exact distances.
+		row := s.rowOf[u]
 		var d float64
 		exact := true
-		if _, isPivot := s.pivotRow[u]; isPivot {
+		if row >= 0 {
 			d = s.m.Distance(q, s.corpus[u])
 		} else {
 			d, exact = s.distanceWithin(q, s.corpus[u], kth)
@@ -75,7 +73,7 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 		if exact {
 			insert(u, d)
 		}
-		if row, ok := s.pivotRow[u]; ok {
+		if row >= 0 {
 			pivotsLeft--
 			r := s.rows[row]
 			for _, v := range alive {
@@ -88,12 +86,13 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 		for _, v := range alive {
 			if g[v] <= kth {
 				w = append(w, v)
-			} else if _, isPivot := s.pivotRow[v]; isPivot {
+			} else if s.rowOf[v] >= 0 {
 				pivotsLeft--
 			}
 		}
 		alive = w
 	}
+	s.scratch.Put(sc)
 	for i := range top {
 		top[i].Computations = comps
 	}
@@ -109,11 +108,8 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 	if n == 0 {
 		return nil, 0
 	}
-	g := make([]float64, n)
-	alive := make([]int, n)
-	for i := range alive {
-		alive[i] = i
-	}
+	sc := s.checkoutScratch()
+	g, alive := sc.g, sc.alive
 	var hits []Result
 	comps := 0
 	pivotsLeft := len(s.pivots)
@@ -121,7 +117,7 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 		selPos := -1
 		selPivot := false
 		for pos, u := range alive {
-			_, isPivot := s.pivotRow[u]
+			isPivot := s.rowOf[u] >= 0
 			if pivotsLeft > 0 && isPivot != selPivot {
 				if isPivot {
 					selPos, selPivot = pos, true
@@ -138,9 +134,10 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 
 		// Non-pivots only need to be resolved against the query radius;
 		// pivots need exact distances for the bounds they seed.
+		row := s.rowOf[u]
 		var d float64
 		exact := true
-		if _, isPivot := s.pivotRow[u]; isPivot {
+		if row >= 0 {
 			d = s.m.Distance(q, s.corpus[u])
 		} else {
 			d, exact = s.distanceWithin(q, s.corpus[u], r)
@@ -149,7 +146,7 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 		if exact && d <= r {
 			hits = append(hits, Result{Index: u, Distance: d})
 		}
-		if row, ok := s.pivotRow[u]; ok {
+		if row >= 0 {
 			pivotsLeft--
 			rw := s.rows[row]
 			for _, v := range alive {
@@ -162,12 +159,13 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 		for _, v := range alive {
 			if g[v] <= r {
 				w = append(w, v)
-			} else if _, isPivot := s.pivotRow[v]; isPivot {
+			} else if s.rowOf[v] >= 0 {
 				pivotsLeft--
 			}
 		}
 		alive = w
 	}
+	s.scratch.Put(sc)
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Distance != hits[j].Distance {
 			return hits[i].Distance < hits[j].Distance

@@ -20,23 +20,15 @@ func NewLAESAFromMatrix(corpus [][]rune, m metric.Metric, matrix [][]float64, nu
 		}
 		index[&corpus[i][0]] = i
 	}
+	// Matrix-backed "distances" are plain lookups, so a parallel fan would
+	// only add goroutine overhead: select serially (workers = 1).
 	mm := matrixMetric{matrix: matrix, index: index}
-	pivots, _, _ := selectPivots(corpus, mm, numPivots, strategy, seed)
+	pivots, _, _ := selectPivots(corpus, mm, numPivots, strategy, seed, 1)
 	rows := make([][]float64, len(pivots))
 	for r, p := range pivots {
 		rows[r] = matrix[p]
 	}
-	pr := make(map[int]int, len(pivots))
-	for r, p := range pivots {
-		pr[p] = r
-	}
-	return &LAESA{
-		corpus:   corpus,
-		m:        m,
-		pivots:   pivots,
-		rows:     rows,
-		pivotRow: pr,
-	}
+	return newLAESA(corpus, m, pivots, rows, 0)
 }
 
 // matrixMetric resolves corpus-element distances from a precomputed matrix

@@ -59,7 +59,6 @@ func LoadLAESA(r io.Reader, m metric.Metric) (*LAESA, error) {
 	for i, s := range snap.Corpus {
 		corpus[i] = []rune(s)
 	}
-	pr := make(map[int]int, len(snap.Pivots))
 	for rIdx, p := range snap.Pivots {
 		if p < 0 || p >= len(corpus) {
 			return nil, fmt.Errorf("search: corrupt index: pivot %d out of corpus range", p)
@@ -68,14 +67,6 @@ func LoadLAESA(r io.Reader, m metric.Metric) (*LAESA, error) {
 			return nil, fmt.Errorf("search: corrupt index: row %d has %d entries for corpus of %d",
 				rIdx, len(snap.Rows[rIdx]), len(corpus))
 		}
-		pr[p] = rIdx
 	}
-	return &LAESA{
-		corpus:                 corpus,
-		m:                      m,
-		pivots:                 snap.Pivots,
-		rows:                   snap.Rows,
-		pivotRow:               pr,
-		PreprocessComputations: snap.Preprocess,
-	}, nil
+	return newLAESA(corpus, m, snap.Pivots, snap.Rows, snap.Preprocess), nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ced/internal/bulk"
 	"ced/internal/metric"
 )
 
@@ -40,7 +41,14 @@ func (s PivotStrategy) String() string {
 // distance computations spent. The distance rows double as the selection
 // criterion accumulator, so selection costs no extra metric calls beyond the
 // matrix LAESA needs anyway.
-func selectPivots(corpus [][]rune, m metric.Metric, numPivots int, strategy PivotStrategy, seed int64) (pivots []int, rows [][]float64, computations int) {
+//
+// Each pivot row — the dominant preprocessing cost Micó–Oncina–Vidal
+// identify — is fanned over the corpus with one private metric session per
+// striped worker (workers <= 0 uses all CPUs). The greedy selection itself
+// stays serial: it consumes whole rows, and the row values, the chosen
+// pivots and the computation count are bit-identical to a serial run for
+// the same seed, whatever the worker count.
+func selectPivots(corpus [][]rune, m metric.Metric, numPivots int, strategy PivotStrategy, seed int64, workers int) (pivots []int, rows [][]float64, computations int) {
 	n := len(corpus)
 	if numPivots > n {
 		numPivots = n
@@ -62,18 +70,21 @@ func selectPivots(corpus [][]rune, m metric.Metric, numPivots int, strategy Pivo
 		}
 	}
 
+	ev := bulk.New(m)
 	next := rng.Intn(n) // first pivot: random element (paper: arbitrary)
 	for len(pivots) < numPivots {
 		pivots = append(pivots, next)
 		isPivot[next] = true
 		row := make([]float64, n)
-		for i, c := range corpus {
-			if i == next {
-				continue
+		pivot := corpus[next]
+		self := next
+		computations += ev.FanCount(n, workers, func(s metric.Metric, i int) int {
+			if i == self {
+				return 0
 			}
-			row[i] = m.Distance(corpus[next], c)
-			computations++
-		}
+			row[i] = s.Distance(pivot, corpus[i])
+			return 1
+		})
 		rows = append(rows, row)
 		if len(pivots) == numPivots {
 			break

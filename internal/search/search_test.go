@@ -283,7 +283,7 @@ func TestSelectPivotsDistinct(t *testing.T) {
 	rng := rand.New(rand.NewSource(49))
 	corpus := randomCorpus(rng, 60, 8, alpha)
 	for _, strat := range []PivotStrategy{MaxSum, MaxMin, Random} {
-		pivots, rows, comps := selectPivots(corpus, metric.Levenshtein(), 12, strat, 9)
+		pivots, rows, comps := selectPivots(corpus, metric.Levenshtein(), 12, strat, 9, 1)
 		if len(pivots) != 12 || len(rows) != 12 {
 			t.Fatalf("strategy %v: %d pivots, %d rows", strat, len(pivots), len(rows))
 		}

@@ -2,10 +2,13 @@ package search
 
 import (
 	"math"
-	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"ced/internal/bulk"
 	"ced/internal/metric"
+	"ced/internal/pool"
 )
 
 // VPTree is a vantage-point tree (Yianilos 1993): a binary tree where each
@@ -48,36 +51,100 @@ type vpNode struct {
 }
 
 // NewVPTree builds a vantage-point tree over corpus; seed drives the random
-// vantage-point choices.
+// vantage-point choices. Construction fans partition distances and subtree
+// builds over all CPUs; the tree is identical for any worker count
+// (NewVPTreeWorkers controls the count).
 func NewVPTree(corpus [][]rune, m metric.Metric, seed int64) *VPTree {
+	return NewVPTreeWorkers(corpus, m, seed, 0)
+}
+
+// NewVPTreeWorkers is NewVPTree with an explicit build worker count
+// (<= 0 uses all CPUs).
+//
+// Parallelism has two levels — each node's partition distances fan over
+// striped workers with private metric sessions, and the two subtrees below
+// a split build concurrently — both drawing goroutines from one buildPool
+// budget, so the build never evaluates distances on more than workers
+// goroutines at once. Vantage choices come from a split-deterministic
+// RNG — every node derives its own seed from its parent's, not from a
+// shared sequence — so the tree shape, every radius and
+// PreprocessComputations are identical for any worker count and depend
+// only on the seed. (The vantage sequence differs from the pre-split
+// serial builder, which threaded one RNG through the recursion; fixed-seed
+// trees built before this change are therefore not reproduced node for
+// node.)
+func NewVPTreeWorkers(corpus [][]rune, m metric.Metric, seed int64, workers int) *VPTree {
 	bm, _ := m.(metric.BoundedMetric)
 	t := &VPTree{corpus: corpus, m: m, bm: bm}
-	rng := rand.New(rand.NewSource(seed))
-	idx := make([]int, len(corpus))
+	n := len(corpus)
+	if n == 0 {
+		return t
+	}
+	b := &vpBuilder{
+		t:    t,
+		ev:   bulk.New(m),
+		pool: newBuildPool(pool.Workers(n, workers)),
+	}
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	t.root = t.build(idx, rng)
+	t.root = b.build(idx, splitmix(uint64(seed)))
+	t.PreprocessComputations = int(b.comps.Load())
 	return t
 }
 
-func (t *VPTree) build(idx []int, rng *rand.Rand) *vpNode {
+// vpBuilder carries the shared state of one parallel VP-tree construction.
+type vpBuilder struct {
+	t     *VPTree
+	ev    *bulk.Evaluator
+	pool  *buildPool
+	comps atomic.Int64 // deterministic: one evaluation per (node, element below it)
+}
+
+// splitmix is the SplitMix64 mixer (Steele, Lea, Flood 2014): the per-node
+// seed derivation behind the split-deterministic RNG. Each build node mixes
+// its seed once for the vantage choice and derives independent child seeds,
+// so no RNG state is shared between concurrent subtree builds.
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// build constructs the subtree over idx (a private slice: subtree builds
+// never share backing arrays). seed is this node's private RNG state.
+func (b *vpBuilder) build(idx []int, seed uint64) *vpNode {
 	if len(idx) == 0 {
 		return nil
 	}
 	// Random vantage point; swap it out of the candidate list.
-	vpPos := rng.Intn(len(idx))
+	vpPos := int(splitmix(seed) % uint64(len(idx)))
 	idx[0], idx[vpPos] = idx[vpPos], idx[0]
 	node := &vpNode{index: idx[0]}
 	rest := idx[1:]
 	if len(rest) == 0 {
 		return node
 	}
+	vp := b.t.corpus[node.index]
 	dists := make([]float64, len(rest))
-	for i, u := range rest {
-		dists[i] = t.m.Distance(t.corpus[node.index], t.corpus[u])
-		t.PreprocessComputations++
+	if fw := b.pool.fanWidth(len(rest)); fw > 1 {
+		b.ev.Fan(len(rest), fw, func(s metric.Metric, i int) {
+			dists[i] = s.Distance(vp, b.t.corpus[rest[i]])
+		})
+		b.pool.fanDone(fw)
+	} else {
+		s := b.ev.Session()
+		for i, u := range rest {
+			dists[i] = s.Distance(vp, b.t.corpus[u])
+		}
+		b.ev.Release(s)
 	}
+	b.comps.Add(int64(len(rest)))
 	// Median split: sort candidates by distance to the vantage point.
 	order := make([]int, len(rest))
 	for i := range order {
@@ -95,8 +162,21 @@ func (t *VPTree) build(idx []int, rng *rand.Rand) *vpNode {
 			outside = append(outside, rest[o])
 		}
 	}
-	node.inside = t.build(inside, rng)
-	node.outside = t.build(outside, rng)
+	insideSeed := splitmix(seed ^ 0xa5a5a5a5a5a5a5a5)
+	outsideSeed := splitmix(seed ^ 0x5a5a5a5a5a5a5a5a)
+	// Build the outside subtree on a spare worker when one is free (and the
+	// subtree is big enough to pay for the goroutine), the inside subtree
+	// inline meanwhile.
+	var wg sync.WaitGroup
+	spawned := b.pool.trySpawn(len(outside), &wg, func() {
+		node.outside = b.build(outside, outsideSeed)
+	})
+	node.inside = b.build(inside, insideSeed)
+	if spawned {
+		wg.Wait()
+	} else {
+		node.outside = b.build(outside, outsideSeed)
+	}
 	return node
 }
 

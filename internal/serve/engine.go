@@ -12,9 +12,9 @@ package serve
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
+	"ced/internal/bulk"
 	"ced/internal/metric"
 	"ced/internal/pool"
 	"ced/internal/search"
@@ -37,6 +37,12 @@ type Config struct {
 	Seed int64
 	// Workers sizes the batch worker pool. <= 0 uses all CPUs.
 	Workers int
+	// BuildWorkers sizes the index-construction worker pool: the LAESA
+	// pivot matrix, VP-tree partitions and BK-tree levels fan their
+	// distance evaluations over this many goroutines, which bounds the
+	// engine's cold-start time. <= 0 uses all CPUs. The built index is
+	// bit-identical for any value (fixed Seed ⇒ identical index).
+	BuildWorkers int
 	// CacheSize bounds the query→[]rune LRU cache. <= 0 disables it.
 	CacheSize int
 }
@@ -77,11 +83,12 @@ type Engine struct {
 	cache    *runeCache
 	requests atomic.Uint64
 
-	// sessionPool recycles per-worker metric sessions (private distance
-	// workspaces) across batch requests; nil when the metric cannot mint
-	// sessions. Each session is confined to one striped worker for the
-	// duration of a batch, then returned warm for the next request.
-	sessionPool *sync.Pool
+	// ev is the session-threaded evaluation layer behind the batch
+	// endpoints: each striped batch worker evaluates through a private
+	// metric session (a reusable distance workspace for the contextual
+	// kernels), checked out for the duration of a batch and returned warm
+	// for the next request.
+	ev *bulk.Evaluator
 }
 
 // New builds an engine over corpus with the given metric and index
@@ -114,16 +121,16 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 	var searcher search.Searcher
 	switch cfg.Algorithm {
 	case "laesa":
-		searcher = search.NewLAESA(runes, m, cfg.Pivots, search.MaxSum, cfg.Seed)
+		searcher = search.NewLAESAWorkers(runes, m, cfg.Pivots, search.MaxSum, cfg.Seed, cfg.BuildWorkers)
 	case "linear":
 		searcher = search.NewLinear(runes, m)
 	case "vptree":
-		searcher = search.NewVPTree(runes, m, cfg.Seed)
+		searcher = search.NewVPTreeWorkers(runes, m, cfg.Seed, cfg.BuildWorkers)
 	case "bktree":
 		if m.Name() != "dE" {
 			return nil, fmt.Errorf("serve: the bktree index prunes on integer distances and requires dE, not %q", m.Name())
 		}
-		searcher = search.NewBKTree(runes, m)
+		searcher = search.NewBKTreeWorkers(runes, m, cfg.BuildWorkers)
 	default:
 		return nil, fmt.Errorf("serve: unknown index algorithm %q (known: laesa, vptree, bktree, linear)", cfg.Algorithm)
 	}
@@ -131,18 +138,15 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{
+	return &Engine{
 		corpus:   corpus,
 		labels:   labels,
 		m:        m,
 		searcher: searcher,
 		workers:  workers,
 		cache:    newRuneCache(cfg.CacheSize),
-	}
-	if s, ok := m.(metric.Sessioner); ok {
-		e.sessionPool = &sync.Pool{New: func() any { return s.Session() }}
-	}
-	return e, nil
+		ev:       bulk.New(m),
+	}, nil
 }
 
 // Info is the engine snapshot reported by /healthz.
@@ -196,44 +200,16 @@ func (e *Engine) Distance(a, b string) (float64, int) {
 //
 // When the metric supports sessions (the contextual kernels do), each
 // striped worker evaluates through a private session holding its own DP
-// workspace, checked out of the engine's session pool for the duration of
+// workspace, checked out of the bulk evaluation layer for the duration of
 // the batch and returned warm afterwards: steady-state batch distances
 // allocate nothing and no workspace is ever shared between live workers.
 func (e *Engine) BatchDistance(pairs []Pair) ([]float64, int) {
 	e.countRequest()
 	out := make([]float64, len(pairs))
-	workers := pool.Workers(len(pairs), e.workers)
-	sessions := e.checkoutSessions(workers)
-	pool.FanWorker(len(pairs), workers, func(w, i int) {
-		out[i] = sessions[w].Distance([]rune(pairs[i].A), []rune(pairs[i].B))
+	e.ev.Fan(len(pairs), e.workers, func(s metric.Metric, i int) {
+		out[i] = s.Distance([]rune(pairs[i].A), []rune(pairs[i].B))
 	})
-	e.returnSessions(sessions)
 	return out, len(pairs)
-}
-
-// checkoutSessions returns one metric per worker: private sessions from
-// the engine pool when the metric can mint them, the shared
-// (concurrency-safe) metric otherwise. Pair with returnSessions.
-func (e *Engine) checkoutSessions(workers int) []metric.Metric {
-	sessions := make([]metric.Metric, workers)
-	for w := range sessions {
-		if e.sessionPool != nil {
-			sessions[w] = e.sessionPool.Get().(metric.Metric)
-		} else {
-			sessions[w] = e.m
-		}
-	}
-	return sessions
-}
-
-// returnSessions puts checked-out sessions back for the next batch.
-func (e *Engine) returnSessions(sessions []metric.Metric) {
-	if e.sessionPool == nil {
-		return
-	}
-	for _, s := range sessions {
-		e.sessionPool.Put(s)
-	}
 }
 
 // KNearest returns the k nearest corpus elements to q, closest first, and

@@ -243,3 +243,51 @@ func TestBatchDistanceSessionsMatchExact(t *testing.T) {
 		}
 	}
 }
+
+// BuildWorkers only changes how fast the index is built, never what it
+// answers: engines built at different widths must agree query for query,
+// computation count included.
+func TestBuildWorkersAgreeAtEveryWidth(t *testing.T) {
+	for _, algorithm := range []string{"laesa", "vptree", "bktree"} {
+		m := metric.Metric(metric.Contextual())
+		if algorithm == "bktree" {
+			m = metric.Levenshtein()
+		}
+		var ref *Engine
+		for _, bw := range []int{1, 4} {
+			e, err := New(testCorpus, testLabels, m, Config{Algorithm: algorithm, Pivots: 3, BuildWorkers: bw})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = e
+				continue
+			}
+			for _, q := range []string{"cas", "gatito", "queso", "xyz"} {
+				want, wantComps, err := ref.KNearest(q, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotComps, err := e.KNearest(q, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The BK-tree walkers iterate children maps, so their
+				// comps/query wobbles between runs independently of the
+				// build; only the LAESA/VP-tree counts are deterministic.
+				if algorithm != "bktree" && gotComps != wantComps {
+					t.Fatalf("%s build-workers=%d query %q: comps %d vs %d", algorithm, bw, q, gotComps, wantComps)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s build-workers=%d query %q: %d neighbours vs %d", algorithm, bw, q, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s build-workers=%d query %q: neighbour %d = %+v, want %+v",
+							algorithm, bw, q, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,8 +1,8 @@
 package ced
 
 import (
+	"ced/internal/bulk"
 	"ced/internal/metric"
-	"ced/internal/pool"
 )
 
 // DistanceMatrix computes the full symmetric distance matrix over data in
@@ -11,22 +11,26 @@ import (
 // once, mirrored into both triangles), striped over the worker pool with
 // no locking; workers <= 0 uses all CPUs.
 //
+// Each striped worker evaluates through a private metric session (a
+// reusable distance workspace for the contextual kernels), so steady-state
+// evaluations allocate nothing and never contend on a shared pool. The
+// values are bit-identical for any worker count.
+//
 // This is the bulk primitive behind the paper's distance histograms
 // (Figures 1–2) and intrinsic-dimensionality estimates (Table 1, computed
 // as μ²/2σ² over exactly these pairwise distances); BatchDistance and the
 // cedserve worker pool reuse its striding pattern.
 func DistanceMatrix(data []string, m Metric, workers int) [][]float64 {
 	n := len(data)
-	im := internalMetric(m)
 	runes := toRunes(data)
 	out := make([][]float64, n)
 	cells := make([]float64, n*n)
 	for i := range out {
 		out[i] = cells[i*n : (i+1)*n]
 	}
-	pool.Fan(n, workers, func(i int) {
+	bulk.New(internalMetric(m)).Fan(n, workers, func(s metric.Metric, i int) {
 		for j := i + 1; j < n; j++ {
-			v := im.Distance(runes[i], runes[j])
+			v := s.Distance(runes[i], runes[j])
 			out[i][j] = v
 			out[j][i] = v
 		}

@@ -147,3 +147,20 @@ func TestContextualWindowedFacade(t *testing.T) {
 		}
 	}
 }
+
+// The bulk evaluation layer promises allocation-free steady-state
+// evaluations: a DistanceMatrix run may allocate only its fixed setup (the
+// result matrix, the rune decodings, one evaluator with one freshly minted
+// session and its workspace buffers) — nothing per evaluation. With 64
+// strings the run performs 2,016 evaluations; a budget linear in n pins the
+// per-evaluation allocations to zero.
+func TestDistanceMatrixSteadyStateAllocs(t *testing.T) {
+	data := ced.GenerateSpanish(64, 3).Strings
+	m := ced.Contextual()
+	ced.DistanceMatrix(data, m, 1) // warm up first-call effects
+	allocs := testing.AllocsPerRun(3, func() { ced.DistanceMatrix(data, m, 1) })
+	if budget := float64(len(data) + 64); allocs > budget {
+		t.Fatalf("DistanceMatrix allocated %.0f times for %d evaluations (fixed-setup budget %.0f): evaluations are allocating",
+			allocs, len(data)*(len(data)-1)/2, budget)
+	}
+}

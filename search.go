@@ -92,9 +92,11 @@ func (ix *Index) Algorithm() string { return ix.searcher.Name() }
 // NewLAESA builds a LAESA index (Micó–Oncina–Vidal 1994) over corpus with
 // the given number of base prototypes (pivots) — the searcher of the
 // paper's §4.3–§4.4 experiments (Figures 3–4, Table 2). Preprocessing
-// computes pivots×len(corpus) distances and stores them in O(pivots·n)
-// memory; queries then use the triangle inequality to skip most distance
-// computations (the per-query cost plotted on Figure 3's vertical axis).
+// computes pivots×len(corpus) distances, fanned over all CPUs with one
+// private metric session per worker (the index is bit-identical for any
+// worker count), and stores them in O(pivots·n) memory; queries then use
+// the triangle inequality to skip most distance computations (the
+// per-query cost plotted on Figure 3's vertical axis).
 //
 // m should be a true metric (Contextual, Levenshtein, YujianBo) for exact
 // results; with non-metrics (MaxNormalised, and in principle
@@ -119,10 +121,12 @@ func NewLinear(corpus []string, m Metric) *Index {
 }
 
 // NewVPTree builds a vantage-point tree index (Yianilos 1993): O(n log n)
-// preprocessing distances and O(n) memory, triangle-inequality pruning at
-// query time. It is one of the "other methods that use metric properties"
-// the paper's §4.3 positions LAESA against: cheaper to build than LAESA
-// but prunes less per computed distance.
+// preprocessing distances (computed in parallel over all CPUs, with the
+// tree shape independent of the worker count) and O(n) memory,
+// triangle-inequality pruning at query time. It is one of the "other
+// methods that use metric properties" the paper's §4.3 positions LAESA
+// against: cheaper to build than LAESA but prunes less per computed
+// distance.
 func NewVPTree(corpus []string, m Metric) *Index {
 	return &Index{
 		corpus:   corpus,
@@ -131,9 +135,10 @@ func NewVPTree(corpus []string, m Metric) *Index {
 }
 
 // NewBKTree builds a Burkhard–Keller tree index: O(n log n) expected
-// preprocessing distances, pruning child edges whose integer label falls
-// outside [d−best, d+best]. It is the classic dictionary-search ablation
-// baseline for the paper's §4.3 comparison. The tree's edge labels are
+// preprocessing distances (batched level by level over all CPUs; the tree
+// is identical to serial insertion), pruning child edges whose integer
+// label falls outside [d−best, d+best]. It is the classic
+// dictionary-search ablation baseline for the paper's §4.3 comparison. The tree's edge labels are
 // integers, so a fractional metric would silently corrupt lookups; only
 // the integer-valued Levenshtein (dE) is accepted.
 func NewBKTree(corpus []string, m Metric) (*Index, error) {

@@ -38,6 +38,12 @@ type ServerConfig struct {
 	Seed int64
 	// Workers sizes the batch worker pool; <= 0 uses all CPUs.
 	Workers int
+	// BuildWorkers sizes the index-construction worker pool: preprocessing
+	// distance evaluations (the LAESA pivot matrix, VP-tree partitions,
+	// BK-tree levels) fan over this many goroutines, which bounds the
+	// server's cold-start time; <= 0 uses all CPUs. The built index is
+	// bit-identical for any value.
+	BuildWorkers int
 	// CacheSize bounds the LRU cache of query→rune decodings; < 0
 	// disables the cache and 0 defaults to 4096 entries.
 	CacheSize int
@@ -69,11 +75,12 @@ func NewServer(corpus *Dataset, cfg ServerConfig) (*Server, error) {
 		cache = 0
 	}
 	eng, err := serve.New(corpus.Strings, corpus.Labels, internalMetric(m), serve.Config{
-		Algorithm: cfg.Algorithm,
-		Pivots:    cfg.Pivots,
-		Seed:      cfg.Seed,
-		Workers:   cfg.Workers,
-		CacheSize: cache,
+		Algorithm:    cfg.Algorithm,
+		Pivots:       cfg.Pivots,
+		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
+		BuildWorkers: cfg.BuildWorkers,
+		CacheSize:    cache,
 	})
 	if err != nil {
 		return nil, err

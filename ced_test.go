@@ -281,9 +281,14 @@ func TestNewTrieIndex(t *testing.T) {
 	if viaName.Algorithm() != "trie" {
 		t.Error("NewIndex(trie) wrong algorithm")
 	}
-	// KNearest unsupported on the trie: returns nil rather than panicking.
-	if got := ix.KNearest("casa", 2); got != nil {
-		t.Errorf("trie KNearest should be nil, got %v", got)
+	// The trie answers k-NN since the ladder PR: same ranking as the
+	// exhaustive dE scan, ties by corpus index.
+	got := ix.KNearest("casa", 2)
+	if len(got) != 2 || got[0].Value != "casa" || got[0].Distance != 0 {
+		t.Errorf("trie KNearest = %+v", got)
+	}
+	if got[1].Value != "cosa" || got[1].Distance != 1 {
+		t.Errorf("trie KNearest rank 2 = %+v (want cosa at dE 1, the lowest-index tie)", got[1])
 	}
 }
 

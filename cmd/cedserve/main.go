@@ -20,8 +20,10 @@
 //
 // Endpoints: GET /healthz; POST /distance, /distance/batch, /knn,
 // /knn/batch, /classify, /classify/batch. Every response reports the
-// number of distance computations spent and the server-side latency in
-// milliseconds. See README.md for the full wire format.
+// number of distance computations spent, the per-stage bound-ladder
+// rejections among them and the server-side latency in milliseconds;
+// /healthz reports the lifetime rejection totals. See README.md for the
+// full wire format and the "Anatomy of a query" section for the ladder.
 package main
 
 import (
@@ -40,7 +42,7 @@ func main() {
 		corpus   = flag.String("corpus", "", "dataset file to serve (string [\\tlabel] per line)")
 		sample   = flag.Int("sample", 0, "serve a generated Spanish-like dictionary of this size instead of -corpus")
 		dist     = flag.String("d", "dC,h", "distance to serve (see ced -list)")
-		index    = flag.String("index", "laesa", "search index: laesa, vptree, bktree (dE only), linear")
+		index    = flag.String("index", "laesa", "search index: laesa, aesa, vptree, bktree (dE only), trie (dE only), linear")
 		pivots   = flag.Int("pivots", 16, "LAESA pivot count")
 		workers  = flag.Int("workers", 0, "batch worker pool size (0 = all CPUs)")
 		buildWrk = flag.Int("build-workers", 0, "index-construction worker pool size (0 = all CPUs); the built index is identical for any value")

@@ -41,11 +41,11 @@ func post(t *testing.T, url, body string, out any) int {
 // kind, exercising /distance, /distance/batch, /knn and /classify.
 func TestEndToEndAllIndexKinds(t *testing.T) {
 	corpus := writeCorpus(t)
-	for _, index := range []string{"laesa", "vptree", "bktree", "linear"} {
+	for _, index := range []string{"laesa", "aesa", "vptree", "bktree", "trie", "linear"} {
 		t.Run(index, func(t *testing.T) {
 			dist := "dC,h"
-			if index == "bktree" {
-				dist = "dE" // the BK-tree prunes on integer distances
+			if index == "bktree" || index == "trie" {
+				dist = "dE" // both prune on the structure of integer dE
 			}
 			srv, info, err := build(corpus, 0, dist, index, 4, 2, 4, 128, 1)
 			if err != nil {
@@ -155,6 +155,67 @@ func TestBuildValidation(t *testing.T) {
 	}
 	if _, _, err := build(corpus, 0, "dC,h", "bktree", 4, 0, 0, 0, 1); err == nil {
 		t.Error("bktree with fractional metric should fail")
+	}
+	if _, _, err := build(corpus, 0, "dC,h", "trie", 4, 0, 0, 0, 1); err == nil {
+		t.Error("trie with a non-dE metric should fail")
+	}
+}
+
+// TestKNNReportsLadderStages serves the exact contextual distance and
+// checks the wire format of the staged-ladder counters: the /knn metadata
+// carries a per-stage rejections object and /healthz accumulates it.
+func TestKNNReportsLadderStages(t *testing.T) {
+	corpus := writeCorpus(t)
+	srv, _, err := build(corpus, 0, "dC", "laesa", 3, 1, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type rejections struct {
+		Length    int64 `json:"length"`
+		Edit      int64 `json:"edit"`
+		Heuristic int64 `json:"heuristic"`
+		Exact     int64 `json:"exact"`
+	}
+	var total rejections
+	for _, q := range []string{"casitas", "quesadilla", "g", "pasapasa"} {
+		var k struct {
+			Computations int        `json:"computations"`
+			Rejections   rejections `json:"rejections"`
+		}
+		body, _ := json.Marshal(map[string]any{"query": q, "k": 2})
+		if code := post(t, ts.URL+"/knn", string(body), &k); code != http.StatusOK {
+			t.Fatalf("/knn status = %d", code)
+		}
+		sum := k.Rejections.Length + k.Rejections.Edit + k.Rejections.Heuristic + k.Rejections.Exact
+		if sum > int64(k.Computations) {
+			t.Fatalf("query %q: %d rejections > %d computations", q, sum, k.Computations)
+		}
+		total.Length += k.Rejections.Length
+		total.Edit += k.Rejections.Edit
+		total.Heuristic += k.Rejections.Heuristic
+		total.Exact += k.Rejections.Exact
+	}
+	if total == (rejections{}) {
+		t.Fatal("expected staged rejections over the query set")
+	}
+	var h struct {
+		Info struct {
+			Rejections rejections `json:"rejections"`
+		} `json:"info"`
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Info.Rejections != total {
+		t.Fatalf("/healthz rejections = %+v, want %+v", h.Info.Rejections, total)
 	}
 }
 

@@ -74,18 +74,43 @@ func DistanceStrings(x, y string) float64 {
 	return Distance([]rune(x), []rune(y))
 }
 
+// withWorkspace runs fn on a pooled workspace and recycles the workspace
+// afterwards. The deferred Put makes the round-trip panic-safe: a panic
+// escaping fn still returns the workspace to the pool, which is sound
+// because every kernel re-derives its buffers from scratch per call (no
+// cell is read before being written and the harmonic prefix only ever
+// grows), so a half-finished evaluation cannot poison the next one.
+func withWorkspace[T any](fn func(w *Workspace) T) T {
+	w := workspaces.Get().(*Workspace)
+	defer workspaces.Put(w)
+	return fn(w)
+}
+
 // DistanceBounded evaluates the exact contextual distance under a cutoff:
 // it returns (dC(x, y), true) whenever dC(x, y) ≤ cutoff, and otherwise may
-// abandon the evaluation once the edit-length band proves dC(x, y) > cutoff,
-// returning (v, false) with cutoff < v and dC(x, y) ≤ v. Metric-space
-// searchers pass their current pruning radius as the cutoff so that
-// far-away candidates cost a fraction of a full evaluation; see
+// abandon the evaluation once the staged bound ladder proves
+// dC(x, y) > cutoff, returning (v, false) with cutoff < v and dC(x, y) ≤ v.
+// Metric-space searchers pass their current pruning radius as the cutoff so
+// that far-away candidates cost a fraction of a full evaluation; see
 // Workspace.ComputeBounded for the exact contract.
 func DistanceBounded(x, y []rune, cutoff float64) (float64, bool) {
-	w := workspaces.Get().(*Workspace)
-	res, exact := w.ComputeBounded(x, y, cutoff)
-	workspaces.Put(w)
-	return res.Distance, exact
+	res, exact, _ := DistanceBoundedStaged(x, y, cutoff)
+	return res, exact
+}
+
+// DistanceBoundedStaged is DistanceBounded with the resolving ladder rung
+// reported; see Workspace.ComputeBoundedStaged.
+func DistanceBoundedStaged(x, y []rune, cutoff float64) (float64, bool, Stage) {
+	type outcome struct {
+		d     float64
+		exact bool
+		stage Stage
+	}
+	o := withWorkspace(func(w *Workspace) outcome {
+		res, exact, stage := w.ComputeBoundedStaged(x, y, cutoff)
+		return outcome{res.Distance, exact, stage}
+	})
+	return o.d, o.exact, o.stage
 }
 
 // Compute runs the exact Algorithm 1 — pruned to the edit-length band
@@ -95,10 +120,7 @@ func DistanceBounded(x, y []rune, cutoff float64) (float64, bool) {
 // unpruned seed algorithm, which the package's differential fuzz tests
 // enforce.
 func Compute(x, y []rune) Result {
-	w := workspaces.Get().(*Workspace)
-	res := w.Compute(x, y)
-	workspaces.Put(w)
-	return res
+	return withWorkspace(func(w *Workspace) Result { return w.Compute(x, y) })
 }
 
 // computeReference is the unpruned seed implementation of Algorithm 1,
@@ -227,8 +249,5 @@ func HeuristicStrings(x, y string) float64 {
 // with ties broken toward more insertions (longer intermediate strings are
 // cheaper, Lemma 1). See Workspace.HeuristicCompute for the kernel.
 func HeuristicCompute(x, y []rune) Result {
-	w := workspaces.Get().(*Workspace)
-	res := w.HeuristicCompute(x, y)
-	workspaces.Put(w)
-	return res
+	return withWorkspace(func(w *Workspace) Result { return w.HeuristicCompute(x, y) })
 }

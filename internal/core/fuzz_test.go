@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"testing"
+
+	"ced/internal/editdist"
 )
 
 // FuzzPrunedMatchesReference is the differential fuzz for the banded,
@@ -69,6 +71,94 @@ func FuzzDistanceBounded(f *testing.F) {
 		}
 		if exact2, ok := DistanceBounded(x, y, math.Inf(1)); !ok || exact2 != want {
 			t.Fatalf("DistanceBounded(+Inf) = (%v, %v), want (%v, true)", exact2, ok, want)
+		}
+	})
+}
+
+// FuzzLadderInvariants pins the chain of bounds the staged ladder rests on:
+// for every pair, each rung's lower bound is at most the next rung's, every
+// lower bound is at most the exact dC of the reference algorithm, and the
+// heuristic dC,h and the closed-form UpperBound cap it from above:
+//
+//	lb(||x|−|y||)  <=  lb(dE)  <=  dC  <=  dC,h  <=  UpperBound(|x|, |y|)
+//
+// with lb(k) = 2k/(|x|+|y|+k). A rung rejecting against a cutoff between
+// its bound and dC is therefore always sound, and bounded Myers feeding the
+// edit rung must agree with the unbounded engine whenever definite.
+func FuzzLadderInvariants(f *testing.F) {
+	f.Add("ababa", "baab", 0.5)
+	f.Add("", "abc", 0.0)
+	f.Add("ñandú", "nandu", 0.3)
+	f.Add("aaaaaaaaaa", "a", 1.5)
+	f.Fuzz(func(t *testing.T, sx, sy string, cutoff float64) {
+		x, y := []rune(sx), []rune(sy)
+		if len(x) > 40 || len(y) > 40 || math.IsNaN(cutoff) {
+			t.Skip()
+		}
+		m, n := len(x), len(y)
+		if m == 0 && n == 0 {
+			t.Skip()
+		}
+		gap := m - n
+		if gap < 0 {
+			gap = -gap
+		}
+		de := editdist.Distance(x, y)
+		exact := computeReference(x, y)
+		heur := Heuristic(x, y)
+		lbGap, lbDe := pathLowerBound(m, n, gap), pathLowerBound(m, n, de)
+		if lbGap > lbDe {
+			t.Fatalf("length bound %v above edit bound %v for %q %q", lbGap, lbDe, sx, sy)
+		}
+		if lbDe > exact.Distance+1e-12 {
+			t.Fatalf("edit bound %v above exact dC %v for %q %q", lbDe, exact.Distance, sx, sy)
+		}
+		if exact.Distance > heur+1e-12 {
+			t.Fatalf("exact dC %v above dC,h %v for %q %q", exact.Distance, heur, sx, sy)
+		}
+		if heur > UpperBound(m, n)+1e-12 {
+			t.Fatalf("dC,h %v above UpperBound %v for %q %q", heur, UpperBound(m, n), sx, sy)
+		}
+		// The heuristic always evaluates the minimal edit length — exactly
+		// dE, the value the ladder's edit rung resolves. (The *optimal*
+		// path's K may exceed dE: extra insertions can be cheaper.)
+		if h := HeuristicCompute(x, y); h.K != de {
+			t.Fatalf("heuristic edit length %d != dE %d for %q %q", h.K, de, sx, sy)
+		}
+
+		// The staged kernel must honour the DistanceBounded contract and
+		// report a rung consistent with its decision.
+		w := NewWorkspace()
+		res, ok, stage := w.ComputeBoundedStaged(x, y, cutoff)
+		if stage > StageExact {
+			t.Fatalf("unknown stage %d", stage)
+		}
+		if ok {
+			if res.Distance != exact.Distance {
+				t.Fatalf("exact staged result %v != reference %v for %q %q", res.Distance, exact.Distance, sx, sy)
+			}
+			if stage < StageHeuristic {
+				t.Fatalf("exact result attributed to rejection-only rung %v", stage)
+			}
+		} else {
+			if exact.Distance <= cutoff {
+				t.Fatalf("staged kernel bailed although dC = %v <= cutoff %v", exact.Distance, cutoff)
+			}
+			if res.Distance <= cutoff || res.Distance < exact.Distance-1e-12 {
+				t.Fatalf("bail value %v violates contract (cutoff %v, dC %v)", res.Distance, cutoff, exact.Distance)
+			}
+			// A rejection claims its rung's bound cleared the cutoff; check
+			// the claim against the bound recomputed here.
+			switch stage {
+			case StageLength:
+				if lbGap <= cutoff {
+					t.Fatalf("length-stage rejection but bound %v <= cutoff %v", lbGap, cutoff)
+				}
+			case StageEdit:
+				if lbDe <= cutoff {
+					t.Fatalf("edit-stage rejection but bound %v <= cutoff %v", lbDe, cutoff)
+				}
+			}
 		}
 	})
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sync"
+
+	"ced/internal/editdist"
 )
 
 // This file implements the production kernel behind Compute, Heuristic and
@@ -54,9 +56,10 @@ const bailSlack = 1e-12
 //
 // The zero value is ready to use; NewWorkspace is a readable constructor.
 type Workspace struct {
-	prev, cur []int32   // rolling (j, k) planes of Algorithm 1
-	kr, ir    []int32   // heuristic rows: min edit length, max insertions
-	h         []float64 // harmonic prefix: h[i] = H(i), grows monotonically
+	prev, cur []int32          // rolling (j, k) planes of Algorithm 1
+	kr, ir    []int32          // heuristic rows: min edit length, max insertions
+	h         []float64        // harmonic prefix: h[i] = H(i), grows monotonically
+	ed        editdist.Scratch // bounded-Myers scratch for the ladder's edit stage
 }
 
 // NewWorkspace returns an empty workspace. Buffers are allocated lazily on
@@ -153,7 +156,7 @@ func (w *Workspace) Compute(x, y []rune) Result {
 		hres.Exact = true
 		return hres
 	}
-	res := w.computeBand(x, y, kmax)
+	res := w.computeBand(x, y, kmax, hres.K)
 	res.Exact = true
 	return res
 }
@@ -173,40 +176,17 @@ func (w *Workspace) Distance(x, y []rune) float64 {
 //     evaluation. res.Distance is then an upper bound of dC(x, y) that is
 //     itself > cutoff (never below the cutoff), and res.Exact is false.
 //
-// The cutoff tightens the k-band beyond what the heuristic upper bound
-// allows — edit lengths whose best case exceeds the cutoff cannot produce a
-// value the caller would accept — and when even the minimal edit length dE
-// is ruled out (pathLowerBound(dE) > cutoff) the O(|x|·|y|·k) sweep is
-// abandoned before it starts, leaving only the quadratic heuristic cost.
-// Metric-space searchers pass their current pruning radius as the cutoff to
-// discard far-away candidates at a fraction of an exact evaluation.
+// The evaluation runs the staged bound ladder of ladder.go: an O(1)
+// length-difference bound, the bounded bit-parallel edit-distance bound,
+// the quadratic dC,h band collapse and finally the banded exact sweep —
+// each rung can reject the candidate against the cutoff before the next
+// spends more work, and the cutoff tightens the final band beyond what the
+// heuristic upper bound alone allows. Metric-space searchers pass their
+// current pruning radius as the cutoff to discard far-away candidates at a
+// fraction of an exact evaluation; ComputeBoundedStaged additionally
+// reports which rung decided.
 func (w *Workspace) ComputeBounded(x, y []rune, cutoff float64) (Result, bool) {
-	m, n := len(x), len(y)
-	if m == 0 && n == 0 {
-		return Result{Exact: true}, true
-	}
-	hres := w.HeuristicCompute(x, y)
-	if pathLowerBound(m, n, hres.K) > cutoff+bailSlack {
-		// Even the cheapest conceivable path at the minimal edit length
-		// exceeds the cutoff; the heuristic value (≥ that bound) is the
-		// upper bound we hand back.
-		return hres, false
-	}
-	kmaxUb := kBand(m, n, hres.Distance, hres.K)
-	kmax := kmaxUb
-	if cutoff < hres.Distance {
-		if kc := kBand(m, n, cutoff, hres.K); kc < kmax {
-			kmax = kc
-		}
-	}
-	if kmax == hres.K {
-		exact := kmax == kmaxUb || hres.Distance <= cutoff
-		hres.Exact = exact
-		return hres, exact
-	}
-	res := w.computeBand(x, y, kmax)
-	exact := kmax == kmaxUb || res.Distance <= cutoff
-	res.Exact = exact
+	res, exact, _ := w.ComputeBoundedStaged(x, y, cutoff)
 	return res, exact
 }
 
@@ -219,7 +199,12 @@ func (w *Workspace) ComputeBounded(x, y []rune, cutoff float64) (Result, bool) {
 // kernel walks only that feasible sub-band per cell, guards reads of
 // neighbouring cells by *their* feasible bands, and never touches —
 // or needs to clear — the rest of the scratch planes.
-func (w *Workspace) computeBand(x, y []rune, kmax int) Result {
+//
+// kmin is the caller's proven lower bound on the edit length (dE, from the
+// heuristic or the ladder's edit stage): the final closed-formula sweep
+// starts there instead of at |m−n|, since every shorter edit length holds
+// the sentinel — no path exists — and cannot win.
+func (w *Workspace) computeBand(x, y []rune, kmax, kmin int) Result {
 	m, n := len(x), len(y)
 	width := kmax + 1
 	need := (n + 1) * width
@@ -334,6 +319,9 @@ func (w *Workspace) computeBand(x, y []rune, kmax int) Result {
 	klo := m - n
 	if klo < 0 {
 		klo = -klo
+	}
+	if kmin > klo {
+		klo = kmin
 	}
 	khi := m + n
 	if khi > kmax {

@@ -202,3 +202,45 @@ func BenchmarkComputeBounded120(b *testing.B) {
 		DistanceBounded(x, y, cutoff)
 	}
 }
+
+// TestPoolRecyclesOnPanic pins the hardening of the package-level entry
+// points: workspaces round-trip through the pool via defer, so a panic
+// escaping a kernel neither leaks the workspace nor poisons the pool — the
+// recycled workspace must keep producing bit-identical results. The panic
+// is injected through withWorkspace itself, the seam every entry point
+// goes through.
+func TestPoolRecyclesOnPanic(t *testing.T) {
+	x, y := []rune("contextual"), []rune("normalised")
+	want := computeReference(x, y)
+	want.Exact = true
+
+	// Dirty a workspace mid-"evaluation", then panic out of the scope.
+	for i := 0; i < 8; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected the injected panic to propagate")
+				}
+			}()
+			withWorkspace(func(w *Workspace) struct{} {
+				w.HeuristicCompute(x, y) // touch the heuristic rows
+				w.harmonic(64)           // grow the harmonic table
+				panic("kernel panic injected by test")
+			})
+		}()
+	}
+
+	// The pool must still hand out workspaces that compute exact results,
+	// through every package-level entry point.
+	for i := 0; i < 32; i++ {
+		if got := Compute(x, y); got != want {
+			t.Fatalf("Compute after panic diverged: %+v vs %+v", got, want)
+		}
+		if d, exact := DistanceBounded(x, y, 2); !exact || d != want.Distance {
+			t.Fatalf("DistanceBounded after panic: (%v, %v)", d, exact)
+		}
+		if h := Heuristic(x, y); h < want.Distance-1e-12 {
+			t.Fatalf("Heuristic after panic below exact: %v < %v", h, want.Distance)
+		}
+	}
+}

@@ -77,9 +77,17 @@ func Bounded(a, b []rune, k int) int {
 	if n == 0 {
 		return m // m <= k here
 	}
+	return bandedRows(a, b, k, make([]int, n+1), make([]int, n+1))
+}
+
+// bandedRows is the engine of Bounded, running the Ukkonen band on the
+// caller's rolling rows (len(a) >= len(b) = len(prev)-1 = len(cur)-1 > 0 and
+// k >= len(a)-len(b) established by the caller). Row contents on entry are
+// irrelevant: every cell the band reads was written first, so scratch-owning
+// callers (Scratch.banded) reuse rows without clearing them.
+func bandedRows(a, b []rune, k int, prev, cur []int) int {
+	m, n := len(a), len(b)
 	const inf = int(^uint(0) >> 2)
-	prev := make([]int, n+1)
-	cur := make([]int, n+1)
 	for j := range prev {
 		if j <= k {
 			prev[j] = j

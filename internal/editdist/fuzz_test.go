@@ -27,8 +27,56 @@ func FuzzDistanceEnginesAgree(f *testing.F) {
 				t.Fatalf("Bounded below threshold should report k+1=%d, got %d", d, bd)
 			}
 		}
+		if bd := MyersBounded(a, b, d); bd != d {
+			t.Fatalf("MyersBounded at exact threshold %d gave %d", d, bd)
+		}
+		if d > 0 {
+			if bd := MyersBounded(a, b, d-1); bd != d {
+				t.Fatalf("MyersBounded below threshold should report k+1=%d, got %d", d, bd)
+			}
+		}
 		if g := GeneralDistance(a, b, Unit{}); g != float64(d) {
 			t.Fatalf("GeneralDistance unit %v != %d", g, d)
+		}
+	})
+}
+
+// FuzzMyersBounded pins the bounded bit-parallel engine against the plain
+// two-row program over arbitrary bounds: whenever MyersBounded returns a
+// definite value (<= k) it must equal Distance, and otherwise it must
+// return exactly k+1 with the true distance really above k. One shared
+// Scratch runs every case, so buffer reuse across pattern alphabets and
+// lengths is fuzzed too.
+func FuzzMyersBounded(f *testing.F) {
+	f.Add("kitten", "sitting", 1)
+	f.Add("kitten", "sitting", 3)
+	f.Add("", "abc", 0)
+	f.Add("ññññ", "nnnn", 2)
+	f.Add("abcdefgh", "abcdefgh", -1)
+	var scratch Scratch
+	f.Fuzz(func(t *testing.T, sa, sb string, k int) {
+		a, b := []rune(sa), []rune(sb)
+		if len(a) > 200 || len(b) > 200 || k > 500 {
+			t.Skip()
+		}
+		d := Distance(a, b)
+		got := scratch.MyersBounded(a, b, k)
+		switch {
+		case k < 0:
+			if got != 0 {
+				t.Fatalf("MyersBounded(k=%d) = %d, want 0", k, got)
+			}
+		case d <= k:
+			if got != d {
+				t.Fatalf("MyersBounded(%q,%q,%d) = %d, want the exact %d", sa, sb, k, got, d)
+			}
+		default:
+			if got != k+1 {
+				t.Fatalf("MyersBounded(%q,%q,%d) = %d, want k+1 = %d (dE = %d)", sa, sb, k, got, k+1, d)
+			}
+		}
+		if pkg := MyersBounded(a, b, k); pkg != got {
+			t.Fatalf("package-level MyersBounded %d != scratch %d", pkg, got)
 		}
 	})
 }

@@ -27,7 +27,9 @@ func Myers(a, b []rune) int {
 // ASCII patterns — every generated corpus except the Spanish one (ñ,
 // accented vowels) — take a zero-allocation fast path with a fixed
 // [128]uint64 pattern-equality table indexed directly by symbol; wider
-// alphabets fall back to the map-backed table.
+// alphabets fall back to the map-backed table. The bounded engines in
+// bounded.go mirror these loops with an early exit and scratch-resident
+// tables; the step logic both share is myersStep.
 func myers64(pattern, text []rune) int {
 	for _, c := range pattern {
 		if c >= 128 {

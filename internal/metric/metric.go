@@ -9,6 +9,7 @@ package metric
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ced/internal/core"
 	"ced/internal/editdist"
@@ -47,6 +48,35 @@ type BoundedMetric interface {
 	DistanceBounded(a, b []rune, cutoff float64) (float64, bool)
 }
 
+// Stage identifies the rung of the staged bound ladder that resolved one
+// bounded evaluation; it aliases core.Stage so searchers and the serving
+// layer index per-stage counters without importing internal/core.
+type Stage = core.Stage
+
+// StageCounts aliases core.StageCounts: per-stage evaluation counters,
+// indexed by Stage.
+type StageCounts = core.StageCounts
+
+// The ladder rungs, cheapest first; NumStages sizes StageCounts.
+const (
+	StageLength    = core.StageLength
+	StageEdit      = core.StageEdit
+	StageHeuristic = core.StageHeuristic
+	StageExact     = core.StageExact
+	NumStages      = core.NumStages
+)
+
+// Staged is the capability interface for bounded metrics that additionally
+// report which ladder rung resolved each evaluation. DistanceStaged has
+// exactly the DistanceBounded contract plus the Stage: on a rejection the
+// cheapest rung whose lower bound cleared the cutoff, on an exact result
+// the rung that produced the value. Searchers aggregate the stages into the
+// per-query rejection counters surfaced by the serving layer.
+type Staged interface {
+	BoundedMetric
+	DistanceStaged(a, b []rune, cutoff float64) (float64, bool, Stage)
+}
+
 // Sessioner is the capability interface for metrics that can mint a
 // per-goroutine session holding private scratch memory (e.g. a reusable
 // contextual-distance workspace, making steady-state calls allocation-free
@@ -69,8 +99,8 @@ func New(name string, fn func(a, b []rune) float64) Metric {
 	return funcMetric{name: name, fn: fn}
 }
 
-// levenshteinMetric is dE with bounded evaluation via the banded
-// Levenshtein engine.
+// levenshteinMetric is dE with bounded evaluation via the bounded
+// bit-parallel Myers engine.
 type levenshteinMetric struct{}
 
 func (levenshteinMetric) Name() string { return "dE" }
@@ -78,30 +108,50 @@ func (levenshteinMetric) Distance(a, b []rune) float64 {
 	return float64(editdist.Distance(a, b))
 }
 
-// DistanceBounded resolves dE against the cutoff with the O(k·min) banded
-// engine. Bail values are lower bounds of dE (k+1: the band only proves
-// dE > k), which the BoundedMetric contract permits.
-func (levenshteinMetric) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
-	if cutoff < 0 {
-		return 0, false // dE >= 0 > cutoff; 0 is the trivial lower bound
-	}
-	longest := len(a)
-	if len(b) > longest {
-		longest = len(b)
-	}
-	if cutoff >= float64(longest) { // dE <= max(|a|,|b|): nothing to abandon
-		return float64(editdist.Distance(a, b)), true
-	}
-	k := int(cutoff) // floor: dE is integer-valued, so d <= cutoff iff d <= k
-	d := editdist.Bounded(a, b, k)
-	if d <= k {
-		return float64(d), true
-	}
-	return float64(d), false // d = k+1 > cutoff, and dE >= k+1
+// DistanceBounded resolves dE against the cutoff with the early-exiting
+// bit-parallel engine. Bail values are lower bounds of dE (the band only
+// proves dE > k), which the BoundedMetric contract permits.
+func (m levenshteinMetric) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
+	d, exact, _ := m.DistanceStaged(a, b, cutoff)
+	return d, exact
 }
 
+// DistanceStaged is the staged form of DistanceBounded. dE's ladder has two
+// rungs: the O(1) length-difference bound and the bounded Myers scan itself
+// (dE is its own edit stage; there is no cheaper heuristic to collapse).
+func (levenshteinMetric) DistanceStaged(a, b []rune, cutoff float64) (float64, bool, Stage) {
+	if cutoff < 0 {
+		return 0, false, StageLength // dE >= 0 > cutoff; 0 is the trivial lower bound
+	}
+	longest, gap := len(a), len(a)-len(b)
+	if len(b) > longest {
+		longest, gap = len(b), -gap
+	}
+	k := longest // dE <= max(|a|,|b|): at this bound the scan is definite
+	if cutoff < float64(longest) {
+		k = int(cutoff) // floor: dE is integer-valued, so d <= cutoff iff d <= k
+		if gap > k {
+			return float64(gap), false, StageLength // dE >= gap = k+1 > cutoff at least
+		}
+	}
+	s := edScratch.Get().(*editdist.Scratch)
+	defer edScratch.Put(s) // deferred so a kernel panic cannot leak the scratch
+	d := s.MyersBounded(a, b, k)
+	if d <= k {
+		return float64(d), true, StageEdit
+	}
+	return float64(d), false, StageEdit // d = k+1 > cutoff, and dE >= k+1
+}
+
+// edScratch recycles bounded-Myers scratch (the non-ASCII pattern table,
+// the long-pattern band rows) across the stateless dE metric's bounded
+// evaluations, keeping them allocation-free at steady state.
+var edScratch = sync.Pool{New: func() any { return new(editdist.Scratch) }}
+
 // Levenshtein returns the plain edit distance dE. It implements
-// BoundedMetric through the O(k·min(|a|,|b|)) banded engine.
+// BoundedMetric and Staged through the early-exiting bit-parallel Myers
+// engine (O(k·min(|a|,|b|)) banded fallback for patterns beyond a machine
+// word).
 func Levenshtein() Metric {
 	return levenshteinMetric{}
 }
@@ -114,6 +164,9 @@ func (contextualMetric) Name() string                 { return "dC" }
 func (contextualMetric) Distance(a, b []rune) float64 { return core.Distance(a, b) }
 func (contextualMetric) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
 	return core.DistanceBounded(a, b, cutoff)
+}
+func (contextualMetric) DistanceStaged(a, b []rune, cutoff float64) (float64, bool, Stage) {
+	return core.DistanceBoundedStaged(a, b, cutoff)
 }
 func (contextualMetric) Session() Metric {
 	return &contextualSession{ws: core.NewWorkspace()}
@@ -128,6 +181,10 @@ func (s *contextualSession) Distance(a, b []rune) float64 { return s.ws.Distance
 func (s *contextualSession) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
 	res, exact := s.ws.ComputeBounded(a, b, cutoff)
 	return res.Distance, exact
+}
+func (s *contextualSession) DistanceStaged(a, b []rune, cutoff float64) (float64, bool, Stage) {
+	res, exact, stage := s.ws.ComputeBoundedStaged(a, b, cutoff)
+	return res.Distance, exact, stage
 }
 
 // Contextual returns the exact contextual normalised distance dC: Algorithm
@@ -241,19 +298,28 @@ func normalise(name string) string {
 }
 
 // Counter wraps a Metric and counts how many times Distance is invoked —
-// the per-query statistic reported in the paper's Figures 3 and 4. It is
-// not safe for concurrent use; use one Counter per goroutine and sum.
+// the per-query statistic reported in the paper's Figures 3 and 4 — plus,
+// for staged metrics, how many bounded evaluations each ladder rung
+// resolved. It is not safe for concurrent use; use one Counter per
+// goroutine and sum.
 type Counter struct {
 	M Metric
 	N int64
+	// Stages counts the DistanceStaged evaluations by resolving ladder
+	// rung; plain Distance calls and non-staged fallbacks count under
+	// StageExact (they paid for a full evaluation).
+	Stages StageCounts
 }
 
 // Name returns the wrapped metric's name.
 func (c *Counter) Name() string { return c.M.Name() }
 
-// Distance increments the counter and delegates.
+// Distance increments the counter and delegates. The evaluation counts
+// under StageExact in c.Stages — it ran to completion — so Stages always
+// accounts for every counted evaluation.
 func (c *Counter) Distance(a, b []rune) float64 {
 	c.N++
+	c.Stages[StageExact]++
 	return c.M.Distance(a, b)
 }
 
@@ -263,9 +329,29 @@ func (c *Counter) Distance(a, b []rune) float64 {
 // computation (the paper's cost measure counts evaluations, not their
 // internal work).
 func (c *Counter) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
+	d, exact, _ := c.DistanceStaged(a, b, cutoff)
+	return d, exact
+}
+
+// DistanceStaged counts the evaluation, delegates to the wrapped metric's
+// staged evaluation when available (bounded, then exact, otherwise) and
+// accumulates the resolving stage in c.Stages.
+func (c *Counter) DistanceStaged(a, b []rune, cutoff float64) (float64, bool, Stage) {
 	c.N++
-	if bm, ok := c.M.(BoundedMetric); ok {
-		return bm.DistanceBounded(a, b, cutoff)
+	var (
+		d     float64
+		exact bool
+		stage Stage
+	)
+	switch m := c.M.(type) {
+	case Staged:
+		d, exact, stage = m.DistanceStaged(a, b, cutoff)
+	case BoundedMetric:
+		d, exact = m.DistanceBounded(a, b, cutoff)
+		stage = StageExact
+	default:
+		d, exact, stage = c.M.Distance(a, b), true, StageExact
 	}
-	return c.M.Distance(a, b), true
+	c.Stages[stage]++
+	return d, exact, stage
 }

@@ -3,7 +3,9 @@ package search
 import (
 	"math"
 
+	"ced/internal/bulk"
 	"ced/internal/metric"
+	"ced/internal/pool"
 )
 
 // AESA is the Approximating and Eliminating Search Algorithm (Vidal 1986):
@@ -16,31 +18,41 @@ import (
 // Micó 2003, comparing AESA and LAESA on string edit distances).
 type AESA struct {
 	corpus [][]rune
-	m      metric.Metric
+	eval   boundedEval
 	d      [][]float64 // full symmetric distance matrix
 
 	// PreprocessComputations is n(n-1)/2: one evaluation per unordered pair.
 	PreprocessComputations int
 }
 
-// NewAESA builds the full distance matrix over corpus.
+// NewAESA builds the full distance matrix over corpus, fanning the rows
+// over all CPUs (NewAESAWorkers controls the count).
 func NewAESA(corpus [][]rune, m metric.Metric) *AESA {
+	return NewAESAWorkers(corpus, m, 0)
+}
+
+// NewAESAWorkers is NewAESA with an explicit build worker count (<= 0 uses
+// all CPUs): row i's evaluations d(corpus[i], corpus[j]) for j > i run on
+// the worker that owns index i, through a private metric session. Each
+// matrix cell is written by exactly one worker and the cell values do not
+// depend on scheduling, so the matrix and PreprocessComputations are
+// identical for any worker count.
+func NewAESAWorkers(corpus [][]rune, m metric.Metric, workers int) *AESA {
 	n := len(corpus)
 	d := make([][]float64, n)
 	cells := make([]float64, n*n)
 	for i := range d {
 		d[i] = cells[i*n : (i+1)*n]
 	}
-	comps := 0
-	for i := 0; i < n; i++ {
+	ev := bulk.New(m)
+	ev.Fan(n, pool.Workers(n, workers), func(s metric.Metric, i int) {
 		for j := i + 1; j < n; j++ {
-			v := m.Distance(corpus[i], corpus[j])
+			v := s.Distance(corpus[i], corpus[j])
 			d[i][j] = v
 			d[j][i] = v
-			comps++
 		}
-	}
-	return &AESA{corpus: corpus, m: m, d: d, PreprocessComputations: comps}
+	})
+	return &AESA{corpus: corpus, eval: newBoundedEval(m), d: d, PreprocessComputations: n * (n - 1) / 2}
 }
 
 // Name returns "aesa".
@@ -48,6 +60,40 @@ func (s *AESA) Name() string { return "aesa" }
 
 // Size returns the corpus size.
 func (s *AESA) Size() int { return len(s.corpus) }
+
+// aesaCutoff is the bail threshold for evaluating candidate u against the
+// current pruning bound: bound plus the largest matrix entry d(u, v) over
+// the live candidates (bound alone when none remain). Unlike LAESA, AESA
+// needs the exact distance of every selected candidate — each one tightens
+// every remaining bound through the matrix — so the query loops only bail
+// when nothing is lost: d > bound + d(u, v) for every live v means the
+// evaluation both misses the bound itself and would have eliminated the
+// entire candidate set, so the query can stop. Candidate selection,
+// elimination and the computation counts stay bit-identical to the
+// unbounded loop.
+func (s *AESA) aesaCutoff(u int, alive []int, bound float64) float64 {
+	row := s.d[u]
+	maxRow := 0.0
+	for _, v := range alive {
+		if row[v] > maxRow {
+			maxRow = row[v]
+		}
+	}
+	return bound + maxRow
+}
+
+// selectMin pops the live candidate with the smallest lower bound g.
+func selectMin(g []float64, alive []int) (int, []int) {
+	selPos := 0
+	for pos, u := range alive {
+		if g[u] < g[alive[selPos]] {
+			selPos = pos
+		}
+	}
+	u := alive[selPos]
+	alive[selPos] = alive[len(alive)-1]
+	return u, alive[:len(alive)-1]
+}
 
 // Search returns the nearest neighbour of q, eliminating candidates with
 // the triangle-inequality bound g[u] = max |d(q,s) − d(s,u)| over every
@@ -66,18 +112,17 @@ func (s *AESA) Search(q []rune) Result {
 	comps := 0
 	for len(alive) > 0 {
 		// Approximate: candidate with the smallest lower bound.
-		selPos := 0
-		for pos, u := range alive {
-			if g[u] < g[alive[selPos]] {
-				selPos = pos
-			}
-		}
-		u := alive[selPos]
-		alive[selPos] = alive[len(alive)-1]
-		alive = alive[:len(alive)-1]
+		var u int
+		u, alive = selectMin(g, alive)
 
-		dqu := s.m.Distance(q, s.corpus[u])
+		dqu, exact, stage := s.eval.distanceWithin(q, s.corpus[u], s.aesaCutoff(u, alive, best.Distance))
 		comps++
+		if !exact {
+			// dqu > best + max row: no update, and tightening would have
+			// eliminated every remaining candidate — the query is decided.
+			best.Rejections[stage]++
+			break
+		}
 		if dqu < best.Distance {
 			best.Index = u
 			best.Distance = dqu
@@ -97,4 +142,98 @@ func (s *AESA) Search(q []rune) Result {
 	}
 	best.Computations = comps
 	return best
+}
+
+// KNearest returns the k nearest corpus elements, closest first, with the
+// same elimination generalised to the k-th-best bound τ: a candidate is
+// discarded only once its lower bound exceeds τ, exactly like
+// LAESA.KNearest but with every computed distance tightening the bounds.
+func (s *AESA) KNearest(q []rune, k int) []Result {
+	n := len(s.corpus)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	g := make([]float64, n)
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	top := newTopK(k)
+	comps := 0
+	var rej metric.StageCounts
+	for len(alive) > 0 {
+		var u int
+		u, alive = selectMin(g, alive)
+
+		dqu, exact, stage := s.eval.distanceWithin(q, s.corpus[u], s.aesaCutoff(u, alive, top.tau))
+		comps++
+		if !exact {
+			rej[stage]++
+			break // misses the top-k and every remaining candidate with it
+		}
+		top.insert(u, dqu)
+		row := s.d[u]
+		w := alive[:0]
+		for _, v := range alive {
+			if lb := math.Abs(dqu - row[v]); lb > g[v] {
+				g[v] = lb
+			}
+			if g[v] <= top.tau {
+				w = append(w, v)
+			}
+		}
+		alive = w
+	}
+	return top.results(comps, rej)
+}
+
+// Radius returns every corpus element within distance r of q (inclusive),
+// sorted by distance, plus the number of distance computations spent.
+func (s *AESA) Radius(q []rune, r float64) ([]Result, int) {
+	n := len(s.corpus)
+	if n == 0 {
+		return nil, 0
+	}
+	g := make([]float64, n)
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	var hits []Result
+	comps := 0
+	var rej metric.StageCounts
+	for len(alive) > 0 {
+		var u int
+		u, alive = selectMin(g, alive)
+
+		dqu, exact, stage := s.eval.distanceWithin(q, s.corpus[u], s.aesaCutoff(u, alive, r))
+		comps++
+		if !exact {
+			rej[stage]++
+			break // no hit, and every remaining candidate is beyond r too
+		}
+		if dqu <= r {
+			hits = append(hits, Result{Index: u, Distance: dqu})
+		}
+		row := s.d[u]
+		w := alive[:0]
+		for _, v := range alive {
+			if lb := math.Abs(dqu - row[v]); lb > g[v] {
+				g[v] = lb
+			}
+			if g[v] <= r {
+				w = append(w, v)
+			}
+		}
+		alive = w
+	}
+	sortHits(hits)
+	for i := range hits {
+		hits[i].Computations = comps
+		hits[i].Rejections = rej
+	}
+	return hits, comps
 }

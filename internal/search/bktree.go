@@ -17,8 +17,7 @@ import (
 // ablation baseline; real-valued metrics like dC need LAESA or a VP-tree.
 type BKTree struct {
 	corpus [][]rune
-	m      metric.Metric
-	bm     metric.BoundedMetric // non-nil when m supports cutoff-bounded evaluation
+	eval   boundedEval
 	root   *bkNode
 	size   int
 }
@@ -29,18 +28,11 @@ type bkNode struct {
 	maxEdge  int // largest child edge label; 0 for leaves
 }
 
-// distanceWithin evaluates the query-node distance under cutoff when the
-// metric supports it (exactly otherwise). The walkers pass
+// The walkers evaluate nodes through t.eval.distanceWithin with
 // cutoff = pruning bound + the node's largest child edge: a bail then
 // proves d > bound (the node itself is rejected) and every child edge e
 // satisfies e ≤ maxEdge < d − bound (the whole [d−bound, d+bound] edge
 // window is empty), so the walker can stop without knowing d.
-func (t *BKTree) distanceWithin(q, c []rune, cutoff float64) (float64, bool) {
-	if t.bm != nil {
-		return t.bm.DistanceBounded(q, c, cutoff)
-	}
-	return t.m.Distance(q, c), true
-}
 
 // NewBKTree builds a BK-tree over corpus. The metric must return
 // non-negative integer values (as dE does); NewBKTree does not verify this,
@@ -67,8 +59,7 @@ func NewBKTree(corpus [][]rune, m metric.Metric) *BKTree {
 // insertion, and the total distance evaluations are the same ones serial
 // insertion would have spent.
 func NewBKTreeWorkers(corpus [][]rune, m metric.Metric, workers int) *BKTree {
-	bm, _ := m.(metric.BoundedMetric)
-	t := &BKTree{corpus: corpus, m: m, bm: bm, size: len(corpus)}
+	t := &BKTree{corpus: corpus, eval: newBoundedEval(m), size: len(corpus)}
 	if len(corpus) == 0 {
 		return t
 	}
@@ -199,9 +190,10 @@ func (t *BKTree) Search(q []rune) Result {
 	comps := 0
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
-		d, exact := t.distanceWithin(q, t.corpus[n.index], best.Distance+float64(n.maxEdge))
+		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], best.Distance+float64(n.maxEdge))
 		comps++
 		if !exact {
+			best.Rejections[stage]++
 			return // d > best + maxEdge: node rejected and every edge window empty
 		}
 		if d < best.Distance {
@@ -227,11 +219,13 @@ func (t *BKTree) Search(q []rune) Result {
 func (t *BKTree) Radius(q []rune, r float64) ([]Result, int) {
 	var out []Result
 	comps := 0
+	var rej metric.StageCounts
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
-		d, exact := t.distanceWithin(q, t.corpus[n.index], r+float64(n.maxEdge))
+		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], r+float64(n.maxEdge))
 		comps++
 		if !exact {
+			rej[stage]++
 			return // d > r + maxEdge: no hit here and every edge window empty
 		}
 		if d <= r {
@@ -249,6 +243,7 @@ func (t *BKTree) Radius(q []rune, r float64) ([]Result, int) {
 	sortHits(out)
 	for i := range out {
 		out[i].Computations = comps
+		out[i].Rejections = rej
 	}
 	return out, comps
 }

@@ -1,0 +1,38 @@
+package search
+
+import "ced/internal/metric"
+
+// boundedEval dispatches one candidate evaluation to the richest capability
+// its metric offers, shared by every searcher: staged bounded evaluation
+// when available, plain bounded evaluation next, an exact distance
+// otherwise. Each searcher decides what cutoff makes a bail sound for its
+// own pruning rule (see the comments where the cutoffs are built); this
+// type only fixes the dispatch order and the stage attribution.
+type boundedEval struct {
+	m  metric.Metric
+	bm metric.BoundedMetric // non-nil when m supports cutoff-bounded evaluation
+	sm metric.Staged        // non-nil when m additionally reports ladder stages
+}
+
+func newBoundedEval(m metric.Metric) boundedEval {
+	bm, _ := m.(metric.BoundedMetric)
+	sm, _ := m.(metric.Staged)
+	return boundedEval{m: m, bm: bm, sm: sm}
+}
+
+// distanceWithin evaluates the distance between q and c under cutoff. The
+// boolean is true when d is exact; false guarantees the true distance
+// exceeds cutoff, and d is then only the metric's bail value (callers may
+// act on the proof, never the value). The Stage is the ladder rung that
+// decided a staged evaluation, StageExact for metrics that report no
+// stages; query loops accumulate it into Result.Rejections on a bail.
+func (e boundedEval) distanceWithin(q, c []rune, cutoff float64) (float64, bool, metric.Stage) {
+	if e.sm != nil {
+		return e.sm.DistanceStaged(q, c, cutoff)
+	}
+	if e.bm != nil {
+		d, exact := e.bm.DistanceBounded(q, c, cutoff)
+		return d, exact, metric.StageExact
+	}
+	return e.m.Distance(q, c), true, metric.StageExact
+}

@@ -3,6 +3,8 @@ package search
 import (
 	"math"
 	"sort"
+
+	"ced/internal/metric"
 )
 
 // KSearcher is implemented by searchers that can answer k-nearest-neighbour
@@ -28,22 +30,36 @@ var (
 	_ KSearcher      = (*LAESA)(nil)
 	_ KSearcher      = (*VPTree)(nil)
 	_ KSearcher      = (*BKTree)(nil)
+	_ KSearcher      = (*AESA)(nil)
 	_ RadiusSearcher = (*Linear)(nil)
 	_ RadiusSearcher = (*LAESA)(nil)
 	_ RadiusSearcher = (*VPTree)(nil)
 	_ RadiusSearcher = (*BKTree)(nil)
+	_ RadiusSearcher = (*AESA)(nil)
 )
 
 // Radius returns every corpus element within distance r of q, scanning the
-// whole corpus.
+// whole corpus with every evaluation bounded by r: elements beyond the
+// radius — the vast majority, for a selective query — cost only the ladder
+// rung that rejects them.
 func (s *Linear) Radius(q []rune, r float64) ([]Result, int) {
 	var hits []Result
+	var rej metric.StageCounts
 	for i, c := range s.corpus {
-		if d := s.m.Distance(q, c); d <= r {
-			hits = append(hits, Result{Index: i, Distance: d, Computations: len(s.corpus)})
+		d, exact, stage := s.eval.distanceWithin(q, c, r)
+		if !exact {
+			rej[stage]++
+			continue // d > r: no hit
+		}
+		if d <= r {
+			hits = append(hits, Result{Index: i, Distance: d})
 		}
 	}
 	sortHits(hits)
+	for i := range hits {
+		hits[i].Computations = len(s.corpus)
+		hits[i].Rejections = rej
+	}
 	return hits, len(s.corpus)
 }
 
@@ -83,10 +99,12 @@ func (t *topK) insert(idx int, d float64) {
 	}
 }
 
-// results stamps the per-query computation count on every held Result.
-func (t *topK) results(comps int) []Result {
+// results stamps the per-query computation count and stage rejections on
+// every held Result.
+func (t *topK) results(comps int, rej metric.StageCounts) []Result {
 	for i := range t.res {
 		t.res[i].Computations = comps
+		t.res[i].Rejections = rej
 	}
 	return t.res
 }
@@ -102,16 +120,18 @@ func (t *VPTree) KNearest(q []rune, k int) []Result {
 	}
 	top := newTopK(k)
 	comps := 0
+	var rej metric.StageCounts
 	var walk func(n *vpNode)
 	walk = func(n *vpNode) {
 		if n == nil {
 			return
 		}
-		d, exact := t.distanceWithin(q, t.corpus[n.index], n.radius+top.tau)
+		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], n.radius+top.tau)
 		comps++
 		if !exact {
 			// d > radius + τ: the vantage misses the top-k and the inside
 			// ball cannot hold a top-k element either (τ only shrinks).
+			rej[stage]++
 			walk(n.outside)
 			return
 		}
@@ -129,7 +149,7 @@ func (t *VPTree) KNearest(q []rune, k int) []Result {
 		}
 	}
 	walk(t.root)
-	return top.results(comps)
+	return top.results(comps, rej)
 }
 
 // Radius returns every corpus element within distance r of q, pruning
@@ -137,16 +157,18 @@ func (t *VPTree) KNearest(q []rune, k int) []Result {
 func (t *VPTree) Radius(q []rune, r float64) ([]Result, int) {
 	var hits []Result
 	comps := 0
+	var rej metric.StageCounts
 	var walk func(n *vpNode)
 	walk = func(n *vpNode) {
 		if n == nil {
 			return
 		}
-		d, exact := t.distanceWithin(q, t.corpus[n.index], n.radius+r)
+		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], n.radius+r)
 		comps++
 		if !exact {
 			// d > radius + r: the vantage is no hit and the query ball
 			// cannot intersect the inside ball.
+			rej[stage]++
 			walk(n.outside)
 			return
 		}
@@ -164,6 +186,7 @@ func (t *VPTree) Radius(q []rune, r float64) ([]Result, int) {
 	sortHits(hits)
 	for i := range hits {
 		hits[i].Computations = comps
+		hits[i].Rejections = rej
 	}
 	return hits, comps
 }
@@ -183,11 +206,13 @@ func (t *BKTree) KNearest(q []rune, k int) []Result {
 	}
 	top := newTopK(k)
 	comps := 0
+	var rej metric.StageCounts
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
-		d, exact := t.distanceWithin(q, t.corpus[n.index], top.tau+float64(n.maxEdge))
+		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], top.tau+float64(n.maxEdge))
 		comps++
 		if !exact {
+			rej[stage]++
 			return // d > τ + maxEdge: misses the top-k and every edge window
 		}
 		top.insert(n.index, d)
@@ -198,7 +223,7 @@ func (t *BKTree) KNearest(q []rune, k int) []Result {
 		}
 	}
 	walk(t.root)
-	return top.results(comps)
+	return top.results(comps, rej)
 }
 
 // sortHits orders range-query hits by (distance, index).

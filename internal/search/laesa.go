@@ -23,11 +23,11 @@ import (
 // and compares error rates, and so does this implementation.
 type LAESA struct {
 	corpus [][]rune
-	m      metric.Metric
-	bm     metric.BoundedMetric // non-nil when m supports cutoff-bounded evaluation
-	pivots []int                // corpus indices of the base prototypes
-	rows   [][]float64          // rows[p][i] = d(corpus[pivots[p]], corpus[i])
-	rowOf  []int                // rowOf[i] = row index of pivot i, -1 for non-pivots
+	m      metric.Metric // the shared metric (exact pivot evaluations, persistence)
+	eval   boundedEval
+	pivots []int       // corpus indices of the base prototypes
+	rows   [][]float64 // rows[p][i] = d(corpus[pivots[p]], corpus[i])
+	rowOf  []int       // rowOf[i] = row index of pivot i, -1 for non-pivots
 
 	// scratch recycles the per-query bound/candidate slices across queries
 	// (and across concurrent queriers), so steady-state searches allocate
@@ -42,11 +42,10 @@ type LAESA struct {
 // newLAESA assembles a LAESA from selected pivots and their rows, deriving
 // the rowOf lookup table the query loops index instead of a map.
 func newLAESA(corpus [][]rune, m metric.Metric, pivots []int, rows [][]float64, comps int) *LAESA {
-	bm, _ := m.(metric.BoundedMetric)
 	return &LAESA{
 		corpus:                 corpus,
 		m:                      m,
-		bm:                     bm,
+		eval:                   newBoundedEval(m),
 		pivots:                 pivots,
 		rows:                   rows,
 		rowOf:                  rowOfPivots(len(corpus), pivots),
@@ -125,17 +124,6 @@ func (s *LAESA) checkoutScratch() *laesaScratch {
 	return sc
 }
 
-// distanceWithin evaluates the query-candidate distance under cutoff when
-// the metric supports it. The boolean is true when d is exact; false
-// guarantees the true distance exceeds cutoff (so the caller's update
-// against a best-so-far of cutoff is a no-op either way).
-func (s *LAESA) distanceWithin(q, c []rune, cutoff float64) (float64, bool) {
-	if s.bm != nil {
-		return s.bm.DistanceBounded(q, c, cutoff)
-	}
-	return s.m.Distance(q, c), true
-}
-
 // Name returns "laesa".
 func (s *LAESA) Name() string { return "laesa" }
 
@@ -198,7 +186,11 @@ func (s *LAESA) Search(q []rune) Result {
 		if row >= 0 {
 			d = s.m.Distance(q, s.corpus[u])
 		} else {
-			d, exact = s.distanceWithin(q, s.corpus[u], best.Distance)
+			var stage metric.Stage
+			d, exact, stage = s.eval.distanceWithin(q, s.corpus[u], best.Distance)
+			if !exact {
+				best.Rejections[stage]++
+			}
 		}
 		comps++
 		if exact && d < best.Distance {

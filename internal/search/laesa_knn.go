@@ -3,6 +3,8 @@ package search
 import (
 	"math"
 	"sort"
+
+	"ced/internal/metric"
 )
 
 // KNearest returns the k nearest corpus elements to q, closest first. It
@@ -23,6 +25,7 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 	top := make([]Result, 0, k) // sorted ascending by distance
 	kth := math.Inf(1)
 	comps := 0
+	var rej metric.StageCounts
 	pivotsLeft := len(s.pivots)
 
 	insert := func(idx int, d float64) {
@@ -67,7 +70,11 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 		if row >= 0 {
 			d = s.m.Distance(q, s.corpus[u])
 		} else {
-			d, exact = s.distanceWithin(q, s.corpus[u], kth)
+			var stage metric.Stage
+			d, exact, stage = s.eval.distanceWithin(q, s.corpus[u], kth)
+			if !exact {
+				rej[stage]++
+			}
 		}
 		comps++
 		if exact {
@@ -95,6 +102,7 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 	s.scratch.Put(sc)
 	for i := range top {
 		top[i].Computations = comps
+		top[i].Rejections = rej
 	}
 	return top
 }
@@ -112,6 +120,7 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 	g, alive := sc.g, sc.alive
 	var hits []Result
 	comps := 0
+	var rej metric.StageCounts
 	pivotsLeft := len(s.pivots)
 	for len(alive) > 0 {
 		selPos := -1
@@ -140,7 +149,11 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 		if row >= 0 {
 			d = s.m.Distance(q, s.corpus[u])
 		} else {
-			d, exact = s.distanceWithin(q, s.corpus[u], r)
+			var stage metric.Stage
+			d, exact, stage = s.eval.distanceWithin(q, s.corpus[u], r)
+			if !exact {
+				rej[stage]++
+			}
 		}
 		comps++
 		if exact && d <= r {
@@ -174,6 +187,7 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 	})
 	for i := range hits {
 		hits[i].Computations = comps
+		hits[i].Rejections = rej
 	}
 	return hits, comps
 }

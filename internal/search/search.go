@@ -6,7 +6,11 @@
 // dominate search time for edit distances).
 package search
 
-import "ced/internal/metric"
+import (
+	"math"
+
+	"ced/internal/metric"
+)
 
 // Result is the outcome of a nearest-neighbour query.
 type Result struct {
@@ -17,6 +21,14 @@ type Result struct {
 	Distance float64
 	// Computations is the number of metric evaluations spent on the query.
 	Computations int
+	// Rejections counts the candidate evaluations this query resolved by a
+	// bounded rejection, by the ladder rung that decided them (see
+	// metric.Staged). Rejected candidates still count in Computations — a
+	// bounded evaluation is an evaluation — but each rung prices them
+	// differently, from O(1) length checks to an abandoned exact DP. All
+	// zero when the metric reports no stages. Every Result of one k-NN or
+	// radius query carries the same per-query totals, like Computations.
+	Rejections metric.StageCounts
 }
 
 // Searcher finds the nearest neighbour of a query in a fixed corpus.
@@ -31,17 +43,22 @@ type Searcher interface {
 	Size() int
 }
 
-// Linear is the exhaustive searcher: every query computes the distance to
-// every corpus element. It is the baseline of Table 2 ("exhaustive search")
-// and the correctness oracle for the other searchers.
+// Linear is the exhaustive searcher: every query evaluates every corpus
+// element. It is the baseline of Table 2 ("exhaustive search") and the
+// correctness oracle for the other searchers. Every candidate is still
+// *evaluated* — Computations is always the corpus size — but under a
+// BoundedMetric each evaluation runs against the best-so-far (or the query
+// radius), so the misses that dominate an exhaustive scan are priced by the
+// bound ladder instead of a full distance program. Results are identical
+// with or without bounding: a bail is a proof the candidate cannot matter.
 type Linear struct {
 	corpus [][]rune
-	m      metric.Metric
+	eval   boundedEval
 }
 
 // NewLinear builds an exhaustive searcher over corpus.
 func NewLinear(corpus [][]rune, m metric.Metric) *Linear {
-	return &Linear{corpus: corpus, m: m}
+	return &Linear{corpus: corpus, eval: newBoundedEval(m)}
 }
 
 // Name returns "linear".
@@ -50,22 +67,31 @@ func (s *Linear) Name() string { return "linear" }
 // Size returns the corpus size.
 func (s *Linear) Size() int { return len(s.corpus) }
 
-// Search scans the whole corpus.
+// Search scans the whole corpus, evaluating each candidate against the
+// best distance found so far.
 func (s *Linear) Search(q []rune) Result {
-	best := Result{Index: -1}
+	best := Result{Index: -1, Distance: math.Inf(1)}
 	for i, c := range s.corpus {
-		d := s.m.Distance(q, c)
-		if best.Index < 0 || d < best.Distance {
+		d, exact, stage := s.eval.distanceWithin(q, c, best.Distance)
+		if !exact {
+			best.Rejections[stage]++
+			continue // d > best: cannot be the nearest
+		}
+		if d < best.Distance {
 			best.Index = i
 			best.Distance = d
 		}
+	}
+	if best.Index < 0 {
+		best.Distance = 0 // empty corpus: preserve the zero-value Distance
 	}
 	best.Computations = len(s.corpus)
 	return best
 }
 
 // KNearest returns the k nearest corpus elements (ties broken by corpus
-// order), closest first. It costs exactly len(corpus) distance evaluations.
+// order), closest first. It costs exactly len(corpus) distance evaluations,
+// each bounded by the current k-th best distance.
 func (s *Linear) KNearest(q []rune, k int) []Result {
 	if k <= 0 {
 		return nil
@@ -75,8 +101,14 @@ func (s *Linear) KNearest(q []rune, k int) []Result {
 	}
 	// Simple bounded insertion: k is small in every caller (k-NN rules).
 	top := make([]Result, 0, k)
+	kth := math.Inf(1) // k-th best once the result set is full
+	var rej metric.StageCounts
 	for i, c := range s.corpus {
-		d := s.m.Distance(q, c)
+		d, exact, stage := s.eval.distanceWithin(q, c, kth)
+		if !exact {
+			rej[stage]++
+			continue // d > kth: cannot enter the result set
+		}
 		if len(top) < k || d < top[len(top)-1].Distance {
 			pos := len(top)
 			if len(top) < k {
@@ -89,10 +121,14 @@ func (s *Linear) KNearest(q []rune, k int) []Result {
 				pos--
 			}
 			top[pos] = Result{Index: i, Distance: d}
+			if len(top) == k {
+				kth = top[k-1].Distance
+			}
 		}
 	}
 	for i := range top {
 		top[i].Computations = len(s.corpus)
+		top[i].Rejections = rej
 	}
 	return top
 }

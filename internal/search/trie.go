@@ -1,6 +1,10 @@
 package search
 
-import "math"
+import (
+	"math"
+
+	"ced/internal/metric"
+)
 
 // Trie is a prefix-tree dictionary searcher for *edit-distance* queries
 // (Levenshtein only): the classical structure for spelling correction.
@@ -15,9 +19,10 @@ import "math"
 // cannot serve the contextual distance; it is included as the
 // best-of-breed dE baseline for the dictionary workload.
 type Trie struct {
-	corpus [][]rune
-	root   *trieNode
-	size   int
+	corpus   [][]rune
+	root     *trieNode
+	size     int
+	distinct int // distinct strings; duplicates share one node (first index wins)
 }
 
 type trieNode struct {
@@ -51,6 +56,7 @@ func (t *Trie) insert(i int, s []rune) {
 	}
 	if node.index < 0 {
 		node.index = i // duplicates keep the first index
+		t.distinct++
 	}
 }
 
@@ -116,6 +122,69 @@ func (t *Trie) Search(q []rune) Result {
 	return best
 }
 
+// KNearest returns the k nearest *distinct* corpus strings to q, closest
+// first (ties by corpus index, like every other searcher). The trie holds
+// one node per distinct string — duplicates keep their first corpus
+// index — so on a corpus with repeated strings the result holds at most
+// one entry per value where Linear would list each occurrence; k is
+// clamped to the distinct count accordingly. A subtree is abandoned once
+// its DP-row minimum exceeds the current k-th best distance τ; rows at τ
+// still descend so that equal-distance strings with smaller corpus
+// indices can claim their rank. Computations counts visited trie nodes,
+// the structure's analogue of distance computations.
+func (t *Trie) KNearest(q []rune, k int) []Result {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	if k > t.distinct {
+		k = t.distinct
+	}
+	top := newTopK(k)
+	n := len(q)
+	firstRow := make([]int, n+1)
+	for j := range firstRow {
+		firstRow[j] = j
+	}
+	nodes := 0
+	var walk func(node *trieNode, row []int)
+	walk = func(node *trieNode, row []int) {
+		nodes++
+		if node.index >= 0 {
+			top.insert(node.index, float64(row[n]))
+		}
+		rowMin := row[0]
+		for _, v := range row[1:] {
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if float64(rowMin) > top.tau {
+			return
+		}
+		next := make([]int, n+1)
+		for r, child := range node.children {
+			next[0] = row[0] + 1
+			for j := 1; j <= n; j++ {
+				d := next[j-1] + 1
+				if v := row[j] + 1; v < d {
+					d = v
+				}
+				v := row[j-1]
+				if q[j-1] != r {
+					v++
+				}
+				if v < d {
+					d = v
+				}
+				next[j] = d
+			}
+			walk(child, next)
+		}
+	}
+	walk(t.root, firstRow)
+	return top.results(nodes, metric.StageCounts{})
+}
+
 // Radius returns every corpus string within edit distance r of q,
 // sorted by distance, plus the number of visited trie nodes.
 func (t *Trie) Radius(q []rune, r float64) ([]Result, int) {
@@ -173,10 +242,11 @@ func (t *Trie) Radius(q []rune, r float64) ([]Result, int) {
 	return hits, nodes
 }
 
-// Interface checks: the trie is a Searcher and a RadiusSearcher (its
-// Computations unit differs — visited nodes, not metric calls — which the
-// doc comments spell out).
+// Interface checks: the trie is a Searcher, a KSearcher and a
+// RadiusSearcher (its Computations unit differs — visited nodes, not metric
+// calls — which the doc comments spell out).
 var (
 	_ Searcher       = (*Trie)(nil)
+	_ KSearcher      = (*Trie)(nil)
 	_ RadiusSearcher = (*Trie)(nil)
 )

@@ -20,8 +20,7 @@ import (
 // §4.3.
 type VPTree struct {
 	corpus [][]rune
-	m      metric.Metric
-	bm     metric.BoundedMetric // non-nil when m supports cutoff-bounded evaluation
+	eval   boundedEval
 	root   *vpNode
 
 	// PreprocessComputations counts the distance evaluations spent
@@ -29,19 +28,12 @@ type VPTree struct {
 	PreprocessComputations int
 }
 
-// distanceWithin evaluates the query-vantage distance under cutoff when the
-// metric supports it (exactly otherwise). The walkers pass
+// The walkers evaluate vantages through t.eval.distanceWithin with
 // cutoff = node radius + current pruning bound: a bail then proves the
 // distance d satisfies every traversal predicate at once — d exceeds the
 // bound (no best/hit update), d − bound > radius (the inside ball cannot
 // contain an acceptable element) and d > radius (the query sits outside) —
 // so the walker can descend outside-only without knowing d.
-func (t *VPTree) distanceWithin(q, c []rune, cutoff float64) (float64, bool) {
-	if t.bm != nil {
-		return t.bm.DistanceBounded(q, c, cutoff)
-	}
-	return t.m.Distance(q, c), true
-}
 
 type vpNode struct {
 	index   int // corpus index of the vantage point
@@ -74,8 +66,7 @@ func NewVPTree(corpus [][]rune, m metric.Metric, seed int64) *VPTree {
 // trees built before this change are therefore not reproduced node for
 // node.)
 func NewVPTreeWorkers(corpus [][]rune, m metric.Metric, seed int64, workers int) *VPTree {
-	bm, _ := m.(metric.BoundedMetric)
-	t := &VPTree{corpus: corpus, m: m, bm: bm}
+	t := &VPTree{corpus: corpus, eval: newBoundedEval(m)}
 	n := len(corpus)
 	if n == 0 {
 		return t
@@ -195,11 +186,12 @@ func (t *VPTree) Search(q []rune) Result {
 		if n == nil {
 			return
 		}
-		d, exact := t.distanceWithin(q, t.corpus[n.index], n.radius+best.Distance)
+		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], n.radius+best.Distance)
 		comps++
 		if !exact {
 			// d > radius + best: the vantage cannot improve the best and
 			// the inside ball cannot hold anything nearer either.
+			best.Rejections[stage]++
 			walk(n.outside)
 			return
 		}

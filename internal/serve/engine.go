@@ -21,13 +21,18 @@ import (
 )
 
 // Algorithms lists the index kinds New accepts, in the order they appear in
-// the paper's §4.3 comparison (LAESA, then the "other methods that use
-// metric properties", then the exhaustive baseline).
-var Algorithms = []string{"laesa", "vptree", "bktree", "linear"}
+// the paper's §4.3 comparison (LAESA and the quadratic-preprocessing AESA,
+// then the "other methods that use metric properties", then the structures
+// specific to the plain edit distance, then the exhaustive baseline).
+var Algorithms = []string{"laesa", "aesa", "vptree", "bktree", "trie", "linear"}
 
 // Config selects and tunes the search index behind an Engine.
 type Config struct {
-	// Algorithm is one of Algorithms. Empty defaults to "laesa".
+	// Algorithm is one of Algorithms. Empty defaults to "laesa". The
+	// bktree and trie indexes exploit the integer values respectively the
+	// prefix structure of the plain edit distance and are only accepted
+	// with metric dE; aesa precomputes the full n×n distance matrix
+	// (quadratic preprocessing and memory — ablation-grade corpus sizes).
 	Algorithm string
 	// Pivots is the LAESA base-prototype count (ignored by the other
 	// algorithms). <= 0 defaults to 16, clamped to the corpus size.
@@ -51,6 +56,55 @@ type Config struct {
 type Pair struct {
 	A string `json:"a"`
 	B string `json:"b"`
+}
+
+// StageRejections breaks the bounded candidate evaluations of a request (or
+// of the server's lifetime, in Info) out by the ladder rung that rejected
+// them — the staged bound ladder of the contextual kernel, cheapest rung
+// first. Candidates rejected at "length" cost a couple of comparisons,
+// "edit" a bit-parallel scan, "heuristic" the quadratic dC,h program, and
+// "exact" an abandoned run of the banded exact dynamic program; candidates
+// in none of the buckets were evaluated to completion. All zero for metrics
+// and indexes that never reject (e.g. the trie, whose pruning is
+// structural).
+type StageRejections struct {
+	Length    int64 `json:"length"`
+	Edit      int64 `json:"edit"`
+	Heuristic int64 `json:"heuristic"`
+	Exact     int64 `json:"exact"`
+}
+
+// stageRejections converts the searcher's per-stage counters to their wire
+// form.
+func stageRejections(c metric.StageCounts) StageRejections {
+	return StageRejections{
+		Length:    c[metric.StageLength],
+		Edit:      c[metric.StageEdit],
+		Heuristic: c[metric.StageHeuristic],
+		Exact:     c[metric.StageExact],
+	}
+}
+
+// add accumulates o into r.
+func (r *StageRejections) add(o StageRejections) {
+	r.Length += o.Length
+	r.Edit += o.Edit
+	r.Heuristic += o.Heuristic
+	r.Exact += o.Exact
+}
+
+// Stats describes the work one request spent: the number of distance
+// evaluations (the paper's cost measure, summed over a batch) and how many
+// of them the bound ladder rejected early, by rung.
+type Stats struct {
+	Computations int
+	Rejections   StageRejections
+}
+
+// add accumulates o into s (batch endpoints sum their per-query stats).
+func (s *Stats) add(o Stats) {
+	s.Computations += o.Computations
+	s.Rejections.add(o.Rejections)
 }
 
 // Neighbor is one k-NN answer element.
@@ -82,6 +136,7 @@ type Engine struct {
 	workers  int
 	cache    *runeCache
 	requests atomic.Uint64
+	rejected [metric.NumStages]atomic.Int64 // lifetime ladder rejections, by rung
 
 	// ev is the session-threaded evaluation layer behind the batch
 	// endpoints: each striped batch worker evaluates through a private
@@ -122,6 +177,8 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 	switch cfg.Algorithm {
 	case "laesa":
 		searcher = search.NewLAESAWorkers(runes, m, cfg.Pivots, search.MaxSum, cfg.Seed, cfg.BuildWorkers)
+	case "aesa":
+		searcher = search.NewAESAWorkers(runes, m, cfg.BuildWorkers)
 	case "linear":
 		searcher = search.NewLinear(runes, m)
 	case "vptree":
@@ -131,8 +188,13 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 			return nil, fmt.Errorf("serve: the bktree index prunes on integer distances and requires dE, not %q", m.Name())
 		}
 		searcher = search.NewBKTreeWorkers(runes, m, cfg.BuildWorkers)
+	case "trie":
+		if m.Name() != "dE" {
+			return nil, fmt.Errorf("serve: the trie index walks the edit-distance dynamic program and requires dE, not %q", m.Name())
+		}
+		searcher = search.NewTrie(runes)
 	default:
-		return nil, fmt.Errorf("serve: unknown index algorithm %q (known: laesa, vptree, bktree, linear)", cfg.Algorithm)
+		return nil, fmt.Errorf("serve: unknown index algorithm %q (known: %v)", cfg.Algorithm, Algorithms)
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -151,13 +213,17 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 
 // Info is the engine snapshot reported by /healthz.
 type Info struct {
-	Algorithm  string     `json:"algorithm"`
-	Metric     string     `json:"metric"`
-	CorpusSize int        `json:"corpus_size"`
-	Labelled   bool       `json:"labelled"`
-	Workers    int        `json:"workers"`
-	Requests   uint64     `json:"requests"`
-	Cache      CacheStats `json:"cache"`
+	Algorithm  string `json:"algorithm"`
+	Metric     string `json:"metric"`
+	CorpusSize int    `json:"corpus_size"`
+	Labelled   bool   `json:"labelled"`
+	Workers    int    `json:"workers"`
+	Requests   uint64 `json:"requests"`
+	// Rejections accumulates the per-stage ladder rejections over every
+	// search request the engine has served — the lifetime view of the
+	// per-request counters in the query metadata.
+	Rejections StageRejections `json:"rejections"`
+	Cache      CacheStats      `json:"cache"`
 }
 
 // Info returns the current engine snapshot.
@@ -169,7 +235,13 @@ func (e *Engine) Info() Info {
 		Labelled:   len(e.labels) > 0,
 		Workers:    e.workers,
 		Requests:   e.requests.Load(),
-		Cache:      e.cache.Stats(),
+		Rejections: StageRejections{
+			Length:    e.rejected[metric.StageLength].Load(),
+			Edit:      e.rejected[metric.StageEdit].Load(),
+			Heuristic: e.rejected[metric.StageHeuristic].Load(),
+			Exact:     e.rejected[metric.StageExact].Load(),
+		},
+		Cache: e.cache.Stats(),
 	}
 }
 
@@ -180,12 +252,24 @@ func (e *Engine) Labelled() bool { return len(e.labels) > 0 }
 // single).
 func (e *Engine) countRequest() { e.requests.Add(1) }
 
-// Distance computes the metric between a and b. The second return is the
-// number of distance computations spent (always 1; present for API symmetry
-// with the search queries).
-func (e *Engine) Distance(a, b string) (float64, int) {
+// record folds one search query's per-stage counters into the lifetime
+// totals and returns them in wire form.
+func (e *Engine) record(c metric.StageCounts) StageRejections {
+	for s, n := range c {
+		if n != 0 {
+			e.rejected[s].Add(n)
+		}
+	}
+	return stageRejections(c)
+}
+
+// Distance computes the metric between a and b. The Stats report one
+// distance computation and no rejections (a direct evaluation has no
+// cutoff to reject against); present for API symmetry with the search
+// queries.
+func (e *Engine) Distance(a, b string) (float64, Stats) {
 	e.countRequest()
-	return e.m.Distance(e.cache.Get(a), e.cache.Get(b)), 1
+	return e.m.Distance(e.cache.Get(a), e.cache.Get(b)), Stats{Computations: 1}
 }
 
 // BatchDistance computes the metric for every pair, fanned out over the
@@ -203,39 +287,40 @@ func (e *Engine) Distance(a, b string) (float64, int) {
 // workspace, checked out of the bulk evaluation layer for the duration of
 // the batch and returned warm afterwards: steady-state batch distances
 // allocate nothing and no workspace is ever shared between live workers.
-func (e *Engine) BatchDistance(pairs []Pair) ([]float64, int) {
+func (e *Engine) BatchDistance(pairs []Pair) ([]float64, Stats) {
 	e.countRequest()
 	out := make([]float64, len(pairs))
 	e.ev.Fan(len(pairs), e.workers, func(s metric.Metric, i int) {
 		out[i] = s.Distance([]rune(pairs[i].A), []rune(pairs[i].B))
 	})
-	return out, len(pairs)
+	return out, Stats{Computations: len(pairs)}
 }
 
 // KNearest returns the k nearest corpus elements to q, closest first, and
-// the number of distance computations the index spent answering.
-func (e *Engine) KNearest(q string, k int) ([]Neighbor, int, error) {
+// the work the index spent answering: distance computations plus the
+// per-stage ladder rejections among them.
+func (e *Engine) KNearest(q string, k int) ([]Neighbor, Stats, error) {
 	e.countRequest()
 	return e.knn(e.cache.Get(q), k)
 }
 
 // BatchKNearest answers a k-NN query per input string over the worker
 // pool (decoding inline, bypassing the cache — see BatchDistance). The
-// computation count is summed across queries.
-func (e *Engine) BatchKNearest(queries []string, k int) ([][]Neighbor, int, error) {
+// stats are summed across queries.
+func (e *Engine) BatchKNearest(queries []string, k int) ([][]Neighbor, Stats, error) {
 	e.countRequest()
 	if err := e.checkK(k); err != nil {
-		return nil, 0, err
+		return nil, Stats{}, err
 	}
 	if _, ok := e.searcher.(search.KSearcher); !ok {
-		return nil, 0, fmt.Errorf("serve: index %q does not support k-NN", e.searcher.Name())
+		return nil, Stats{}, fmt.Errorf("serve: index %q does not support k-NN", e.searcher.Name())
 	}
 	out := make([][]Neighbor, len(queries))
-	comps := make([]int, len(queries))
+	stats := make([]Stats, len(queries))
 	e.fanOut(len(queries), func(i int) {
-		out[i], comps[i], _ = e.knn([]rune(queries[i]), k)
+		out[i], stats[i], _ = e.knn([]rune(queries[i]), k)
 	})
-	return out, sum(comps), nil
+	return out, sumStats(stats), nil
 }
 
 func (e *Engine) checkK(k int) error {
@@ -245,59 +330,61 @@ func (e *Engine) checkK(k int) error {
 	return nil
 }
 
-func (e *Engine) knn(q []rune, k int) ([]Neighbor, int, error) {
+func (e *Engine) knn(q []rune, k int) ([]Neighbor, Stats, error) {
 	if err := e.checkK(k); err != nil {
-		return nil, 0, err
+		return nil, Stats{}, err
 	}
 	ks, ok := e.searcher.(search.KSearcher)
 	if !ok {
-		return nil, 0, fmt.Errorf("serve: index %q does not support k-NN", e.searcher.Name())
+		return nil, Stats{}, fmt.Errorf("serve: index %q does not support k-NN", e.searcher.Name())
 	}
 	rs := ks.KNearest(q, k)
 	out := make([]Neighbor, len(rs))
-	comps := 0
 	for i, r := range rs {
 		out[i] = Neighbor{Index: r.Index, Value: e.corpus[r.Index], Distance: r.Distance}
-		comps = r.Computations // every result of one query carries the same total
 	}
-	return out, comps, nil
+	var st Stats
+	if len(rs) > 0 {
+		// Every result of one query carries the same per-query totals.
+		st = Stats{Computations: rs[0].Computations, Rejections: e.record(rs[0].Rejections)}
+	}
+	return out, st, nil
 }
 
 // Classify labels q with the class of its nearest corpus element (the
-// paper's §4.4 protocol, one query at a time) and reports the distance
-// computations spent. It fails when the corpus is unlabelled.
-func (e *Engine) Classify(q string) (Prediction, int, error) {
+// paper's §4.4 protocol, one query at a time) and reports the work spent.
+// It fails when the corpus is unlabelled.
+func (e *Engine) Classify(q string) (Prediction, Stats, error) {
 	e.countRequest()
 	return e.classify(e.cache.Get(q))
 }
 
 // BatchClassify classifies every query over the worker pool (decoding
-// inline, bypassing the cache — see BatchDistance), summing the
-// computation counts.
-func (e *Engine) BatchClassify(queries []string) ([]Prediction, int, error) {
+// inline, bypassing the cache — see BatchDistance), summing the stats.
+func (e *Engine) BatchClassify(queries []string) ([]Prediction, Stats, error) {
 	e.countRequest()
 	if !e.Labelled() {
-		return nil, 0, errUnlabelled
+		return nil, Stats{}, errUnlabelled
 	}
 	out := make([]Prediction, len(queries))
-	comps := make([]int, len(queries))
+	stats := make([]Stats, len(queries))
 	e.fanOut(len(queries), func(i int) {
-		out[i], comps[i], _ = e.classify([]rune(queries[i]))
+		out[i], stats[i], _ = e.classify([]rune(queries[i]))
 	})
-	return out, sum(comps), nil
+	return out, sumStats(stats), nil
 }
 
 var errUnlabelled = fmt.Errorf("serve: corpus is unlabelled; /classify needs a corpus file with \"string\\tlabel\" lines")
 
-func (e *Engine) classify(q []rune) (Prediction, int, error) {
+func (e *Engine) classify(q []rune) (Prediction, Stats, error) {
 	if !e.Labelled() {
-		return Prediction{}, 0, errUnlabelled
+		return Prediction{}, Stats{}, errUnlabelled
 	}
 	r := e.searcher.Search(q)
 	return Prediction{
 		Label:    e.labels[r.Index],
 		Neighbor: Neighbor{Index: r.Index, Value: e.corpus[r.Index], Distance: r.Distance},
-	}, r.Computations, nil
+	}, Stats{Computations: r.Computations, Rejections: e.record(r.Rejections)}, nil
 }
 
 // fanOut runs fn(i) for i in [0, n) across the engine's worker pool.
@@ -305,10 +392,10 @@ func (e *Engine) fanOut(n int, fn func(i int)) {
 	pool.Fan(n, e.workers, fn)
 }
 
-func sum(xs []int) int {
-	t := 0
+func sumStats(xs []Stats) Stats {
+	var t Stats
 	for _, x := range xs {
-		t += x
+		t.add(x)
 	}
 	return t
 }

@@ -16,7 +16,7 @@ var (
 func newTestEngine(t *testing.T, algorithm string) *Engine {
 	t.Helper()
 	m := metric.ContextualHeuristic()
-	if algorithm == "bktree" {
+	if algorithm == "bktree" || algorithm == "trie" {
 		m = metric.Levenshtein()
 	}
 	e, err := New(testCorpus, testLabels, m, Config{Algorithm: algorithm, Pivots: 3, CacheSize: 64})
@@ -43,6 +43,9 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(testCorpus, nil, metric.Contextual(), Config{Algorithm: "bktree"}); err == nil {
 		t.Error("bktree with a fractional metric should fail")
 	}
+	if _, err := New(testCorpus, nil, metric.Contextual(), Config{Algorithm: "trie"}); err == nil {
+		t.Error("trie with a non-dE metric should fail")
+	}
 	// Pivots beyond the corpus size must clamp, not crash.
 	if _, err := New(testCorpus, nil, m, Config{Algorithm: "laesa", Pivots: 10000}); err != nil {
 		t.Errorf("oversized pivots: %v", err)
@@ -53,14 +56,14 @@ func TestDistanceAndBatchAgree(t *testing.T) {
 	for _, alg := range Algorithms {
 		e := newTestEngine(t, alg)
 		pairs := []Pair{{A: "casa", B: "cosa"}, {A: "gato", B: "gatos"}, {A: "queso", B: "queso"}, {A: "", B: "abc"}}
-		batch, comps := e.BatchDistance(pairs)
-		if comps != len(pairs) {
-			t.Errorf("%s: batch computations = %d, want %d", alg, comps, len(pairs))
+		batch, st := e.BatchDistance(pairs)
+		if st.Computations != len(pairs) {
+			t.Errorf("%s: batch computations = %d, want %d", alg, st.Computations, len(pairs))
 		}
 		for i, p := range pairs {
 			single, c := e.Distance(p.A, p.B)
-			if c != 1 {
-				t.Errorf("%s: single computations = %d", alg, c)
+			if c.Computations != 1 {
+				t.Errorf("%s: single computations = %d", alg, c.Computations)
 			}
 			if single != batch[i] {
 				t.Errorf("%s: pair %d: batch %v != single %v", alg, i, batch[i], single)
@@ -75,7 +78,7 @@ func TestDistanceAndBatchAgree(t *testing.T) {
 func TestKNearestAcrossAlgorithms(t *testing.T) {
 	for _, alg := range Algorithms {
 		e := newTestEngine(t, alg)
-		ns, comps, err := e.KNearest("cas", 3)
+		ns, st, err := e.KNearest("cas", 3)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -87,8 +90,10 @@ func TestKNearestAcrossAlgorithms(t *testing.T) {
 				t.Errorf("%s: results not sorted: %+v", alg, ns)
 			}
 		}
-		if comps <= 0 || comps > len(testCorpus) {
-			t.Errorf("%s: computations = %d", alg, comps)
+		// The trie counts visited nodes, which can exceed the corpus size;
+		// every metric searcher is capped by it.
+		if st.Computations <= 0 || (alg != "trie" && st.Computations > len(testCorpus)) {
+			t.Errorf("%s: computations = %d", alg, st.Computations)
 		}
 		// "casa" and "caso" tie under dC,h; any tied element may rank first.
 		if ns[0].Value != "casa" && ns[0].Value != "caso" {
@@ -103,7 +108,7 @@ func TestKNearestAcrossAlgorithms(t *testing.T) {
 func TestBatchKNearestMatchesSingles(t *testing.T) {
 	e := newTestEngine(t, "laesa")
 	queries := []string{"cas", "gat", "ques", "masa"}
-	batch, comps, err := e.BatchKNearest(queries, 2)
+	batch, st, err := e.BatchKNearest(queries, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,15 +121,15 @@ func TestBatchKNearestMatchesSingles(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		total += c
+		total += c.Computations
 		for j := range single {
 			if math.Abs(single[j].Distance-batch[i][j].Distance) > 1e-12 {
 				t.Errorf("query %q rank %d: batch %v != single %v", q, j, batch[i][j], single[j])
 			}
 		}
 	}
-	if comps != total {
-		t.Errorf("batch computations = %d, want sum of singles %d", comps, total)
+	if st.Computations != total {
+		t.Errorf("batch computations = %d, want sum of singles %d", st.Computations, total)
 	}
 	if _, _, err := e.BatchKNearest(queries, -1); err == nil {
 		t.Error("negative k should fail")
@@ -134,15 +139,15 @@ func TestBatchKNearestMatchesSingles(t *testing.T) {
 func TestClassify(t *testing.T) {
 	for _, alg := range Algorithms {
 		e := newTestEngine(t, alg)
-		p, comps, err := e.Classify("gatito")
+		p, st, err := e.Classify("gatito")
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
 		if p.Label != 3 || !strings.HasPrefix(p.Neighbor.Value, "gato") {
 			t.Errorf("%s: prediction = %+v", alg, p)
 		}
-		if comps <= 0 {
-			t.Errorf("%s: computations = %d", alg, comps)
+		if st.Computations <= 0 {
+			t.Errorf("%s: computations = %d", alg, st.Computations)
 		}
 		ps, total, err := e.BatchClassify([]string{"gatito", "cesa"})
 		if err != nil {
@@ -151,8 +156,8 @@ func TestClassify(t *testing.T) {
 		if len(ps) != 2 || ps[0].Label != 3 || ps[1].Label != 0 {
 			t.Errorf("%s: batch predictions = %+v", alg, ps)
 		}
-		if total <= 0 {
-			t.Errorf("%s: batch computations = %d", alg, total)
+		if total.Computations <= 0 {
+			t.Errorf("%s: batch computations = %d", alg, total.Computations)
 		}
 	}
 }
@@ -231,9 +236,9 @@ func TestBatchDistanceSessionsMatchExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, comps := e.BatchDistance(pairs)
-		if comps != len(pairs) {
-			t.Fatalf("workers=%d: comps = %d, want %d", workers, comps, len(pairs))
+		got, st := e.BatchDistance(pairs)
+		if st.Computations != len(pairs) {
+			t.Fatalf("workers=%d: comps = %d, want %d", workers, st.Computations, len(pairs))
 		}
 		for i, p := range pairs {
 			want := m.Distance([]rune(p.A), []rune(p.B))
@@ -264,19 +269,20 @@ func TestBuildWorkersAgreeAtEveryWidth(t *testing.T) {
 				continue
 			}
 			for _, q := range []string{"cas", "gatito", "queso", "xyz"} {
-				want, wantComps, err := ref.KNearest(q, 3)
+				want, wantStats, err := ref.KNearest(q, 3)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, gotComps, err := e.KNearest(q, 3)
+				got, gotStats, err := e.KNearest(q, 3)
 				if err != nil {
 					t.Fatal(err)
 				}
 				// The BK-tree walkers iterate children maps, so their
 				// comps/query wobbles between runs independently of the
 				// build; only the LAESA/VP-tree counts are deterministic.
-				if algorithm != "bktree" && gotComps != wantComps {
-					t.Fatalf("%s build-workers=%d query %q: comps %d vs %d", algorithm, bw, q, gotComps, wantComps)
+				if algorithm != "bktree" && gotStats.Computations != wantStats.Computations {
+					t.Fatalf("%s build-workers=%d query %q: comps %d vs %d",
+						algorithm, bw, q, gotStats.Computations, wantStats.Computations)
 				}
 				if len(got) != len(want) {
 					t.Fatalf("%s build-workers=%d query %q: %d neighbours vs %d", algorithm, bw, q, len(got), len(want))
@@ -289,5 +295,45 @@ func TestBuildWorkersAgreeAtEveryWidth(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestStageRejectionCounters drives k-NN queries through the staged exact
+// contextual metric and checks that the ladder rejections surface both in
+// the per-request stats and in the engine's lifetime Info counters.
+func TestStageRejectionCounters(t *testing.T) {
+	corpus := make([]string, 0, 64)
+	for i := 0; i < 8; i++ {
+		for _, w := range testCorpus {
+			corpus = append(corpus, w+strings.Repeat("x", i))
+		}
+	}
+	e, err := New(corpus, nil, metric.Contextual(), Config{Algorithm: "laesa", Pivots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want StageRejections
+	for _, q := range []string{"cas", "gatito", "quesadilla", "zzzzzzzzzzzz"} {
+		_, st, err := e.KNearest(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := st.Rejections.Length + st.Rejections.Edit + st.Rejections.Heuristic + st.Rejections.Exact
+		if total > int64(st.Computations) {
+			t.Fatalf("query %q: %d rejections > %d computations", q, total, st.Computations)
+		}
+		want.add(st.Rejections)
+	}
+	if want == (StageRejections{}) {
+		t.Fatal("expected staged rejections across the query set")
+	}
+	if got := e.Info().Rejections; got != want {
+		t.Fatalf("Info rejections = %+v, want sum of per-request stats %+v", got, want)
+	}
+	// Direct distance evaluations have no cutoff and must not move the
+	// counters.
+	e.Distance("casa", "cosa")
+	if got := e.Info().Rejections; got != want {
+		t.Fatalf("Distance moved rejection counters: %+v vs %+v", got, want)
 	}
 }

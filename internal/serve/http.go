@@ -36,9 +36,9 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		start := time.Now()
-		d, comps := e.Distance(req.A, req.B)
+		d, st := e.Distance(req.A, req.B)
 		writeJSON(w, http.StatusOK, distanceResponse{
-			Metric: e.m.Name(), Distance: d, queryMeta: meta(comps, start),
+			Metric: e.m.Name(), Distance: d, queryMeta: meta(st, start),
 		})
 	})
 	mux.HandleFunc("POST /distance/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -47,9 +47,9 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		start := time.Now()
-		ds, comps := e.BatchDistance(req.Pairs)
+		ds, st := e.BatchDistance(req.Pairs)
 		writeJSON(w, http.StatusOK, batchDistanceResponse{
-			Metric: e.m.Name(), Distances: ds, queryMeta: meta(comps, start),
+			Metric: e.m.Name(), Distances: ds, queryMeta: meta(st, start),
 		})
 	})
 	mux.HandleFunc("POST /knn", func(w http.ResponseWriter, r *http.Request) {
@@ -58,12 +58,12 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		start := time.Now()
-		ns, comps, err := e.KNearest(req.Query, req.K)
+		ns, st, err := e.KNearest(req.Query, req.K)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, knnResponse{Results: ns, queryMeta: meta(comps, start)})
+		writeJSON(w, http.StatusOK, knnResponse{Results: ns, queryMeta: meta(st, start)})
 	})
 	mux.HandleFunc("POST /knn/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchKNNRequest
@@ -71,12 +71,12 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		start := time.Now()
-		ns, comps, err := e.BatchKNearest(req.Queries, req.K)
+		ns, st, err := e.BatchKNearest(req.Queries, req.K)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, batchKNNResponse{Results: ns, queryMeta: meta(comps, start)})
+		writeJSON(w, http.StatusOK, batchKNNResponse{Results: ns, queryMeta: meta(st, start)})
 	})
 	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
 		var req classifyRequest
@@ -84,12 +84,12 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		start := time.Now()
-		p, comps, err := e.Classify(req.Query)
+		p, st, err := e.Classify(req.Query)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, classifyResponse{Prediction: p, queryMeta: meta(comps, start)})
+		writeJSON(w, http.StatusOK, classifyResponse{Prediction: p, queryMeta: meta(st, start)})
 	})
 	mux.HandleFunc("POST /classify/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchClassifyRequest
@@ -97,12 +97,12 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		start := time.Now()
-		ps, comps, err := e.BatchClassify(req.Queries)
+		ps, st, err := e.BatchClassify(req.Queries)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, batchClassifyResponse{Results: ps, queryMeta: meta(comps, start)})
+		writeJSON(w, http.StatusOK, batchClassifyResponse{Results: ps, queryMeta: meta(st, start)})
 	})
 	return mux
 }
@@ -134,12 +134,21 @@ type queryMeta struct {
 	// Computations is the number of distance evaluations the request
 	// spent — the paper's search-cost measure, summed over a batch.
 	Computations int `json:"computations"`
+	// Rejections breaks Computations out by the bound-ladder rung that
+	// rejected a candidate early (see StageRejections); evaluations in no
+	// bucket ran to completion. Always zero for the /distance endpoints,
+	// which evaluate without a cutoff.
+	Rejections StageRejections `json:"rejections"`
 	// LatencyMS is the server-side handling time in milliseconds.
 	LatencyMS float64 `json:"latency_ms"`
 }
 
-func meta(comps int, start time.Time) queryMeta {
-	return queryMeta{Computations: comps, LatencyMS: float64(time.Since(start)) / float64(time.Millisecond)}
+func meta(st Stats, start time.Time) queryMeta {
+	return queryMeta{
+		Computations: st.Computations,
+		Rejections:   st.Rejections,
+		LatencyMS:    float64(time.Since(start)) / float64(time.Millisecond),
+	}
 }
 
 // Response bodies.

@@ -45,10 +45,11 @@ func (ix *Index) Nearest(q string) SearchResult {
 }
 
 // KNearest returns the k nearest corpus strings, closest first — the
-// k-NN generalisation of the paper's 1-NN protocol. Every metric-space
-// index (laesa, linear, vptree, bktree) supports it, pruning with a
-// shrinking k-th-best bound so the cost approaches Nearest's as the
-// corpus grows relative to k; a trie index returns nil.
+// k-NN generalisation of the paper's 1-NN protocol. Every index supports
+// it, pruning with a shrinking k-th-best bound so the cost approaches
+// Nearest's as the corpus grows relative to k. A trie index answers over
+// its distinct strings (duplicates keep their first corpus index), so on
+// a corpus with repeated strings it returns at most one entry per value.
 func (ix *Index) KNearest(q string, k int) []SearchResult {
 	ks, ok := ix.searcher.(search.KSearcher)
 	if !ok {

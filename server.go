@@ -24,9 +24,12 @@ type ServerInfo = serve.Info
 // through a 16-pivot LAESA index with the dC,h heuristic metric, all CPUs
 // in the batch worker pool, and a 4096-entry query cache.
 type ServerConfig struct {
-	// Algorithm selects the search index: "laesa" (default), "vptree",
-	// "bktree" (requires Metric dE) or "linear". These are the metric-
-	// space structures compared in the paper's §4.3.
+	// Algorithm selects the search index: "laesa" (default), "aesa"
+	// (full-matrix preprocessing — quadratic, ablation-grade corpus
+	// sizes), "vptree", "bktree" and "trie" (both require Metric dE) or
+	// "linear". These are the metric-space structures compared in the
+	// paper's §4.3 plus the classic edit-distance-specific dictionary
+	// structures.
 	Algorithm string
 	// Metric is the distance to serve; nil defaults to
 	// ContextualHeuristic (dC,h), the variant the paper uses at scale.
@@ -99,20 +102,32 @@ func (s *Server) Info() ServerInfo { return s.eng.Info() }
 
 // Distance computes the served metric between a and b, returning the value
 // and the number of distance computations spent (always 1).
-func (s *Server) Distance(a, b string) (float64, int) { return s.eng.Distance(a, b) }
+func (s *Server) Distance(a, b string) (float64, int) {
+	d, st := s.eng.Distance(a, b)
+	return d, st.Computations
+}
 
 // BatchDistance evaluates the served metric on every pair using the worker
 // pool, returning one distance per pair (in order) and the total
 // computation count. For a one-off batch without a Server, use the
 // package-level BatchDistance.
 func (s *Server) BatchDistance(pairs []Pair) ([]float64, int) {
-	return s.eng.BatchDistance(pairs)
+	ds, st := s.eng.BatchDistance(pairs)
+	return ds, st.Computations
 }
 
 // KNearest returns the k nearest corpus elements to q, closest first, with
-// the distance computations the index spent.
-func (s *Server) KNearest(q string, k int) ([]Neighbor, int, error) { return s.eng.KNearest(q, k) }
+// the distance computations the index spent. The HTTP handler additionally
+// reports how many of those evaluations each bound-ladder rung rejected;
+// see the "rejections" object in the response metadata.
+func (s *Server) KNearest(q string, k int) ([]Neighbor, int, error) {
+	ns, st, err := s.eng.KNearest(q, k)
+	return ns, st.Computations, err
+}
 
 // Classify labels q with the class of its nearest corpus element. The
 // corpus passed to NewServer must have been labelled.
-func (s *Server) Classify(q string) (Prediction, int, error) { return s.eng.Classify(q) }
+func (s *Server) Classify(q string) (Prediction, int, error) {
+	p, st, err := s.eng.Classify(q)
+	return p, st.Computations, err
+}

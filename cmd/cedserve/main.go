@@ -1,29 +1,44 @@
 // Command cedserve serves distance, k-NN and classification queries over a
-// corpus through an HTTP JSON API.
+// corpus through an HTTP JSON API — and, since the sharded-corpus refactor,
+// accepts live mutations and restartless snapshots.
 //
 // Usage:
 //
 //	cedserve [-addr :8080] [-corpus FILE] [-d dC,h] [-index laesa] [-pivots 16]
 //	         [-workers 0] [-build-workers 0] [-cache 4096] [-seed 1] [-sample 0]
+//	         [-shards 1] [-compact-threshold 256]
+//	         [-snapshot FILE] [-load-snapshot]
 //
 // The corpus file uses the dataset format (one string per line, optional
 // trailing "\tlabel"); labels enable the /classify endpoints. Without
 // -corpus, -sample N serves a generated N-word Spanish-like dictionary, so
 // the server can be tried with no data at hand:
 //
-//	cedserve -sample 5000 &
+//	cedserve -sample 5000 -shards 4 -snapshot /tmp/corpus.snap &
 //	curl localhost:8080/healthz
 //	curl -d '{"a":"contextual","b":"normalised"}' localhost:8080/distance
-//	curl -d '{"pairs":[{"a":"casa","b":"cosa"},{"a":"gato","b":"gatos"}]}' \
-//	     localhost:8080/distance/batch
 //	curl -d '{"query":"contextal","k":3}' localhost:8080/knn
+//	curl -d '{"value":"contextal"}' localhost:8080/add
+//	curl -d '{"id":5000}' localhost:8080/delete
+//	curl -XPOST localhost:8080/snapshot/save
+//
+// -shards N partitions the corpus across N independent indexes: queries
+// fan out and merge with a shared pruning bound, and /add + /delete mutate
+// the live set (deltas fold into the base indexes by background
+// compaction, swapping epochs atomically — queries never block).
+// -snapshot FILE names the server-side file the /snapshot/save and
+// /snapshot/load endpoints use; -load-snapshot restores it at startup
+// instead of building indexes, so a warm cold-start costs zero distance
+// computations (a corpus source is then optional).
 //
 // Endpoints: GET /healthz; POST /distance, /distance/batch, /knn,
-// /knn/batch, /classify, /classify/batch. Every response reports the
-// number of distance computations spent, the per-stage bound-ladder
-// rejections among them and the server-side latency in milliseconds;
-// /healthz reports the lifetime rejection totals. See README.md for the
-// full wire format and the "Anatomy of a query" section for the ladder.
+// /knn/batch, /classify, /classify/batch, /add, /delete, /snapshot/save,
+// /snapshot/load. Every query response reports the number of distance
+// computations spent, the per-stage bound-ladder rejections among them and
+// the server-side latency in milliseconds; /healthz reports the lifetime
+// rejection totals plus per-shard delta/tombstone/epoch counters. See
+// README.md for the full wire format, the "Anatomy of a query" section for
+// the ladder and "Mutating the corpus" for the delta/compaction model.
 package main
 
 import (
@@ -38,66 +53,118 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		corpus   = flag.String("corpus", "", "dataset file to serve (string [\\tlabel] per line)")
-		sample   = flag.Int("sample", 0, "serve a generated Spanish-like dictionary of this size instead of -corpus")
-		dist     = flag.String("d", "dC,h", "distance to serve (see ced -list)")
-		index    = flag.String("index", "laesa", "search index: laesa, aesa, vptree, bktree (dE only), trie (dE only), linear")
-		pivots   = flag.Int("pivots", 16, "LAESA pivot count")
-		workers  = flag.Int("workers", 0, "batch worker pool size (0 = all CPUs)")
-		buildWrk = flag.Int("build-workers", 0, "index-construction worker pool size (0 = all CPUs); the built index is identical for any value")
-		cache    = flag.Int("cache", 4096, "query rune-cache entries (0 or negative disables)")
-		seed     = flag.Int64("seed", 1, "seed for randomised index construction")
+		addr       = flag.String("addr", ":8080", "listen address")
+		corpus     = flag.String("corpus", "", "dataset file to serve (string [\\tlabel] per line)")
+		sample     = flag.Int("sample", 0, "serve a generated Spanish-like dictionary of this size instead of -corpus")
+		dist       = flag.String("d", "dC,h", "distance to serve (see ced -list)")
+		index      = flag.String("index", "laesa", "search index: laesa, aesa, vptree, bktree (dE only), trie (dE only), linear")
+		pivots     = flag.Int("pivots", 16, "LAESA pivot count")
+		workers    = flag.Int("workers", 0, "batch worker pool size (0 = all CPUs)")
+		buildWrk   = flag.Int("build-workers", 0, "index-construction worker pool size (0 = all CPUs); the built index is identical for any value")
+		cache      = flag.Int("cache", 4096, "query rune-cache entries (0 or negative disables)")
+		seed       = flag.Int64("seed", 1, "seed for randomised index construction")
+		shards     = flag.Int("shards", 1, "partition the corpus across this many independent indexes")
+		compactThr = flag.Int("compact-threshold", 0, "per-shard delta+tombstone size that triggers background compaction (0 = default 256)")
+		snapshot   = flag.String("snapshot", "", "server-side snapshot file for the /snapshot/save and /snapshot/load endpoints")
+		loadSnap   = flag.Bool("load-snapshot", false, "restore -snapshot at startup instead of building indexes (corpus flags become optional)")
 	)
 	flag.Parse()
-	srv, info, err := build(*corpus, *sample, *dist, *index, *pivots, *workers, *buildWrk, *cache, *seed)
+	srv, info, err := build(buildOpts{
+		corpusPath: *corpus, sample: *sample, dist: *dist, index: *index,
+		pivots: *pivots, workers: *workers, buildWorkers: *buildWrk,
+		cache: *cache, seed: *seed, shards: *shards, compactThreshold: *compactThr,
+		snapshotPath: *snapshot, loadSnapshot: *loadSnap,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("cedserve: serving %d strings (%s index, %s metric, labelled=%v) on %s",
-		info.CorpusSize, info.Algorithm, info.Metric, info.Labelled, *addr)
+	log.Printf("cedserve: serving %d strings (%s index ×%d shards, %s metric, labelled=%v) on %s",
+		info.CorpusSize, info.Algorithm, info.Shards.Shards, info.Metric, info.Labelled, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 
-// build loads or generates the corpus and constructs the server; split from
-// main so the end-to-end tests can drive it without a process boundary.
-func build(corpusPath string, sample int, dist, index string, pivots, workers, buildWorkers, cache int, seed int64) (*ced.Server, ced.ServerInfo, error) {
+// buildOpts carries the flag values into build; split from main so the
+// end-to-end tests can drive the full stack without a process boundary.
+type buildOpts struct {
+	corpusPath       string
+	sample           int
+	dist             string
+	index            string
+	pivots           int
+	workers          int
+	buildWorkers     int
+	cache            int
+	seed             int64
+	shards           int
+	compactThreshold int
+	snapshotPath     string
+	loadSnapshot     bool
+}
+
+// build loads or generates the corpus (or restores a snapshot) and
+// constructs the server.
+func build(o buildOpts) (*ced.Server, ced.ServerInfo, error) {
 	var (
 		data *ced.Dataset
 		err  error
 	)
 	switch {
-	case corpusPath != "" && sample > 0:
+	case o.corpusPath != "" && o.sample > 0:
 		return nil, ced.ServerInfo{}, fmt.Errorf("-corpus and -sample are mutually exclusive")
-	case corpusPath != "":
-		data, err = ced.ReadDatasetFile(corpusPath)
+	case o.loadSnapshot && (o.corpusPath != "" || o.sample > 0):
+		// The snapshot replaces the corpus wholesale; building an index
+		// from a corpus first would spend the full preprocessing cost
+		// only to throw the result away.
+		return nil, ced.ServerInfo{}, fmt.Errorf("-load-snapshot replaces the corpus; drop -corpus/-sample")
+	case o.corpusPath != "":
+		data, err = ced.ReadDatasetFile(o.corpusPath)
 		if err != nil {
 			return nil, ced.ServerInfo{}, err
 		}
-	case sample > 0:
-		data = ced.GenerateSpanish(sample, seed)
+	case o.sample > 0:
+		data = ced.GenerateSpanish(o.sample, o.seed)
+	case o.loadSnapshot:
+		// The snapshot replaces the corpus entirely; a placeholder corpus
+		// is built below and immediately swapped out. Keep it minimal.
+		data = &ced.Dataset{Strings: []string{""}}
 	default:
-		return nil, ced.ServerInfo{}, fmt.Errorf("need -corpus FILE or -sample N")
+		return nil, ced.ServerInfo{}, fmt.Errorf("need -corpus FILE, -sample N or -load-snapshot")
 	}
-	m, err := ced.ByName(dist)
+	m, err := ced.ByName(o.dist)
 	if err != nil {
 		return nil, ced.ServerInfo{}, err
 	}
-	if cache <= 0 {
-		cache = -1 // flag semantics: 0 disables; ServerConfig treats 0 as "default"
+	if o.cache <= 0 {
+		o.cache = -1 // flag semantics: 0 disables; ServerConfig treats 0 as "default"
+	}
+	if o.loadSnapshot && o.snapshotPath == "" {
+		return nil, ced.ServerInfo{}, fmt.Errorf("-load-snapshot needs -snapshot FILE")
 	}
 	srv, err := ced.NewServer(data, ced.ServerConfig{
-		Algorithm:    index,
-		Metric:       m,
-		Pivots:       pivots,
-		Seed:         seed,
-		Workers:      workers,
-		BuildWorkers: buildWorkers,
-		CacheSize:    cache,
+		Algorithm:        o.index,
+		Metric:           m,
+		Pivots:           o.pivots,
+		Seed:             o.seed,
+		Workers:          o.workers,
+		BuildWorkers:     o.buildWorkers,
+		CacheSize:        o.cache,
+		Shards:           o.shards,
+		CompactThreshold: o.compactThreshold,
+		SnapshotPath:     o.snapshotPath,
 	})
 	if err != nil {
 		return nil, ced.ServerInfo{}, err
+	}
+	if o.loadSnapshot {
+		f, err := os.Open(o.snapshotPath)
+		if err != nil {
+			return nil, ced.ServerInfo{}, fmt.Errorf("loading snapshot: %w", err)
+		}
+		defer f.Close()
+		if _, err := srv.LoadSnapshot(f); err != nil {
+			return nil, ced.ServerInfo{}, fmt.Errorf("loading snapshot: %w", err)
+		}
 	}
 	return srv, srv.Info(), nil
 }

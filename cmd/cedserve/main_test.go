@@ -47,7 +47,7 @@ func TestEndToEndAllIndexKinds(t *testing.T) {
 			if index == "bktree" || index == "trie" {
 				dist = "dE" // both prune on the structure of integer dE
 			}
-			srv, info, err := build(corpus, 0, dist, index, 4, 2, 4, 128, 1)
+			srv, info, err := build(buildOpts{corpusPath: corpus, dist: dist, index: index, pivots: 4, workers: 2, buildWorkers: 4, cache: 128, seed: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -138,25 +138,25 @@ func TestEndToEndAllIndexKinds(t *testing.T) {
 
 func TestBuildValidation(t *testing.T) {
 	corpus := writeCorpus(t)
-	if _, _, err := build("", 0, "dC,h", "laesa", 4, 0, 0, 0, 1); err == nil {
+	if _, _, err := build(buildOpts{dist: "dC,h", index: "laesa", pivots: 4, seed: 1}); err == nil {
 		t.Error("no corpus and no sample should fail")
 	}
-	if _, _, err := build(corpus, 10, "dC,h", "laesa", 4, 0, 0, 0, 1); err == nil {
+	if _, _, err := build(buildOpts{corpusPath: corpus, sample: 10, dist: "dC,h", index: "laesa", pivots: 4, seed: 1}); err == nil {
 		t.Error("corpus and sample together should fail")
 	}
-	if _, _, err := build("/no/such/file", 0, "dC,h", "laesa", 4, 0, 0, 0, 1); err == nil {
+	if _, _, err := build(buildOpts{corpusPath: "/no/such/file", dist: "dC,h", index: "laesa", pivots: 4, seed: 1}); err == nil {
 		t.Error("missing corpus file should fail")
 	}
-	if _, _, err := build(corpus, 0, "no-such-metric", "laesa", 4, 0, 0, 0, 1); err == nil {
+	if _, _, err := build(buildOpts{corpusPath: corpus, dist: "no-such-metric", index: "laesa", pivots: 4, seed: 1}); err == nil {
 		t.Error("unknown metric should fail")
 	}
-	if _, _, err := build(corpus, 0, "dC,h", "rtree", 4, 0, 0, 0, 1); err == nil {
+	if _, _, err := build(buildOpts{corpusPath: corpus, dist: "dC,h", index: "rtree", pivots: 4, seed: 1}); err == nil {
 		t.Error("unknown index should fail")
 	}
-	if _, _, err := build(corpus, 0, "dC,h", "bktree", 4, 0, 0, 0, 1); err == nil {
+	if _, _, err := build(buildOpts{corpusPath: corpus, dist: "dC,h", index: "bktree", pivots: 4, seed: 1}); err == nil {
 		t.Error("bktree with fractional metric should fail")
 	}
-	if _, _, err := build(corpus, 0, "dC,h", "trie", 4, 0, 0, 0, 1); err == nil {
+	if _, _, err := build(buildOpts{corpusPath: corpus, dist: "dC,h", index: "trie", pivots: 4, seed: 1}); err == nil {
 		t.Error("trie with a non-dE metric should fail")
 	}
 }
@@ -166,7 +166,7 @@ func TestBuildValidation(t *testing.T) {
 // carries a per-stage rejections object and /healthz accumulates it.
 func TestKNNReportsLadderStages(t *testing.T) {
 	corpus := writeCorpus(t)
-	srv, _, err := build(corpus, 0, "dC", "laesa", 3, 1, 1, 0, 1)
+	srv, _, err := build(buildOpts{corpusPath: corpus, dist: "dC", index: "laesa", pivots: 3, workers: 1, buildWorkers: 1, seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,8 +219,85 @@ func TestKNNReportsLadderStages(t *testing.T) {
 	}
 }
 
+// TestShardedServeAndSnapshotColdStart drives the sharded flags end to
+// end: build with -shards 4 and a snapshot path, mutate over HTTP, save a
+// snapshot, then cold-start a second server from it with -load-snapshot
+// and check the mutated corpus came back without a corpus file.
+func TestShardedServeAndSnapshotColdStart(t *testing.T) {
+	corpus := writeCorpus(t)
+	snap := filepath.Join(t.TempDir(), "corpus.snap")
+	srv, info, err := build(buildOpts{
+		corpusPath: corpus, dist: "dC,h", index: "laesa", pivots: 4,
+		seed: 1, shards: 4, snapshotPath: snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards.Shards != 4 || info.CorpusSize != 8 {
+		t.Fatalf("info = %+v", info)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var add struct {
+		ID   uint64 `json:"id"`
+		Size int    `json:"size"`
+	}
+	if code := post(t, ts.URL+"/add", `{"value":"gatita","label":3}`, &add); code != http.StatusOK {
+		t.Fatalf("/add status = %d", code)
+	}
+	if code := post(t, ts.URL+"/delete", `{"id":0}`, nil); code != http.StatusOK {
+		t.Fatal("/delete failed")
+	}
+	if code := post(t, ts.URL+"/snapshot/save", ``, nil); code != http.StatusOK {
+		t.Fatal("/snapshot/save failed")
+	}
+
+	cold, coldInfo, err := build(buildOpts{
+		dist: "dC,h", index: "laesa", pivots: 4, seed: 1,
+		snapshotPath: snap, loadSnapshot: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldInfo.CorpusSize != 8 || coldInfo.Shards.Shards != 4 {
+		t.Fatalf("cold-start info = %+v", coldInfo)
+	}
+	ts2 := httptest.NewServer(cold.Handler())
+	defer ts2.Close()
+	var k struct {
+		Results []struct {
+			Index    int     `json:"index"`
+			Value    string  `json:"value"`
+			Distance float64 `json:"distance"`
+		} `json:"results"`
+	}
+	if code := post(t, ts2.URL+"/knn", `{"query":"gatita","k":1}`, &k); code != http.StatusOK {
+		t.Fatal("/knn failed on cold start")
+	}
+	if len(k.Results) != 1 || k.Results[0].Value != "gatita" || k.Results[0].Index != int(add.ID) {
+		t.Fatalf("restored mutation missing: %+v", k)
+	}
+	// The pre-snapshot delete survived too.
+	if code := post(t, ts2.URL+"/delete", `{"id":0}`, nil); code != http.StatusNotFound {
+		t.Error("tombstone for id 0 not restored")
+	}
+
+	// A metric mismatch at cold start must fail.
+	if _, _, err := build(buildOpts{
+		dist: "dE", index: "laesa", pivots: 4, seed: 1,
+		snapshotPath: snap, loadSnapshot: true,
+	}); err == nil {
+		t.Error("metric mismatch should fail the cold start")
+	}
+	// -load-snapshot without -snapshot is a flag error.
+	if _, _, err := build(buildOpts{dist: "dC,h", index: "laesa", loadSnapshot: true}); err == nil {
+		t.Error("-load-snapshot without -snapshot should fail")
+	}
+}
+
 func TestBuildSampleCorpus(t *testing.T) {
-	srv, info, err := build("", 500, "dC,h", "laesa", 8, 0, 2, -1, 42)
+	srv, info, err := build(buildOpts{sample: 500, dist: "dC,h", index: "laesa", pivots: 8, buildWorkers: 2, cache: -1, seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

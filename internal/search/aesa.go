@@ -149,9 +149,17 @@ func (s *AESA) Search(q []rune) Result {
 // discarded only once its lower bound exceeds τ, exactly like
 // LAESA.KNearest but with every computed distance tightening the bounds.
 func (s *AESA) KNearest(q []rune, k int) []Result {
+	res, comps, rej := s.KNearestBounded(q, k, math.Inf(1))
+	return stampResults(res, comps, rej)
+}
+
+// KNearestBounded is KNearest with the pruning bound τ seeded at bound
+// instead of +Inf (see BoundedKSearcher): a bail proves every remaining
+// candidate exceeds the seeded bound too, so the early break stays sound.
+func (s *AESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
 	n := len(s.corpus)
 	if n == 0 || k <= 0 {
-		return nil
+		return nil, 0, metric.StageCounts{}
 	}
 	if k > n {
 		k = n
@@ -161,7 +169,7 @@ func (s *AESA) KNearest(q []rune, k int) []Result {
 	for i := range alive {
 		alive[i] = i
 	}
-	top := newTopK(k)
+	top := newTopKBounded(k, bound)
 	comps := 0
 	var rej metric.StageCounts
 	for len(alive) > 0 {
@@ -187,7 +195,7 @@ func (s *AESA) KNearest(q []rune, k int) []Result {
 		}
 		alive = w
 	}
-	return top.results(comps, rej)
+	return top.res, comps, rej
 }
 
 // Radius returns every corpus element within distance r of q (inclusive),

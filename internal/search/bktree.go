@@ -184,6 +184,10 @@ func (t *BKTree) Name() string { return "bktree" }
 // Size returns the corpus size.
 func (t *BKTree) Size() int { return t.size }
 
+// Corpus returns the indexed strings (shared backing; callers must not
+// modify).
+func (t *BKTree) Corpus() [][]rune { return t.corpus }
+
 // Search returns the nearest neighbour of q.
 func (t *BKTree) Search(q []rune) Result {
 	best := Result{Index: -1, Distance: math.Inf(1)}

@@ -24,18 +24,41 @@ type RadiusSearcher interface {
 	Radius(q []rune, r float64) ([]Result, int)
 }
 
+// BoundedKSearcher is implemented by searchers whose k-NN loop can start
+// from an externally supplied pruning radius instead of +Inf — the hook the
+// sharded corpus uses to pass the running k-th-best distance of
+// already-merged shards into later shard queries, so the staged bound
+// ladder rejects candidates cross-shard.
+//
+// KNearestBounded returns the k nearest corpus elements among those within
+// distance bound of q, closest first, plus the distance computations spent
+// and the per-stage ladder rejections among them. The contract the merge
+// layer relies on: every corpus element with distance <= bound that belongs
+// to the corpus's true top-k is returned; elements beyond bound may be
+// omitted or returned at the caller's peril (they were never competitive).
+// bound = +Inf is exactly KNearest.
+type BoundedKSearcher interface {
+	KSearcher
+	KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts)
+}
+
 // Interface conformance checks.
 var (
-	_ KSearcher      = (*Linear)(nil)
-	_ KSearcher      = (*LAESA)(nil)
-	_ KSearcher      = (*VPTree)(nil)
-	_ KSearcher      = (*BKTree)(nil)
-	_ KSearcher      = (*AESA)(nil)
-	_ RadiusSearcher = (*Linear)(nil)
-	_ RadiusSearcher = (*LAESA)(nil)
-	_ RadiusSearcher = (*VPTree)(nil)
-	_ RadiusSearcher = (*BKTree)(nil)
-	_ RadiusSearcher = (*AESA)(nil)
+	_ KSearcher        = (*Linear)(nil)
+	_ KSearcher        = (*LAESA)(nil)
+	_ KSearcher        = (*VPTree)(nil)
+	_ KSearcher        = (*BKTree)(nil)
+	_ KSearcher        = (*AESA)(nil)
+	_ RadiusSearcher   = (*Linear)(nil)
+	_ RadiusSearcher   = (*LAESA)(nil)
+	_ RadiusSearcher   = (*VPTree)(nil)
+	_ RadiusSearcher   = (*BKTree)(nil)
+	_ RadiusSearcher   = (*AESA)(nil)
+	_ BoundedKSearcher = (*Linear)(nil)
+	_ BoundedKSearcher = (*LAESA)(nil)
+	_ BoundedKSearcher = (*VPTree)(nil)
+	_ BoundedKSearcher = (*BKTree)(nil)
+	_ BoundedKSearcher = (*AESA)(nil)
 )
 
 // Radius returns every corpus element within distance r of q, scanning the
@@ -66,16 +89,23 @@ func (s *Linear) Radius(q []rune, r float64) ([]Result, int) {
 // topK accumulates the k nearest candidates for the tree walkers, keeping
 // them sorted by (distance, corpus index) — the same tie-break as
 // Linear.KNearest, so every searcher ranks ties identically and
-// deterministically. tau is the current k-th-best distance (+Inf until k
-// candidates are held), the walkers' pruning bound.
+// deterministically. tau is the walkers' pruning bound: the current
+// k-th-best distance once k candidates are held, never above the initial
+// bound (+Inf for a plain k-NN query, the cross-shard running k-th best for
+// a bounded one) and never growing.
 type topK struct {
 	k   int
 	res []Result
 	tau float64
 }
 
-func newTopK(k int) *topK {
-	return &topK{k: k, res: make([]Result, 0, k), tau: math.Inf(1)}
+// newTopKBounded seeds the pruning bound below +Inf: candidates provably
+// beyond bound are rejected from the first evaluation on, even while the
+// result set is still filling. Entries worse than bound can still occupy
+// result slots while fewer than k candidates have been seen — callers that
+// merge across corpora re-filter against their own bound.
+func newTopKBounded(k int, bound float64) *topK {
+	return &topK{k: k, res: make([]Result, 0, k), tau: bound}
 }
 
 // insert offers a candidate; it is dropped unless it beats the current
@@ -94,31 +124,33 @@ func (t *topK) insert(idx int, d float64) {
 	}
 	copy(t.res[pos+1:], t.res[pos:])
 	t.res[pos] = Result{Index: idx, Distance: d}
-	if len(t.res) == t.k {
+	// tau only ever shrinks: the k-th-best distance once full, but never
+	// above the initial bound (res[k-1] can exceed it while slots were
+	// filled with never-competitive candidates).
+	if len(t.res) == t.k && t.res[t.k-1].Distance < t.tau {
 		t.tau = t.res[t.k-1].Distance
 	}
-}
-
-// results stamps the per-query computation count and stage rejections on
-// every held Result.
-func (t *topK) results(comps int, rej metric.StageCounts) []Result {
-	for i := range t.res {
-		t.res[i].Computations = comps
-		t.res[i].Rejections = rej
-	}
-	return t.res
 }
 
 // KNearest returns the k nearest corpus elements using best-first tree
 // descent with a shrinking k-th-best bound.
 func (t *VPTree) KNearest(q []rune, k int) []Result {
+	res, comps, rej := t.KNearestBounded(q, k, math.Inf(1))
+	return stampResults(res, comps, rej)
+}
+
+// KNearestBounded is KNearest with the pruning bound seeded at bound
+// instead of +Inf (see BoundedKSearcher), returning the computation count
+// and per-stage rejections explicitly — a bounded query can return fewer
+// than k results, even none, and still spend evaluations.
+func (t *VPTree) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
 	if k <= 0 || t.root == nil {
-		return nil
+		return nil, 0, metric.StageCounts{}
 	}
 	if k > len(t.corpus) {
 		k = len(t.corpus)
 	}
-	top := newTopK(k)
+	top := newTopKBounded(k, bound)
 	comps := 0
 	var rej metric.StageCounts
 	var walk func(n *vpNode)
@@ -149,7 +181,7 @@ func (t *VPTree) KNearest(q []rune, k int) []Result {
 		}
 	}
 	walk(t.root)
-	return top.results(comps, rej)
+	return top.res, comps, rej
 }
 
 // Radius returns every corpus element within distance r of q, pruning
@@ -198,13 +230,20 @@ func (t *VPTree) Radius(q []rune, r float64) ([]Result, int) {
 // order, but topK's (distance, index) ordering makes the result set and
 // ranking deterministic regardless.
 func (t *BKTree) KNearest(q []rune, k int) []Result {
+	res, comps, rej := t.KNearestBounded(q, k, math.Inf(1))
+	return stampResults(res, comps, rej)
+}
+
+// KNearestBounded is KNearest with the pruning bound seeded at bound
+// instead of +Inf (see BoundedKSearcher).
+func (t *BKTree) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
 	if k <= 0 || t.root == nil {
-		return nil
+		return nil, 0, metric.StageCounts{}
 	}
 	if k > t.size {
 		k = t.size
 	}
-	top := newTopK(k)
+	top := newTopKBounded(k, bound)
 	comps := 0
 	var rej metric.StageCounts
 	var walk func(n *bkNode)
@@ -223,7 +262,18 @@ func (t *BKTree) KNearest(q []rune, k int) []Result {
 		}
 	}
 	walk(t.root)
-	return top.results(comps, rej)
+	return top.res, comps, rej
+}
+
+// stampResults writes the per-query computation count and stage rejections
+// on every Result — the stamping the unbounded KNearest methods apply to
+// their bounded core's output.
+func stampResults(rs []Result, comps int, rej metric.StageCounts) []Result {
+	for i := range rs {
+		rs[i].Computations = comps
+		rs[i].Rejections = rej
+	}
+	return rs
 }
 
 // sortHits orders range-query hits by (distance, index).

@@ -13,9 +13,19 @@ import (
 // candidates are pruned than in the 1-NN case (k-NN is intrinsically more
 // expensive). With k >= corpus size it degenerates to a full scan.
 func (s *LAESA) KNearest(q []rune, k int) []Result {
+	res, comps, rej := s.KNearestBounded(q, k, math.Inf(1))
+	return stampResults(res, comps, rej)
+}
+
+// KNearestBounded is KNearest with the elimination bound seeded at bound
+// instead of +Inf (see BoundedKSearcher): candidates whose
+// triangle-inequality lower bound exceeds an externally known k-th-best
+// distance are eliminated without evaluation, and every bounded evaluation
+// is cut off at min(bound, current k-th best).
+func (s *LAESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
 	n := len(s.corpus)
 	if n == 0 || k <= 0 {
-		return nil
+		return nil, 0, metric.StageCounts{}
 	}
 	if k > n {
 		k = n
@@ -23,7 +33,7 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 	sc := s.checkoutScratch()
 	g, alive := sc.g, sc.alive
 	top := make([]Result, 0, k) // sorted ascending by distance
-	kth := math.Inf(1)
+	kth := bound
 	comps := 0
 	var rej metric.StageCounts
 	pivotsLeft := len(s.pivots)
@@ -37,7 +47,7 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 		}
 		copy(top[pos+1:], top[pos:])
 		top[pos] = Result{Index: idx, Distance: d}
-		if len(top) == k {
+		if len(top) == k && top[k-1].Distance < kth {
 			kth = top[k-1].Distance
 		}
 	}
@@ -100,11 +110,7 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 		alive = w
 	}
 	s.scratch.Put(sc)
-	for i := range top {
-		top[i].Computations = comps
-		top[i].Rejections = rej
-	}
-	return top
+	return top, comps, rej
 }
 
 // Radius returns every corpus element within distance r of q (inclusive),

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"ced/internal/metric"
 )
@@ -25,13 +26,10 @@ type laesaSnapshot struct {
 func (s *LAESA) Save(w io.Writer) error {
 	snap := laesaSnapshot{
 		MetricName: s.m.Name(),
-		Corpus:     make([]string, len(s.corpus)),
+		Corpus:     runesToStrings(s.corpus),
 		Pivots:     s.pivots,
 		Rows:       s.rows,
 		Preprocess: s.PreprocessComputations,
-	}
-	for i, r := range s.corpus {
-		snap.Corpus[i] = string(r)
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("search: saving LAESA index: %w", err)
@@ -55,10 +53,7 @@ func LoadLAESA(r io.Reader, m metric.Metric) (*LAESA, error) {
 	if len(snap.Pivots) != len(snap.Rows) {
 		return nil, fmt.Errorf("search: corrupt index: %d pivots but %d rows", len(snap.Pivots), len(snap.Rows))
 	}
-	corpus := make([][]rune, len(snap.Corpus))
-	for i, s := range snap.Corpus {
-		corpus[i] = []rune(s)
-	}
+	corpus := stringsToRunes(snap.Corpus)
 	for rIdx, p := range snap.Pivots {
 		if p < 0 || p >= len(corpus) {
 			return nil, fmt.Errorf("search: corrupt index: pivot %d out of corpus range", p)
@@ -69,4 +64,211 @@ func LoadLAESA(r io.Reader, m metric.Metric) (*LAESA, error) {
 		}
 	}
 	return newLAESA(corpus, m, snap.Pivots, snap.Rows, snap.Preprocess), nil
+}
+
+// vpFlatNode is one VP-tree node in the flattened wire form: children are
+// positions into the node slice, -1 for nil.
+type vpFlatNode struct {
+	Index   int
+	Radius  float64
+	Inside  int
+	Outside int
+}
+
+// vptreeSnapshot is the gob wire format of a VP-tree: the corpus plus the
+// tree flattened in preorder (every radius is a preprocessing distance, so
+// loading skips the O(n log n) build evaluations).
+type vptreeSnapshot struct {
+	MetricName string
+	Corpus     []string
+	Nodes      []vpFlatNode
+	Preprocess int
+}
+
+// Save writes the index (corpus and tree shape — every node's vantage
+// element and split radius) to w; LoadVPTree restores it without
+// recomputing any distances.
+func (t *VPTree) Save(w io.Writer) error {
+	snap := vptreeSnapshot{
+		MetricName: t.eval.m.Name(),
+		Corpus:     runesToStrings(t.corpus),
+		Preprocess: t.PreprocessComputations,
+	}
+	var flatten func(n *vpNode) int
+	flatten = func(n *vpNode) int {
+		if n == nil {
+			return -1
+		}
+		pos := len(snap.Nodes)
+		snap.Nodes = append(snap.Nodes, vpFlatNode{Index: n.index, Radius: n.radius})
+		snap.Nodes[pos].Inside = flatten(n.inside)
+		snap.Nodes[pos].Outside = flatten(n.outside)
+		return pos
+	}
+	flatten(t.root)
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("search: saving VP-tree index: %w", err)
+	}
+	return nil
+}
+
+// LoadVPTree restores an index written by (*VPTree).Save, attaching m as
+// the query metric (checked by name, like LoadLAESA: radii computed under
+// one distance are unsound pruning bounds under another).
+func LoadVPTree(r io.Reader, m metric.Metric) (*VPTree, error) {
+	var snap vptreeSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("search: loading VP-tree index: %w", err)
+	}
+	if snap.MetricName != m.Name() {
+		return nil, fmt.Errorf("search: index was built with metric %q, loader supplied %q",
+			snap.MetricName, m.Name())
+	}
+	if len(snap.Nodes) != len(snap.Corpus) {
+		return nil, fmt.Errorf("search: corrupt index: %d nodes for corpus of %d", len(snap.Nodes), len(snap.Corpus))
+	}
+	corpus := stringsToRunes(snap.Corpus)
+	nodes := make([]vpNode, len(snap.Nodes))
+	for i, f := range snap.Nodes {
+		if f.Index < 0 || f.Index >= len(corpus) {
+			return nil, fmt.Errorf("search: corrupt index: node %d vantage %d out of corpus range", i, f.Index)
+		}
+		nodes[i] = vpNode{index: f.Index, radius: f.Radius}
+		// Preorder flattening means children always sit at higher
+		// positions, which also rules out cycles.
+		for _, child := range []int{f.Inside, f.Outside} {
+			if child != -1 && (child <= i || child >= len(nodes)) {
+				return nil, fmt.Errorf("search: corrupt index: node %d child %d out of preorder range", i, child)
+			}
+		}
+		if f.Inside != -1 {
+			nodes[i].inside = &nodes[f.Inside]
+		}
+		if f.Outside != -1 {
+			nodes[i].outside = &nodes[f.Outside]
+		}
+	}
+	t := &VPTree{corpus: corpus, eval: newBoundedEval(m), PreprocessComputations: snap.Preprocess}
+	if len(nodes) > 0 {
+		t.root = &nodes[0]
+	}
+	return t, nil
+}
+
+// bkFlatNode is one BK-tree node in the flattened wire form: Edges[i] is
+// the integer edge label leading to the child at position Children[i].
+type bkFlatNode struct {
+	Index    int
+	MaxEdge  int
+	Edges    []int
+	Children []int
+}
+
+// bktreeSnapshot is the gob wire format of a BK-tree.
+type bktreeSnapshot struct {
+	MetricName string
+	Corpus     []string
+	Nodes      []bkFlatNode
+}
+
+// Save writes the index (corpus and tree — every edge label is a
+// preprocessing distance) to w; LoadBKTree restores it without recomputing
+// any distances.
+func (t *BKTree) Save(w io.Writer) error {
+	snap := bktreeSnapshot{
+		MetricName: t.eval.m.Name(),
+		Corpus:     runesToStrings(t.corpus),
+	}
+	var flatten func(n *bkNode) int
+	flatten = func(n *bkNode) int {
+		pos := len(snap.Nodes)
+		snap.Nodes = append(snap.Nodes, bkFlatNode{Index: n.index, MaxEdge: n.maxEdge})
+		// Sort edges so the snapshot bytes are deterministic (children
+		// live in a map).
+		edges := make([]int, 0, len(n.children))
+		for e := range n.children {
+			edges = append(edges, e)
+		}
+		sort.Ints(edges)
+		for _, e := range edges {
+			child := flatten(n.children[e])
+			snap.Nodes[pos].Edges = append(snap.Nodes[pos].Edges, e)
+			snap.Nodes[pos].Children = append(snap.Nodes[pos].Children, child)
+		}
+		return pos
+	}
+	if t.root != nil {
+		flatten(t.root)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("search: saving BK-tree index: %w", err)
+	}
+	return nil
+}
+
+// LoadBKTree restores an index written by (*BKTree).Save, attaching m as
+// the query metric (checked by name).
+func LoadBKTree(r io.Reader, m metric.Metric) (*BKTree, error) {
+	var snap bktreeSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("search: loading BK-tree index: %w", err)
+	}
+	if snap.MetricName != m.Name() {
+		return nil, fmt.Errorf("search: index was built with metric %q, loader supplied %q",
+			snap.MetricName, m.Name())
+	}
+	if len(snap.Nodes) != len(snap.Corpus) {
+		return nil, fmt.Errorf("search: corrupt index: %d nodes for corpus of %d", len(snap.Nodes), len(snap.Corpus))
+	}
+	corpus := stringsToRunes(snap.Corpus)
+	nodes := make([]bkNode, len(snap.Nodes))
+	for i, f := range snap.Nodes {
+		if f.Index < 0 || f.Index >= len(corpus) {
+			return nil, fmt.Errorf("search: corrupt index: node %d element %d out of corpus range", i, f.Index)
+		}
+		if len(f.Edges) != len(f.Children) {
+			return nil, fmt.Errorf("search: corrupt index: node %d has %d edges but %d children", i, len(f.Edges), len(f.Children))
+		}
+		nodes[i] = bkNode{index: f.Index, maxEdge: f.MaxEdge}
+		if len(f.Edges) > 0 {
+			nodes[i].children = make(map[int]*bkNode, len(f.Edges))
+		}
+		for j, e := range f.Edges {
+			child := f.Children[j]
+			if child <= i || child >= len(nodes) {
+				return nil, fmt.Errorf("search: corrupt index: node %d child %d out of preorder range", i, child)
+			}
+			nodes[i].children[e] = &nodes[child]
+		}
+	}
+	t := &BKTree{corpus: corpus, eval: newBoundedEval(m), size: len(corpus)}
+	if len(nodes) > 0 {
+		t.root = &nodes[0]
+	}
+	return t, nil
+}
+
+// Persister is implemented by every index that can serialise itself to a
+// gob snapshot (LAESA, VPTree, BKTree): the capability the shard envelope
+// and the public Index.Save dispatch on.
+type Persister interface {
+	Save(w io.Writer) error
+}
+
+// runesToStrings and stringsToRunes convert between the index's rune view
+// and the snapshot's string wire form.
+func runesToStrings(rs [][]rune) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func stringsToRunes(ss []string) [][]rune {
+	out := make([][]rune, len(ss))
+	for i, s := range ss {
+		out[i] = []rune(s)
+	}
+	return out
 }

@@ -93,15 +93,25 @@ func (s *Linear) Search(q []rune) Result {
 // order), closest first. It costs exactly len(corpus) distance evaluations,
 // each bounded by the current k-th best distance.
 func (s *Linear) KNearest(q []rune, k int) []Result {
+	res, comps, rej := s.KNearestBounded(q, k, math.Inf(1))
+	return stampResults(res, comps, rej)
+}
+
+// KNearestBounded is KNearest with the running pruning bound seeded at
+// bound instead of +Inf (see BoundedKSearcher): every evaluation is cut off
+// at min(bound, current k-th best), so candidates beyond an externally
+// known k-th-best distance are rejected by the ladder from the first
+// element on. Computations is still exactly len(corpus).
+func (s *Linear) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
 	if k <= 0 {
-		return nil
+		return nil, 0, metric.StageCounts{}
 	}
 	if k > len(s.corpus) {
 		k = len(s.corpus)
 	}
 	// Simple bounded insertion: k is small in every caller (k-NN rules).
 	top := make([]Result, 0, k)
-	kth := math.Inf(1) // k-th best once the result set is full
+	kth := bound // pruning radius: shrinks to the k-th best once full
 	var rej metric.StageCounts
 	for i, c := range s.corpus {
 		d, exact, stage := s.eval.distanceWithin(q, c, kth)
@@ -121,14 +131,10 @@ func (s *Linear) KNearest(q []rune, k int) []Result {
 				pos--
 			}
 			top[pos] = Result{Index: i, Distance: d}
-			if len(top) == k {
+			if len(top) == k && top[k-1].Distance < kth {
 				kth = top[k-1].Distance
 			}
 		}
 	}
-	for i := range top {
-		top[i].Computations = len(s.corpus)
-		top[i].Rejections = rej
-	}
-	return top
+	return top, len(s.corpus), rej
 }

@@ -133,13 +133,21 @@ func (t *Trie) Search(q []rune) Result {
 // indices can claim their rank. Computations counts visited trie nodes,
 // the structure's analogue of distance computations.
 func (t *Trie) KNearest(q []rune, k int) []Result {
+	res, nodes, rej := t.KNearestBounded(q, k, math.Inf(1))
+	return stampResults(res, nodes, rej)
+}
+
+// KNearestBounded is KNearest with τ seeded at bound instead of +Inf (see
+// BoundedKSearcher): subtrees whose DP-row minimum exceeds an externally
+// known k-th-best distance are abandoned from the root on.
+func (t *Trie) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
 	if k <= 0 || t.size == 0 {
-		return nil
+		return nil, 0, metric.StageCounts{}
 	}
 	if k > t.distinct {
 		k = t.distinct
 	}
-	top := newTopK(k)
+	top := newTopKBounded(k, bound)
 	n := len(q)
 	firstRow := make([]int, n+1)
 	for j := range firstRow {
@@ -182,7 +190,7 @@ func (t *Trie) KNearest(q []rune, k int) []Result {
 		}
 	}
 	walk(t.root, firstRow)
-	return top.results(nodes, metric.StageCounts{})
+	return top.res, nodes, metric.StageCounts{}
 }
 
 // Radius returns every corpus string within edit distance r of q,
@@ -246,7 +254,8 @@ func (t *Trie) Radius(q []rune, r float64) ([]Result, int) {
 // RadiusSearcher (its Computations unit differs — visited nodes, not metric
 // calls — which the doc comments spell out).
 var (
-	_ Searcher       = (*Trie)(nil)
-	_ KSearcher      = (*Trie)(nil)
-	_ RadiusSearcher = (*Trie)(nil)
+	_ Searcher         = (*Trie)(nil)
+	_ KSearcher        = (*Trie)(nil)
+	_ RadiusSearcher   = (*Trie)(nil)
+	_ BoundedKSearcher = (*Trie)(nil)
 )

@@ -177,6 +177,10 @@ func (t *VPTree) Name() string { return "vptree" }
 // Size returns the corpus size.
 func (t *VPTree) Size() int { return len(t.corpus) }
 
+// Corpus returns the indexed strings (shared backing; callers must not
+// modify).
+func (t *VPTree) Corpus() [][]rune { return t.corpus }
+
 // Search returns the nearest neighbour of q.
 func (t *VPTree) Search(q []rune) Result {
 	best := Result{Index: -1, Distance: math.Inf(1)}

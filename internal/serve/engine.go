@@ -11,13 +11,15 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"ced/internal/bulk"
 	"ced/internal/metric"
 	"ced/internal/pool"
-	"ced/internal/search"
+	"ced/internal/shard"
 )
 
 // Algorithms lists the index kinds New accepts, in the order they appear in
@@ -50,6 +52,16 @@ type Config struct {
 	BuildWorkers int
 	// CacheSize bounds the query→[]rune LRU cache. <= 0 disables it.
 	CacheSize int
+	// Shards partitions the corpus across this many independent indexes
+	// (round-robin by stable element ID). Queries fan out across shards
+	// and merge with a shared pruning bound; Add/Delete and the snapshot
+	// endpoints mutate the live set. <= 0 means 1 — a single shard
+	// answers exactly like the pre-sharding monolithic engine.
+	Shards int
+	// CompactThreshold is the per-shard delta-plus-tombstone size that
+	// schedules a background compaction; <= 0 uses
+	// shard.DefaultCompactThreshold.
+	CompactThreshold int
 }
 
 // Pair is one query pair for the batch-distance APIs; ced.Pair aliases it.
@@ -125,18 +137,30 @@ type Prediction struct {
 	Neighbor Neighbor `json:"neighbor"`
 }
 
-// Engine answers queries against a fixed corpus through a metric-space
-// index. All methods are safe for concurrent use: the index is immutable
-// after construction and the caches are internally locked.
+// Engine answers queries against a sharded, mutable corpus. All methods
+// are safe for concurrent use: queries read atomic per-shard snapshots,
+// mutations take short per-shard locks, snapshot loads swap the whole set
+// behind an atomic pointer, and the caches are internally locked.
 type Engine struct {
-	corpus   []string
-	labels   []int // nil when the corpus is unlabelled
-	m        metric.Metric
-	searcher search.Searcher
+	algorithm string
+	m         metric.Metric
+	set       atomic.Pointer[shard.Set]
+	setCfg    shard.Config // the template LoadSnapshot restores under
+	// mutateMu serialises mutations against LoadSnapshot's set swap: an
+	// Add applied to the old set after the swap would be acknowledged and
+	// silently lost. Mutations share the lock (they already serialise per
+	// shard inside the set); only a snapshot load takes it exclusively.
+	// Queries stay lock-free — reading the outgoing set is harmless.
+	mutateMu sync.RWMutex
 	workers  int
 	cache    *runeCache
 	requests atomic.Uint64
 	rejected [metric.NumStages]atomic.Int64 // lifetime ladder rejections, by rung
+
+	// snapshotPath is the server-side file the /snapshot endpoints write
+	// and read; empty disables them (the path is fixed at startup so the
+	// HTTP API can never be steered to an arbitrary file).
+	snapshotPath string
 
 	// ev is the session-threaded evaluation layer behind the batch
 	// endpoints: each striped batch worker evaluates through a private
@@ -166,33 +190,16 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 	if cfg.Pivots <= 0 {
 		cfg.Pivots = 16
 	}
-	if cfg.Pivots > len(corpus) {
-		cfg.Pivots = len(corpus)
-	}
-	runes := make([][]rune, len(corpus))
-	for i, s := range corpus {
-		runes[i] = []rune(s)
-	}
-	var searcher search.Searcher
 	switch cfg.Algorithm {
-	case "laesa":
-		searcher = search.NewLAESAWorkers(runes, m, cfg.Pivots, search.MaxSum, cfg.Seed, cfg.BuildWorkers)
-	case "aesa":
-		searcher = search.NewAESAWorkers(runes, m, cfg.BuildWorkers)
-	case "linear":
-		searcher = search.NewLinear(runes, m)
-	case "vptree":
-		searcher = search.NewVPTreeWorkers(runes, m, cfg.Seed, cfg.BuildWorkers)
+	case "laesa", "aesa", "linear", "vptree":
 	case "bktree":
 		if m.Name() != "dE" {
 			return nil, fmt.Errorf("serve: the bktree index prunes on integer distances and requires dE, not %q", m.Name())
 		}
-		searcher = search.NewBKTreeWorkers(runes, m, cfg.BuildWorkers)
 	case "trie":
 		if m.Name() != "dE" {
 			return nil, fmt.Errorf("serve: the trie index walks the edit-distance dynamic program and requires dE, not %q", m.Name())
 		}
-		searcher = search.NewTrie(runes)
 	default:
 		return nil, fmt.Errorf("serve: unknown index algorithm %q (known: %v)", cfg.Algorithm, Algorithms)
 	}
@@ -200,21 +207,42 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
-		corpus:   corpus,
-		labels:   labels,
-		m:        m,
-		searcher: searcher,
-		workers:  workers,
-		cache:    newRuneCache(cfg.CacheSize),
-		ev:       bulk.New(m),
-	}, nil
+	// With one shard (the default) and seed offset 0, the base index is
+	// bit-identical to the pre-sharding monolithic engine's.
+	build, err := shard.StandardBuild(cfg.Algorithm, m, cfg.Pivots, cfg.Seed, cfg.BuildWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	setCfg := shard.Config{
+		Shards:           cfg.Shards,
+		Metric:           m,
+		Build:            build,
+		Algorithm:        cfg.Algorithm,
+		Workers:          workers,
+		CompactThreshold: cfg.CompactThreshold,
+	}
+	set, err := shard.New(corpus, labels, setCfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	e := &Engine{
+		algorithm: cfg.Algorithm,
+		m:         m,
+		setCfg:    setCfg,
+		workers:   workers,
+		cache:     newRuneCache(cfg.CacheSize),
+		ev:        bulk.New(m),
+	}
+	e.set.Store(set)
+	return e, nil
 }
 
 // Info is the engine snapshot reported by /healthz.
 type Info struct {
-	Algorithm  string `json:"algorithm"`
-	Metric     string `json:"metric"`
+	Algorithm string `json:"algorithm"`
+	Metric    string `json:"metric"`
+	// CorpusSize is the live element count: base elements minus
+	// tombstones plus uncompacted delta entries, across all shards.
 	CorpusSize int    `json:"corpus_size"`
 	Labelled   bool   `json:"labelled"`
 	Workers    int    `json:"workers"`
@@ -224,15 +252,21 @@ type Info struct {
 	// per-request counters in the query metadata.
 	Rejections StageRejections `json:"rejections"`
 	Cache      CacheStats      `json:"cache"`
+	// Shards is the sharded-corpus view: partition count, per-shard
+	// base/delta/tombstone sizes, compaction epochs and the lifetime
+	// add/delete/compaction counters.
+	Shards shard.Info `json:"shards"`
 }
 
 // Info returns the current engine snapshot.
 func (e *Engine) Info() Info {
+	set := e.set.Load()
+	si := set.Info()
 	return Info{
-		Algorithm:  e.searcher.Name(),
+		Algorithm:  e.algorithm,
 		Metric:     e.m.Name(),
-		CorpusSize: e.searcher.Size(),
-		Labelled:   len(e.labels) > 0,
+		CorpusSize: si.Size,
+		Labelled:   set.Labelled(),
 		Workers:    e.workers,
 		Requests:   e.requests.Load(),
 		Rejections: StageRejections{
@@ -241,12 +275,13 @@ func (e *Engine) Info() Info {
 			Heuristic: e.rejected[metric.StageHeuristic].Load(),
 			Exact:     e.rejected[metric.StageExact].Load(),
 		},
-		Cache: e.cache.Stats(),
+		Cache:  e.cache.Stats(),
+		Shards: si,
 	}
 }
 
 // Labelled reports whether classification queries are possible.
-func (e *Engine) Labelled() bool { return len(e.labels) > 0 }
+func (e *Engine) Labelled() bool { return e.set.Load().Labelled() }
 
 // countRequest bumps the served-request counter (one per API call, batch or
 // single).
@@ -312,9 +347,6 @@ func (e *Engine) BatchKNearest(queries []string, k int) ([][]Neighbor, Stats, er
 	if err := e.checkK(k); err != nil {
 		return nil, Stats{}, err
 	}
-	if _, ok := e.searcher.(search.KSearcher); !ok {
-		return nil, Stats{}, fmt.Errorf("serve: index %q does not support k-NN", e.searcher.Name())
-	}
 	out := make([][]Neighbor, len(queries))
 	stats := make([]Stats, len(queries))
 	e.fanOut(len(queries), func(i int) {
@@ -330,25 +362,29 @@ func (e *Engine) checkK(k int) error {
 	return nil
 }
 
+// neighbor converts a merged shard hit to the wire form: Index is the
+// element's stable global ID (its original corpus position for elements
+// present since startup; Add mints the next integer).
+func neighbor(h shard.Hit) Neighbor {
+	return Neighbor{Index: int(h.ID), Value: h.Value, Distance: h.Distance}
+}
+
+// shardStats folds a fanned query's counters into the lifetime totals and
+// converts them to the wire form.
+func (e *Engine) shardStats(st shard.Stats) Stats {
+	return Stats{Computations: st.Computations, Rejections: e.record(st.Rejections)}
+}
+
 func (e *Engine) knn(q []rune, k int) ([]Neighbor, Stats, error) {
 	if err := e.checkK(k); err != nil {
 		return nil, Stats{}, err
 	}
-	ks, ok := e.searcher.(search.KSearcher)
-	if !ok {
-		return nil, Stats{}, fmt.Errorf("serve: index %q does not support k-NN", e.searcher.Name())
+	hits, st := e.set.Load().KNearest(q, k)
+	out := make([]Neighbor, len(hits))
+	for i, h := range hits {
+		out[i] = neighbor(h)
 	}
-	rs := ks.KNearest(q, k)
-	out := make([]Neighbor, len(rs))
-	for i, r := range rs {
-		out[i] = Neighbor{Index: r.Index, Value: e.corpus[r.Index], Distance: r.Distance}
-	}
-	var st Stats
-	if len(rs) > 0 {
-		// Every result of one query carries the same per-query totals.
-		st = Stats{Computations: rs[0].Computations, Rejections: e.record(rs[0].Rejections)}
-	}
-	return out, st, nil
+	return out, e.shardStats(st), nil
 }
 
 // Classify labels q with the class of its nearest corpus element (the
@@ -380,12 +416,97 @@ func (e *Engine) classify(q []rune) (Prediction, Stats, error) {
 	if !e.Labelled() {
 		return Prediction{}, Stats{}, errUnlabelled
 	}
-	r := e.searcher.Search(q)
-	return Prediction{
-		Label:    e.labels[r.Index],
-		Neighbor: Neighbor{Index: r.Index, Value: e.corpus[r.Index], Distance: r.Distance},
-	}, Stats{Computations: r.Computations, Rejections: e.record(r.Rejections)}, nil
+	hit, st, err := e.set.Load().Classify(q)
+	if err != nil {
+		return Prediction{}, Stats{}, fmt.Errorf("serve: %w", err)
+	}
+	return Prediction{Label: hit.Label, Neighbor: neighbor(hit)}, e.shardStats(st), nil
 }
+
+// errTrieMutation: the trie keeps one node per *distinct* string (first
+// element wins), so duplicate values added to a mutable trie-backed corpus
+// would silently collapse at the next compaction — and deleting the
+// surviving element would hide its live duplicates from every query. A
+// trie-backed engine therefore serves its startup corpus frozen.
+var errTrieMutation = fmt.Errorf("serve: the trie index collapses duplicate strings and cannot serve a mutable corpus; use laesa, vptree, bktree, aesa or linear")
+
+// checkMutable rejects mutation on index kinds that cannot support it.
+func (e *Engine) checkMutable() error {
+	if e.algorithm == "trie" {
+		return errTrieMutation
+	}
+	return nil
+}
+
+// Add inserts value into the live corpus and returns its stable ID (served
+// as Neighbor.Index from then on). label is recorded when the corpus is
+// labelled and ignored otherwise. The element is visible to every query
+// issued after Add returns; a background compaction folds it into its
+// shard's base index once the shard's delta outgrows the threshold.
+func (e *Engine) Add(value string, label int) (uint64, error) {
+	e.countRequest()
+	if err := e.checkMutable(); err != nil {
+		return 0, err
+	}
+	e.mutateMu.RLock()
+	defer e.mutateMu.RUnlock()
+	return e.set.Load().Add(value, label), nil
+}
+
+// Delete removes the element with the given ID from the live corpus,
+// reporting whether it was present. Deleted IDs are never reused and never
+// resurface in query results.
+func (e *Engine) Delete(id uint64) (bool, error) {
+	e.countRequest()
+	if err := e.checkMutable(); err != nil {
+		return false, err
+	}
+	e.mutateMu.RLock()
+	defer e.mutateMu.RUnlock()
+	return e.set.Load().Delete(id), nil
+}
+
+// SnapshotPath returns the server-side snapshot file configured at
+// startup; empty means the /snapshot endpoints are disabled.
+func (e *Engine) SnapshotPath() string { return e.snapshotPath }
+
+// SetSnapshotPath fixes the server-side snapshot file (call once at
+// startup, before serving; the path deliberately cannot be changed over
+// HTTP).
+func (e *Engine) SetSnapshotPath(path string) { e.snapshotPath = path }
+
+// SaveSnapshot writes the whole sharded set — per shard: the base index,
+// live delta and tombstones — to w, so a later LoadSnapshot (or a cold
+// start with the cedserve -load-snapshot flag) skips every index-build
+// distance computation.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	e.countRequest()
+	return e.set.Load().Save(w)
+}
+
+// LoadSnapshot replaces the live corpus with the set saved in r and
+// reports the restored live size. The swap is atomic: queries in flight
+// finish against the old set, queries issued after LoadSnapshot returns
+// see the new one, and no query ever blocks. Mutations are serialised
+// against the swap (an Add acknowledged against the outgoing set would be
+// silently lost). The snapshot's metric and index algorithm must match
+// the engine's.
+func (e *Engine) LoadSnapshot(r io.Reader) (int, error) {
+	e.countRequest()
+	set, err := shard.Load(r, e.setCfg)
+	if err != nil {
+		return 0, fmt.Errorf("serve: %w", err)
+	}
+	e.mutateMu.Lock()
+	e.set.Store(set)
+	e.mutateMu.Unlock()
+	return set.Size(), nil
+}
+
+// Compact synchronously folds every shard's delta and tombstones into its
+// base index (testing and pre-snapshot hook; background compaction runs on
+// its own once deltas outgrow the threshold).
+func (e *Engine) Compact() { e.set.Load().Compact() }
 
 // fanOut runs fn(i) for i in [0, n) across the engine's worker pool.
 func (e *Engine) fanOut(n int, fn func(i int)) {

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"time"
 )
 
@@ -14,17 +17,24 @@ const maxBodyBytes = 8 << 20
 
 // NewHandler wraps an engine in the cedserve JSON API:
 //
-//	GET  /healthz            liveness + engine/cache statistics
+//	GET  /healthz            liveness + engine/cache/shard statistics
 //	POST /distance           {"a": ..., "b": ...}
 //	POST /distance/batch     {"pairs": [{"a": ..., "b": ...}, ...]}
 //	POST /knn                {"query": ..., "k": ...}
 //	POST /knn/batch          {"queries": [...], "k": ...}
 //	POST /classify           {"query": ...}
 //	POST /classify/batch     {"queries": [...]}
+//	POST /add                {"value": ..., "label": ...}
+//	POST /delete             {"id": ...}
+//	POST /snapshot/save      (no body; writes the configured snapshot file)
+//	POST /snapshot/load      (no body; swaps the set saved there back in)
 //
-// Every response carries the number of distance computations spent and the
-// server-side latency in milliseconds, so clients can monitor index
-// effectiveness per request.
+// Every query response carries the number of distance computations spent
+// and the server-side latency in milliseconds, so clients can monitor
+// index effectiveness per request. The mutation endpoints return the
+// element's stable ID (Add) and the live corpus size; the snapshot
+// endpoints read and write only the server-side path fixed at startup
+// (cedserve -snapshot), never a client-supplied one.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -104,7 +114,118 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, batchClassifyResponse{Results: ps, queryMeta: meta(st, start)})
 	})
+	mux.HandleFunc("POST /add", func(w http.ResponseWriter, r *http.Request) {
+		var req addRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if req.Value == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("add needs a \"value\" field"))
+			return
+		}
+		if e.Labelled() && req.Label == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("the corpus is labelled; add needs a \"label\" field"))
+			return
+		}
+		label := 0
+		if req.Label != nil {
+			label = *req.Label
+		}
+		id, err := e.Add(*req.Value, label)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, mutateResponse{ID: id, Size: e.Info().CorpusSize})
+	})
+	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
+		var req deleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if req.ID == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("delete needs an \"id\" field"))
+			return
+		}
+		deleted, err := e.Delete(*req.ID)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !deleted {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no live element with id %d", *req.ID))
+			return
+		}
+		writeJSON(w, http.StatusOK, mutateResponse{ID: *req.ID, Size: e.Info().CorpusSize})
+	})
+	mux.HandleFunc("POST /snapshot/save", func(w http.ResponseWriter, r *http.Request) {
+		path := e.SnapshotPath()
+		if path == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("the server was started without a snapshot path (cedserve -snapshot)"))
+			return
+		}
+		start := time.Now()
+		n, err := saveSnapshotFile(e, path)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snapshotResponse{
+			Path: path, Bytes: n, Size: e.Info().CorpusSize,
+			LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	})
+	mux.HandleFunc("POST /snapshot/load", func(w http.ResponseWriter, r *http.Request) {
+		path := e.SnapshotPath()
+		if path == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("the server was started without a snapshot path (cedserve -snapshot)"))
+			return
+		}
+		start := time.Now()
+		f, err := os.Open(path)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		defer f.Close()
+		size, err := e.LoadSnapshot(f)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snapshotResponse{
+			Path: path, Size: size,
+			LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	})
 	return mux
+}
+
+// saveSnapshotFile writes the engine snapshot to path via a same-directory
+// temp file and an atomic rename, so a crash mid-save never truncates the
+// previous snapshot.
+func saveSnapshotFile(e *Engine, path string) (int64, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(f.Name()) // no-op after a successful rename
+	if err := e.SaveSnapshot(f); err != nil {
+		f.Close()
+		return 0, err
+	}
+	n, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // Request bodies.
@@ -126,6 +247,17 @@ type (
 	}
 	batchClassifyRequest struct {
 		Queries []string `json:"queries"`
+	}
+	// addRequest uses pointers so a missing field is distinguishable from
+	// the zero value: an empty string is a legal corpus element, and a
+	// labelled corpus must reject unlabelled adds rather than default to
+	// class 0.
+	addRequest struct {
+		Value *string `json:"value"`
+		Label *int    `json:"label"`
+	}
+	deleteRequest struct {
+		ID *uint64 `json:"id"`
 	}
 )
 
@@ -182,6 +314,18 @@ type (
 	batchClassifyResponse struct {
 		Results []Prediction `json:"results"`
 		queryMeta
+	}
+	// mutateResponse answers /add and /delete: the element's stable ID and
+	// the live corpus size after the mutation.
+	mutateResponse struct {
+		ID   uint64 `json:"id"`
+		Size int    `json:"size"`
+	}
+	snapshotResponse struct {
+		Path      string  `json:"path"`
+		Bytes     int64   `json:"bytes,omitempty"`
+		Size      int     `json:"size"`
+		LatencyMS float64 `json:"latency_ms"`
 	}
 )
 

@@ -1,0 +1,58 @@
+package shard
+
+// ShardInfo is one shard's snapshot for the health endpoints.
+type ShardInfo struct {
+	// Size is the shard's live element count (base − tombstones + delta).
+	Size int `json:"size"`
+	// Base is the frozen base index size, deleted elements included.
+	Base int `json:"base"`
+	// Delta is the number of live entries awaiting compaction.
+	Delta int `json:"delta"`
+	// Tombstones is the number of deleted base elements awaiting
+	// compaction.
+	Tombstones int `json:"tombstones"`
+	// Epoch counts the compaction swaps this shard has gone through; it
+	// only ever increases.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Info is the set-wide mutation and compaction view surfaced by /healthz.
+type Info struct {
+	// Shards is the partition count.
+	Shards int `json:"shards"`
+	// Size is the live element count across all shards.
+	Size int `json:"size"`
+	// Adds, Deletes and Compactions are lifetime counters.
+	Adds        uint64 `json:"adds"`
+	Deletes     uint64 `json:"deletes"`
+	Compactions uint64 `json:"compactions"`
+	// Detail lists the per-shard breakdown, in shard order.
+	Detail []ShardInfo `json:"detail"`
+}
+
+// Info returns the current mutation/compaction snapshot.
+func (s *Set) Info() Info {
+	info := Info{
+		Shards:      len(s.shards),
+		Adds:        s.adds.Load(),
+		Deletes:     s.deletes.Load(),
+		Compactions: s.compactions.Load(),
+		Detail:      make([]ShardInfo, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		st := sh.state.Load()
+		info.Detail[i] = ShardInfo{
+			Size:       st.live(),
+			Base:       len(st.baseIDs),
+			Delta:      len(st.deltaIDs),
+			Tombstones: len(st.tombs),
+			Epoch:      sh.epoch.Load(),
+		}
+		info.Size += info.Detail[i].Size
+	}
+	return info
+}
+
+// Epoch returns shard i's compaction epoch (testing hook: epochs must be
+// monotone).
+func (s *Set) Epoch(i int) uint64 { return s.shards[i].epoch.Load() }

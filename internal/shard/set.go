@@ -1,0 +1,301 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ced/internal/metric"
+	"ced/internal/pool"
+	"ced/internal/search"
+)
+
+// Hit is one merged query answer: a live element identified by its stable
+// global ID.
+type Hit struct {
+	ID       uint64
+	Value    string
+	Label    int
+	Distance float64
+}
+
+// Stats is the work a fanned query spent, summed over the shards: distance
+// evaluations (delta entries count one each, like any linear scan) and the
+// per-stage ladder rejections among them. With more than one shard the
+// counts can vary run to run — the cross-shard bound each shard starts from
+// depends on which shards merged first — while the merged result set stays
+// the same (see KNearest).
+type Stats struct {
+	Computations int
+	Rejections   metric.StageCounts
+}
+
+func (s *Stats) add(o Stats) {
+	s.Computations += o.Computations
+	for i, n := range o.Rejections {
+		s.Rejections[i] += n
+	}
+}
+
+// atomicFloat is a lock-free float64 cell (bit-pattern atomics): the shared
+// cross-shard pruning bound.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// merger accumulates candidates from every shard into one bounded top-k
+// ordered by (distance, ID) and publishes the running k-th-best distance as
+// the pruning bound for shard queries that start later.
+type merger struct {
+	mu   sync.Mutex
+	k    int
+	hits []Hit
+	// bound is +Inf until k candidates are held, then the k-th best
+	// distance. Reads are lock-free hints: a stale (looser) bound costs
+	// pruning power, never correctness.
+	bound atomicFloat
+}
+
+func newMerger(k int) *merger {
+	m := &merger{k: k, hits: make([]Hit, 0, k)}
+	m.bound.store(math.Inf(1))
+	return m
+}
+
+// offer merges a shard's candidates and tightens the shared bound.
+func (m *merger) offer(cands []Hit) {
+	if len(cands) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, h := range cands {
+		pos := sort.Search(len(m.hits), func(i int) bool {
+			if m.hits[i].Distance != h.Distance {
+				return m.hits[i].Distance > h.Distance
+			}
+			return m.hits[i].ID > h.ID
+		})
+		if len(m.hits) < m.k {
+			m.hits = append(m.hits, Hit{})
+		} else if pos >= m.k {
+			continue
+		}
+		copy(m.hits[pos+1:], m.hits[pos:])
+		m.hits[pos] = h
+	}
+	if len(m.hits) == m.k {
+		m.bound.store(m.hits[m.k-1].Distance)
+	}
+	m.mu.Unlock()
+}
+
+// KNearest returns the k nearest live elements to q, closest first (ties by
+// ID), plus the total work spent. The query fans across the shards on the
+// worker pool; each shard query starts from the merger's current k-th-best
+// distance, so shards merged late evaluate their candidates under an
+// already-tight cutoff and the bound ladder rejects them cheaply. The
+// merged result set equals the monolithic index's answer modulo
+// equal-distance ties at the k-th rank (each shard returns every element
+// closer than the bound it was given, and bounds never drop below the final
+// k-th-best distance).
+func (s *Set) KNearest(q []rune, k int) ([]Hit, Stats) {
+	if k <= 0 {
+		return nil, Stats{}
+	}
+	states := s.snapshot()
+	mg := newMerger(k)
+	stats := make([]Stats, len(states))
+	pool.Fan(len(states), s.workers, func(i int) {
+		cands, st := s.queryShard(states[i], q, k, mg.bound.load())
+		stats[i] = st
+		mg.offer(cands)
+	})
+	var total Stats
+	for _, st := range stats {
+		total.add(st)
+	}
+	return mg.hits, total
+}
+
+// Search returns the nearest live element to q: ok is false when the set is
+// empty.
+func (s *Set) Search(q []rune) (Hit, Stats, bool) {
+	hits, st := s.KNearest(q, 1)
+	if len(hits) == 0 {
+		return Hit{}, st, false
+	}
+	return hits[0], st, true
+}
+
+// Classify labels q with the class of its nearest live element. It fails on
+// an unlabelled or empty set.
+func (s *Set) Classify(q []rune) (Hit, Stats, error) {
+	if !s.labelled {
+		return Hit{}, Stats{}, fmt.Errorf("shard: corpus is unlabelled")
+	}
+	hit, st, ok := s.Search(q)
+	if !ok {
+		return Hit{}, st, fmt.Errorf("shard: empty corpus")
+	}
+	return hit, st, nil
+}
+
+// Radius returns every live element within distance r of q (inclusive),
+// sorted by (distance, ID), plus the work spent. Unlike KNearest there is
+// no running bound to share — r itself already cuts every shard query — so
+// the merged result is identical to a monolithic scan in every run. It
+// requires base indexes that implement search.RadiusSearcher (every
+// algorithm in this repository does). Known accounting gap: the
+// RadiusSearcher API carries per-query rejection counters on its hits, so
+// a shard whose scan rejected every candidate (zero hits) contributes its
+// Computations but not its Rejections to the stats; the result set is
+// unaffected.
+func (s *Set) Radius(q []rune, r float64) ([]Hit, Stats, error) {
+	states := s.snapshot()
+	all := make([][]Hit, len(states))
+	stats := make([]Stats, len(states))
+	var reject error
+	var rejectMu sync.Mutex
+	pool.Fan(len(states), s.workers, func(i int) {
+		st := states[i]
+		var hits []Hit
+		if st.base != nil {
+			rs, ok := st.base.(search.RadiusSearcher)
+			if !ok {
+				rejectMu.Lock()
+				reject = fmt.Errorf("shard: index %q does not support radius queries", st.base.Name())
+				rejectMu.Unlock()
+				return
+			}
+			res, comps := rs.Radius(q, r)
+			stats[i].Computations += comps
+			if len(res) > 0 {
+				// Every result of one query carries the same per-query
+				// rejection totals.
+				stats[i].Rejections = res[0].Rejections
+			}
+			for _, hr := range res {
+				id := st.baseIDs[hr.Index]
+				if _, dead := st.tombs[id]; dead {
+					continue
+				}
+				hits = append(hits, st.baseHit(hr))
+			}
+		}
+		if st.delta != nil {
+			res, comps := st.delta.Radius(q, r)
+			stats[i].Computations += comps
+			if len(res) > 0 {
+				for j, n := range res[0].Rejections {
+					stats[i].Rejections[j] += n
+				}
+			}
+			for _, hr := range res {
+				hits = append(hits, st.deltaHit(hr))
+			}
+		}
+		all[i] = hits
+	})
+	if reject != nil {
+		return nil, Stats{}, reject
+	}
+	var merged []Hit
+	var total Stats
+	for i := range all {
+		merged = append(merged, all[i]...)
+		total.add(stats[i])
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Distance != merged[b].Distance {
+			return merged[a].Distance < merged[b].Distance
+		}
+		return merged[a].ID < merged[b].ID
+	})
+	return merged, total, nil
+}
+
+// snapshot loads every shard's current state pointer: the consistent view
+// one query runs against (later mutations land in states a later query
+// will see).
+func (s *Set) snapshot() []*state {
+	states := make([]*state, len(s.shards))
+	for i, sh := range s.shards {
+		states[i] = sh.state.Load()
+	}
+	return states
+}
+
+// baseHit and deltaHit convert a search.Result into the merged Hit form.
+func (st *state) baseHit(r search.Result) Hit {
+	h := Hit{ID: st.baseIDs[r.Index], Value: st.baseStrs[r.Index], Distance: r.Distance}
+	if st.baseLabels != nil {
+		h.Label = st.baseLabels[r.Index]
+	}
+	return h
+}
+
+func (st *state) deltaHit(r search.Result) Hit {
+	return Hit{
+		ID:       st.deltaIDs[r.Index],
+		Value:    st.deltaStrs[r.Index],
+		Label:    st.deltaLabels[r.Index],
+		Distance: r.Distance,
+	}
+}
+
+// queryShard answers one shard's part of a k-NN query: the base index under
+// the supplied cross-shard bound (over-fetching one slot per tombstone so
+// deleted elements cannot crowd live ones out of the result set), then the
+// linear delta scan under the same cutoff.
+func (s *Set) queryShard(st *state, q []rune, k int, bound float64) ([]Hit, Stats) {
+	var cands []Hit
+	var stats Stats
+	if st.base != nil {
+		fetch := k + len(st.tombs)
+		var res []search.Result
+		if bk, ok := st.base.(search.BoundedKSearcher); ok {
+			var comps int
+			var rej metric.StageCounts
+			res, comps, rej = bk.KNearestBounded(q, fetch, bound)
+			stats.Computations += comps
+			stats.Rejections = rej
+		} else {
+			// Fallback for custom builders outside this repository (every
+			// built-in index implements BoundedKSearcher). KNearest
+			// carries its per-query counters on the results, so an empty
+			// answer loses them — the same accounting gap Radius
+			// documents.
+			res = st.base.KNearest(q, fetch)
+			if len(res) > 0 {
+				stats.Computations += res[0].Computations
+				stats.Rejections = res[0].Rejections
+			}
+		}
+		kept := 0
+		for _, r := range res {
+			if kept == k {
+				break
+			}
+			id := st.baseIDs[r.Index]
+			if _, dead := st.tombs[id]; dead {
+				continue
+			}
+			cands = append(cands, st.baseHit(r))
+			kept++
+		}
+	}
+	if st.delta != nil {
+		res, comps, rej := st.delta.KNearestBounded(q, k, bound)
+		stats.Computations += comps
+		for i, n := range rej {
+			stats.Rejections[i] += n
+		}
+		for _, r := range res {
+			cands = append(cands, st.deltaHit(r))
+		}
+	}
+	return cands, stats
+}

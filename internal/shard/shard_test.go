@@ -1,0 +1,407 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"ced/internal/dataset"
+	"ced/internal/metric"
+	"ced/internal/search"
+)
+
+// testBuilder returns the LAESA build function the tests shard with; the
+// per-shard seed offset keeps shard indexes distinct but deterministic.
+func testBuilder(m metric.Metric, pivots int, seed int64) BuildFunc {
+	return func(idx int, corpus [][]rune) search.KSearcher {
+		p := pivots
+		if p > len(corpus) {
+			p = len(corpus)
+		}
+		return search.NewLAESAWorkers(corpus, m, p, search.MaxSum, seed+int64(idx), 0)
+	}
+}
+
+func newTestSet(t *testing.T, corpus []string, labels []int, shards int) *Set {
+	t.Helper()
+	m := metric.Contextual()
+	s, err := New(corpus, labels, Config{
+		Shards:    shards,
+		Metric:    m,
+		Build:     testBuilder(m, 8, 42),
+		Algorithm: "laesa",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var unitCorpus = []string{"casa", "cosa", "caso", "masa", "pasa", "queso", "gato", "gatos", "pato", "plato"}
+
+func TestNewValidation(t *testing.T) {
+	m := metric.Contextual()
+	build := testBuilder(m, 4, 1)
+	if _, err := New(unitCorpus, nil, Config{Metric: nil, Build: build}); err == nil {
+		t.Error("nil metric should fail")
+	}
+	if _, err := New(unitCorpus, nil, Config{Metric: m}); err == nil {
+		t.Error("nil build should fail")
+	}
+	if _, err := New(unitCorpus, []int{1}, Config{Metric: m, Build: build}); err == nil {
+		t.Error("label length mismatch should fail")
+	}
+	s, err := New(nil, nil, Config{Metric: m, Build: build, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 0 {
+		t.Errorf("empty set size = %d", s.Size())
+	}
+	if hits, _ := s.KNearest([]rune("x"), 2); len(hits) != 0 {
+		t.Errorf("empty set returned %d hits", len(hits))
+	}
+}
+
+func TestLiveSizeTracksMutations(t *testing.T) {
+	s := newTestSet(t, unitCorpus, nil, 3)
+	if s.Size() != len(unitCorpus) {
+		t.Fatalf("initial size = %d, want %d", s.Size(), len(unitCorpus))
+	}
+	id := s.Add("gatito", 0)
+	if id != uint64(len(unitCorpus)) {
+		t.Errorf("first minted ID = %d, want %d", id, len(unitCorpus))
+	}
+	if s.Size() != len(unitCorpus)+1 {
+		t.Errorf("size after add = %d", s.Size())
+	}
+	if !s.Delete(0) {
+		t.Error("deleting a base element should succeed")
+	}
+	if s.Delete(0) {
+		t.Error("double delete should report false")
+	}
+	if !s.Delete(id) {
+		t.Error("deleting a delta element should succeed")
+	}
+	if s.Delete(99999) {
+		t.Error("deleting an unknown ID should report false")
+	}
+	if s.Size() != len(unitCorpus)-1 {
+		t.Errorf("size after deletes = %d, want %d", s.Size(), len(unitCorpus)-1)
+	}
+}
+
+func TestQueriesSeeMutationsImmediately(t *testing.T) {
+	s := newTestSet(t, unitCorpus, nil, 2)
+	id := s.Add("zzzyzx", 0)
+	hit, _, ok := s.Search([]rune("zzzyzx"))
+	if !ok || hit.ID != id || hit.Distance != 0 || hit.Value != "zzzyzx" {
+		t.Fatalf("added element not found: %+v ok=%v", hit, ok)
+	}
+	s.Delete(id)
+	hit, _, ok = s.Search([]rune("zzzyzx"))
+	if !ok {
+		t.Fatal("set should not be empty")
+	}
+	if hit.ID == id || hit.Distance == 0 {
+		t.Fatalf("deleted element resurfaced: %+v", hit)
+	}
+	// Deleting the nearest base element must surface the runner-up.
+	nearest, _, _ := s.Search([]rune("casa"))
+	s.Delete(nearest.ID)
+	next, _, _ := s.Search([]rune("casa"))
+	if next.ID == nearest.ID {
+		t.Fatalf("deleted base element %d still returned", nearest.ID)
+	}
+}
+
+func TestTombstonesDoNotCrowdOutLiveResults(t *testing.T) {
+	// Delete the 3 nearest elements to the query; a k=3 query must then
+	// return the next 3 live ones, not fewer.
+	s := newTestSet(t, unitCorpus, nil, 1)
+	hits, _ := s.KNearest([]rune("cas"), 3)
+	for _, h := range hits {
+		s.Delete(h.ID)
+	}
+	after, _ := s.KNearest([]rune("cas"), 3)
+	if len(after) != 3 {
+		t.Fatalf("got %d hits, want 3", len(after))
+	}
+	for _, h := range after {
+		for _, d := range hits {
+			if h.ID == d.ID {
+				t.Fatalf("deleted element %d returned", d.ID)
+			}
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	labels := make([]int, len(unitCorpus))
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	s := newTestSet(t, unitCorpus, labels, 2)
+	hit, _, err := s.Classify([]rune("queso"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Value != "queso" || hit.Label != labels[5] {
+		t.Errorf("classify = %+v, want label %d", hit, labels[5])
+	}
+	id := s.Add("quesadilla", 7)
+	hit, _, err = s.Classify([]rune("quesadilla"))
+	if err != nil || hit.ID != id || hit.Label != 7 {
+		t.Errorf("classify after add = %+v err=%v", hit, err)
+	}
+
+	unlabelled := newTestSet(t, unitCorpus, nil, 2)
+	if _, _, err := unlabelled.Classify([]rune("queso")); err == nil {
+		t.Error("classify on unlabelled set should fail")
+	}
+}
+
+func TestRadiusMatchesLinearScan(t *testing.T) {
+	m := metric.Contextual()
+	s := newTestSet(t, unitCorpus, nil, 3)
+	s.Add("gatito", 0)
+	s.Delete(1)
+	q := []rune("gato")
+	r := 0.5
+	hits, _, err := s.Radius(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for i, v := range unitCorpus {
+		if i == 1 {
+			continue
+		}
+		if m.Distance(q, []rune(v)) <= r {
+			want[v] = true
+		}
+	}
+	if m.Distance(q, []rune("gatito")) <= r {
+		want["gatito"] = true
+	}
+	if len(hits) != len(want) {
+		t.Fatalf("radius hits = %v, want %v", hits, want)
+	}
+	for i, h := range hits {
+		if !want[h.Value] {
+			t.Errorf("unexpected hit %+v", h)
+		}
+		if i > 0 && hits[i-1].Distance > h.Distance {
+			t.Errorf("hits not sorted: %v", hits)
+		}
+	}
+}
+
+func TestCompactionPreservesAnswers(t *testing.T) {
+	d := dataset.Spanish(300, 7)
+	s := newTestSet(t, d.Strings, nil, 4)
+	var addedIDs []uint64
+	for i := 0; i < 40; i++ {
+		addedIDs = append(addedIDs, s.Add(fmt.Sprintf("palabra%02d", i), 0))
+	}
+	for i := 0; i < 30; i += 3 {
+		s.Delete(uint64(i))
+	}
+	s.Delete(addedIDs[0])
+
+	queries := []string{"palabra01", "casa", "perro", "zzz"}
+	type answer struct {
+		hits []Hit
+	}
+	before := make([]answer, len(queries))
+	for i, q := range queries {
+		hits, _ := s.KNearest([]rune(q), 5)
+		before[i] = answer{hits: hits}
+	}
+	sizeBefore := s.Size()
+
+	s.Compact()
+
+	info := s.Info()
+	if info.Compactions == 0 {
+		t.Fatal("Compact did not run")
+	}
+	for i, si := range info.Detail {
+		if si.Delta != 0 || si.Tombstones != 0 {
+			t.Errorf("shard %d overlay not folded: %+v", i, si)
+		}
+	}
+	if s.Size() != sizeBefore {
+		t.Errorf("size changed across compaction: %d -> %d", sizeBefore, s.Size())
+	}
+	for i, q := range queries {
+		hits, _ := s.KNearest([]rune(q), 5)
+		if len(hits) != len(before[i].hits) {
+			t.Fatalf("query %q: %d hits after compaction, want %d", q, len(hits), len(before[i].hits))
+		}
+		for j := range hits {
+			if hits[j].Distance != before[i].hits[j].Distance {
+				t.Errorf("query %q rank %d: distance %v after compaction, want %v",
+					q, j, hits[j].Distance, before[i].hits[j].Distance)
+			}
+		}
+	}
+}
+
+func TestBackgroundCompactionTriggers(t *testing.T) {
+	m := metric.Contextual()
+	s, err := New(unitCorpus, nil, Config{
+		Shards:           2,
+		Metric:           m,
+		Build:            testBuilder(m, 4, 1),
+		CompactThreshold: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		s.Add(fmt.Sprintf("auto%03d", i), 0)
+	}
+	s.Wait()
+	if s.Info().Compactions == 0 {
+		t.Fatal("threshold crossings never scheduled a compaction")
+	}
+	if s.Size() != len(unitCorpus)+64 {
+		t.Errorf("size = %d, want %d", s.Size(), len(unitCorpus)+64)
+	}
+	// Every added element must still be findable after the swaps.
+	for i := 0; i < 64; i++ {
+		w := fmt.Sprintf("auto%03d", i)
+		hit, _, ok := s.Search([]rune(w))
+		if !ok || hit.Value != w || hit.Distance != 0 {
+			t.Fatalf("element %q lost after compaction: %+v", w, hit)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	labels := make([]int, len(unitCorpus))
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	s := newTestSet(t, unitCorpus, labels, 3)
+	addID := s.Add("nuevo", 1)
+	s.Delete(2)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := metric.Contextual()
+	loaded, err := Load(&buf, Config{Metric: m, Build: testBuilder(m, 8, 42), Algorithm: "laesa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Shards() != 3 || loaded.Size() != s.Size() || !loaded.Labelled() {
+		t.Fatalf("loaded shape: shards=%d size=%d labelled=%v", loaded.Shards(), loaded.Size(), loaded.Labelled())
+	}
+	if loaded.NextID() != s.NextID() {
+		t.Errorf("NextID = %d, want %d", loaded.NextID(), s.NextID())
+	}
+	for _, q := range []string{"casa", "nuevo", "gat", "xyz"} {
+		want, _ := s.KNearest([]rune(q), 4)
+		got, _ := loaded.KNearest([]rune(q), 4)
+		if len(got) != len(want) {
+			t.Fatalf("query %q: %d hits vs %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("query %q rank %d: %+v vs %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+	// The restored set must keep mutating correctly: the ID allocator and
+	// tombstones came along.
+	id2 := loaded.Add("tras", 0)
+	if id2 <= addID {
+		t.Errorf("post-load ID %d not beyond pre-save IDs", id2)
+	}
+	if loaded.Delete(2) {
+		t.Error("pre-save tombstone forgotten: delete of id 2 succeeded again")
+	}
+}
+
+func TestLoadRejectsMismatches(t *testing.T) {
+	s := newTestSet(t, unitCorpus, nil, 2)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	m := metric.Levenshtein()
+	if _, err := Load(bytes.NewReader(saved), Config{Metric: m, Build: testBuilder(m, 8, 42)}); err == nil {
+		t.Error("metric mismatch should fail")
+	} else if !strings.Contains(err.Error(), "dC") {
+		t.Errorf("error should name the saved metric: %v", err)
+	}
+	mc := metric.Contextual()
+	if _, err := Load(bytes.NewReader(saved), Config{Metric: mc, Build: testBuilder(mc, 8, 42), Algorithm: "vptree"}); err == nil {
+		t.Error("algorithm mismatch should fail")
+	}
+	if _, err := Load(bytes.NewReader([]byte("not gob")), Config{Metric: mc, Build: testBuilder(mc, 8, 42)}); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestStatsAccountEveryEvaluation(t *testing.T) {
+	s := newTestSet(t, unitCorpus, nil, 1)
+	s.Add("extra", 0)
+	_, st := s.KNearest([]rune("cas"), 3)
+	if st.Computations <= 0 || st.Computations > len(unitCorpus)+1 {
+		t.Errorf("computations = %d", st.Computations)
+	}
+	var rej int64
+	for _, n := range st.Rejections {
+		rej += n
+	}
+	if rej > int64(st.Computations) {
+		t.Errorf("%d rejections for %d computations", rej, st.Computations)
+	}
+}
+
+func TestKNearestBoundedContract(t *testing.T) {
+	// The cross-shard bound passed into a shard query must never cost a
+	// result that a monolithic query would return: seed bounds at the true
+	// k-th distance and check the top-k distances are unchanged.
+	d := dataset.Spanish(200, 3)
+	mc := metric.Contextual()
+	me := metric.Levenshtein() // the integer metric bktree and trie require
+	corpus := make([][]rune, len(d.Strings))
+	for i, v := range d.Strings {
+		corpus[i] = []rune(v)
+	}
+	for name, idx := range map[string]search.BoundedKSearcher{
+		"linear": search.NewLinear(corpus, mc),
+		"laesa":  search.NewLAESAWorkers(corpus, mc, 8, search.MaxSum, 5, 0),
+		"vptree": search.NewVPTreeWorkers(corpus, mc, 5, 0),
+		"aesa":   search.NewAESAWorkers(corpus, mc, 0),
+		"bktree": search.NewBKTreeWorkers(corpus, me, 0),
+		"trie":   search.NewTrie(corpus),
+	} {
+		for _, q := range []string{"casa", "xyzzy", d.Strings[17]} {
+			want := idx.KNearest([]rune(q), 5)
+			kth := want[len(want)-1].Distance
+			for _, bound := range []float64{math.Inf(1), kth, kth * 2} {
+				got, _, _ := idx.KNearestBounded([]rune(q), 5, bound)
+				if len(got) != len(want) {
+					t.Fatalf("%s %q bound=%v: %d results, want %d", name, q, bound, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Distance != want[i].Distance {
+						t.Errorf("%s %q bound=%v rank %d: distance %v, want %v",
+							name, q, bound, i, got[i].Distance, want[i].Distance)
+					}
+				}
+			}
+		}
+	}
+}

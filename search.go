@@ -190,16 +190,42 @@ func toRunes(ss []string) [][]rune {
 	return out
 }
 
-// Save serialises a LAESA index (corpus, pivots and the pivots×n
-// preprocessing distance matrix) so it can be reloaded without recomputing
-// the preprocessing distances — the expensive part of §4.3's setup. Only
-// LAESA indexes support saving; writing is O(pivots·n) values.
+// Save serialises the index so it can be reloaded without recomputing the
+// preprocessing distances — the expensive part of §4.3's setup. LAESA
+// (corpus, pivots and the pivots×n distance matrix), VP-tree (corpus and
+// tree shape) and BK-tree (corpus and edge labels) indexes support saving;
+// the structure-only linear and trie indexes have nothing worth persisting
+// and aesa's quadratic matrix is deliberately not serialised.
 func (ix *Index) Save(w io.Writer) error {
-	la, ok := ix.searcher.(*search.LAESA)
+	p, ok := ix.searcher.(search.Persister)
 	if !ok {
-		return fmt.Errorf("ced: Save is only supported for LAESA indexes (this is %q)", ix.Algorithm())
+		return fmt.Errorf("ced: Save is only supported for laesa, vptree and bktree indexes (this is %q)", ix.Algorithm())
 	}
-	return la.Save(w)
+	return p.Save(w)
+}
+
+// LoadIndex restores an index written by (*Index).Save with zero distance
+// computations, attaching m as the query metric; algorithm and m must
+// match what the index was built with (the metric is checked by name).
+func LoadIndex(algorithm string, r io.Reader, m Metric) (*Index, error) {
+	switch algorithm {
+	case "laesa":
+		return LoadLAESAIndex(r, m)
+	case "vptree":
+		vt, err := search.LoadVPTree(r, internalMetric(m))
+		if err != nil {
+			return nil, err
+		}
+		return &Index{corpus: corpusOf(vt), searcher: vt}, nil
+	case "bktree":
+		bt, err := search.LoadBKTree(r, internalMetric(m))
+		if err != nil {
+			return nil, err
+		}
+		return &Index{corpus: corpusOf(bt), searcher: bt}, nil
+	default:
+		return nil, fmt.Errorf("ced: no snapshot loader for algorithm %q (known: laesa, vptree, bktree)", algorithm)
+	}
 }
 
 // LoadLAESAIndex restores an index written by (*Index).Save in O(pivots·n)
@@ -210,10 +236,15 @@ func LoadLAESAIndex(r io.Reader, m Metric) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Rebuild the string corpus view from the loaded index.
-	corpus := make([]string, la.Size())
-	for i, rs := range la.Corpus() {
-		corpus[i] = string(rs)
+	return &Index{corpus: corpusOf(la), searcher: la}, nil
+}
+
+// corpusOf rebuilds the string corpus view of a loaded searcher.
+func corpusOf(s interface{ Corpus() [][]rune }) []string {
+	rs := s.Corpus()
+	corpus := make([]string, len(rs))
+	for i, r := range rs {
+		corpus[i] = string(r)
 	}
-	return &Index{corpus: corpus, searcher: la}, nil
+	return corpus
 }

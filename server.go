@@ -1,6 +1,7 @@
 package ced
 
 import (
+	"io"
 	"net/http"
 
 	"ced/internal/serve"
@@ -50,6 +51,21 @@ type ServerConfig struct {
 	// CacheSize bounds the LRU cache of query→rune decodings; < 0
 	// disables the cache and 0 defaults to 4096 entries.
 	CacheSize int
+	// Shards partitions the corpus across this many independent indexes
+	// (round-robin by stable element ID): queries fan out and merge with
+	// a shared pruning bound, and Add/Delete mutate the live set with
+	// epoch-based compaction. <= 0 means 1 — a single shard answers
+	// exactly like the monolithic engine.
+	Shards int
+	// CompactThreshold is the per-shard delta-plus-tombstone size that
+	// schedules a background compaction after mutations; <= 0 uses the
+	// default (256).
+	CompactThreshold int
+	// SnapshotPath names the server-side file the /snapshot/save and
+	// /snapshot/load HTTP endpoints use; empty disables them. (The Go
+	// methods SaveSnapshot and LoadSnapshot take an io.Writer/io.Reader
+	// and work regardless.)
+	SnapshotPath string
 }
 
 // Server is the embeddable batch-serving engine behind cmd/cedserve: a
@@ -78,16 +94,19 @@ func NewServer(corpus *Dataset, cfg ServerConfig) (*Server, error) {
 		cache = 0
 	}
 	eng, err := serve.New(corpus.Strings, corpus.Labels, internalMetric(m), serve.Config{
-		Algorithm:    cfg.Algorithm,
-		Pivots:       cfg.Pivots,
-		Seed:         cfg.Seed,
-		Workers:      cfg.Workers,
-		BuildWorkers: cfg.BuildWorkers,
-		CacheSize:    cache,
+		Algorithm:        cfg.Algorithm,
+		Pivots:           cfg.Pivots,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+		BuildWorkers:     cfg.BuildWorkers,
+		CacheSize:        cache,
+		Shards:           cfg.Shards,
+		CompactThreshold: cfg.CompactThreshold,
 	})
 	if err != nil {
 		return nil, err
 	}
+	eng.SetSnapshotPath(cfg.SnapshotPath)
 	return &Server{eng: eng}, nil
 }
 
@@ -131,3 +150,37 @@ func (s *Server) Classify(q string) (Prediction, int, error) {
 	p, st, err := s.eng.Classify(q)
 	return p, st.Computations, err
 }
+
+// Add inserts value into the live corpus and returns its stable element ID
+// (reported as Neighbor.Index from then on; the initial corpus keeps its
+// positions as IDs). label is recorded when the corpus is labelled and
+// ignored otherwise. The element is visible to every query issued after
+// Add returns; a background compaction later folds it into its shard's
+// base index without ever blocking queries. Trie-backed servers are
+// immutable (the trie collapses duplicate strings) and return an error.
+func (s *Server) Add(value string, label int) (uint64, error) { return s.eng.Add(value, label) }
+
+// Delete removes the element with the given ID from the live corpus,
+// reporting whether it was present. Deleted IDs are never reused and never
+// resurface in query results. Trie-backed servers are immutable and return
+// an error.
+func (s *Server) Delete(id uint64) (bool, error) { return s.eng.Delete(id) }
+
+// SaveSnapshot writes the whole sharded corpus — per shard: the base
+// index, the uncompacted delta and the tombstones — to w. LoadSnapshot
+// (or cedserve -load-snapshot) restores it without recomputing a single
+// index-build distance.
+func (s *Server) SaveSnapshot(w io.Writer) error { return s.eng.SaveSnapshot(w) }
+
+// LoadSnapshot atomically replaces the live corpus with the set saved in r
+// and reports the restored live size: queries in flight finish against the
+// old corpus, queries issued afterwards see the new one, and none block.
+// The snapshot's metric and index algorithm must match this server's.
+func (s *Server) LoadSnapshot(r io.Reader) (int, error) { return s.eng.LoadSnapshot(r) }
+
+// Compact synchronously folds every shard's mutation overlay (delta
+// entries and tombstones) into its base index. Background compaction runs
+// on its own once a shard's overlay outgrows the configured threshold;
+// Compact is for callers that want a minimal snapshot or a fully indexed
+// corpus right now.
+func (s *Server) Compact() { s.eng.Compact() }

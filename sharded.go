@@ -1,0 +1,203 @@
+package ced
+
+import (
+	"fmt"
+	"io"
+
+	"ced/internal/shard"
+)
+
+// ShardedResult is one query answer from a ShardedIndex: a live element
+// identified by its stable ID. IDs survive mutation — the initial corpus
+// keeps its positions, Add mints the next integer, and deleted IDs are
+// never reused — so they are durable handles where SearchResult.Index is
+// only a position in a frozen corpus.
+type ShardedResult struct {
+	// ID is the element's stable global identifier.
+	ID uint64
+	// Value is the element itself.
+	Value string
+	// Label is the element's class label (zero for unlabelled corpora).
+	Label int
+	// Distance is the query-to-element distance.
+	Distance float64
+}
+
+// ShardedIndexConfig tunes NewShardedIndex. The zero value builds a
+// single-shard 16-pivot LAESA set — query-identical to NewLAESA, plus
+// mutation.
+type ShardedIndexConfig struct {
+	// Shards is the partition count; <= 0 means 1.
+	Shards int
+	// Algorithm selects the per-shard base index: "laesa" (default),
+	// "linear", "vptree", "aesa", or the dE-only "bktree". The trie is
+	// rejected: it collapses duplicate strings, which a mutable corpus
+	// cannot tolerate.
+	Algorithm string
+	// Pivots is the LAESA base-prototype count; <= 0 defaults to 16.
+	Pivots int
+	// Seed drives randomised index construction (offset per shard).
+	Seed int64
+	// Workers bounds the query fan-out across shards; <= 0 uses all CPUs.
+	Workers int
+	// BuildWorkers sizes the per-shard index-construction pool; <= 0 uses
+	// all CPUs.
+	BuildWorkers int
+	// CompactThreshold is the per-shard delta-plus-tombstone size that
+	// schedules a background compaction; <= 0 uses the default (256).
+	CompactThreshold int
+}
+
+// ShardedIndex is a mutable nearest-neighbour index: the corpus is
+// partitioned across independent shards, queries fan out and merge with a
+// shared pruning bound (the running k-th-best distance is passed into
+// later shard queries, so the staged bound ladder rejects candidates
+// cross-shard), and Add/Delete mutate the live set with epoch-based
+// background compaction — queries never block on a rebuild. All methods
+// are safe for concurrent use.
+//
+// For a frozen corpus the immutable Index remains the lighter choice; a
+// one-shard ShardedIndex answers queries identically to the corresponding
+// monolithic Index while adding mutation and snapshots.
+type ShardedIndex struct {
+	set *shard.Set
+}
+
+// NewShardedIndex builds a sharded mutable index over corpus. When the
+// corpus is labelled (Dataset.Labelled), Classify is enabled and Add
+// requires a meaningful label. The dE-only algorithms ("bktree", "trie")
+// are rejected with any other metric, exactly as in NewIndex.
+func NewShardedIndex(corpus *Dataset, m Metric, cfg ShardedIndexConfig) (*ShardedIndex, error) {
+	setCfg, err := shardedConfig(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	set, err := shard.New(corpus.Strings, corpus.Labels, setCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{set: set}, nil
+}
+
+// shardedConfig resolves a public config into the internal one, validating
+// the algorithm/metric pairing.
+func shardedConfig(m Metric, cfg ShardedIndexConfig) (shard.Config, error) {
+	if m == nil {
+		return shard.Config{}, fmt.Errorf("ced: nil metric")
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "laesa"
+	}
+	if cfg.Pivots <= 0 {
+		cfg.Pivots = 16
+	}
+	if cfg.Algorithm == "trie" {
+		// The trie keeps one node per distinct string (first element
+		// wins): duplicate values added to a mutable corpus would
+		// silently collapse at the next compaction.
+		return shard.Config{}, fmt.Errorf("ced: the trie index collapses duplicate strings and cannot back a mutable sharded index")
+	}
+	if cfg.Algorithm == "bktree" && m.Name() != "dE" {
+		return shard.Config{}, fmt.Errorf("ced: the bktree index requires dE, not %q", m.Name())
+	}
+	im := internalMetric(m)
+	build, err := shard.StandardBuild(cfg.Algorithm, im, cfg.Pivots, cfg.Seed, cfg.BuildWorkers)
+	if err != nil {
+		return shard.Config{}, fmt.Errorf("ced: %w", err)
+	}
+	return shard.Config{
+		Shards:           cfg.Shards,
+		Metric:           im,
+		Build:            build,
+		Algorithm:        cfg.Algorithm,
+		Workers:          cfg.Workers,
+		CompactThreshold: cfg.CompactThreshold,
+	}, nil
+}
+
+// Add inserts value with the given label (ignored for unlabelled corpora)
+// and returns its stable ID. The element is visible to every query issued
+// after Add returns.
+func (ix *ShardedIndex) Add(value string, label int) uint64 { return ix.set.Add(value, label) }
+
+// Delete removes the element with the given ID, reporting whether it was
+// live. Deleted elements never resurface in query results.
+func (ix *ShardedIndex) Delete(id uint64) bool { return ix.set.Delete(id) }
+
+// Nearest returns the nearest live element to q; ok is false when the
+// index is empty.
+func (ix *ShardedIndex) Nearest(q string) (ShardedResult, bool) {
+	hit, _, ok := ix.set.Search([]rune(q))
+	return hitResult(hit), ok
+}
+
+// KNearest returns the k nearest live elements, closest first (ties by
+// ID).
+func (ix *ShardedIndex) KNearest(q string, k int) []ShardedResult {
+	hits, _ := ix.set.KNearest([]rune(q), k)
+	return hitResults(hits)
+}
+
+// Radius returns every live element within distance r of q (inclusive),
+// sorted by (distance, ID).
+func (ix *ShardedIndex) Radius(q string, r float64) ([]ShardedResult, error) {
+	hits, _, err := ix.set.Radius([]rune(q), r)
+	return hitResults(hits), err
+}
+
+// Classify labels q with the class of its nearest live element; it fails
+// on an unlabelled or empty index.
+func (ix *ShardedIndex) Classify(q string) (ShardedResult, error) {
+	hit, _, err := ix.set.Classify([]rune(q))
+	return hitResult(hit), err
+}
+
+// Len returns the live element count (base − tombstones + delta) in O(1)
+// per shard.
+func (ix *ShardedIndex) Len() int { return ix.set.Size() }
+
+// Shards returns the partition count.
+func (ix *ShardedIndex) Shards() int { return ix.set.Shards() }
+
+// Algorithm returns the per-shard base index kind.
+func (ix *ShardedIndex) Algorithm() string { return ix.set.Algorithm() }
+
+// Compact folds every shard's mutation overlay into its base index and
+// waits for in-flight background compactions — useful before Save for a
+// minimal, fully indexed snapshot. Background compaction also runs on its
+// own once a shard's overlay outgrows the threshold.
+func (ix *ShardedIndex) Compact() { ix.set.Compact() }
+
+// Save writes the whole index — per shard: the base index snapshot, the
+// uncompacted delta and the tombstones — so LoadShardedIndex restores it
+// without recomputing any index-build distances.
+func (ix *ShardedIndex) Save(w io.Writer) error { return ix.set.Save(w) }
+
+// LoadShardedIndex restores an index written by Save, attaching m (which
+// must match the saved metric by name, like LoadLAESAIndex). cfg supplies
+// the builder for algorithms without a serialised index form and the
+// worker/compaction tuning; cfg.Algorithm (default "laesa") must match the
+// saved algorithm, and the shard count comes from the snapshot.
+func LoadShardedIndex(r io.Reader, m Metric, cfg ShardedIndexConfig) (*ShardedIndex, error) {
+	setCfg, err := shardedConfig(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	set, err := shard.Load(r, setCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{set: set}, nil
+}
+
+func hitResult(h shard.Hit) ShardedResult {
+	return ShardedResult{ID: h.ID, Value: h.Value, Label: h.Label, Distance: h.Distance}
+}
+
+func hitResults(hits []shard.Hit) []ShardedResult {
+	out := make([]ShardedResult, len(hits))
+	for i, h := range hits {
+		out[i] = hitResult(h)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package ced
+
+import (
+	"bytes"
+	"testing"
+)
+
+func shardedTestDataset() *Dataset {
+	return &Dataset{
+		Strings: []string{"casa", "cosa", "caso", "masa", "pasa", "queso", "gato", "gatos"},
+		Labels:  []int{0, 0, 0, 1, 1, 2, 3, 3},
+	}
+}
+
+func TestShardedIndexLifecycle(t *testing.T) {
+	d := shardedTestDataset()
+	ix, err := NewShardedIndex(d, Contextual(), ShardedIndexConfig{Shards: 3, Pivots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(d.Strings) || ix.Shards() != 3 || ix.Algorithm() != "laesa" {
+		t.Fatalf("shape: len=%d shards=%d algo=%q", ix.Len(), ix.Shards(), ix.Algorithm())
+	}
+
+	// Sharded answers match the monolithic index distance for distance.
+	mono := NewLAESA(d.Strings, Contextual(), 3)
+	for _, q := range []string{"cas", "gatito", "zzz"} {
+		want := mono.KNearest(q, 4)
+		got := ix.KNearest(q, 4)
+		if len(got) != len(want) {
+			t.Fatalf("query %q: %d results vs %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Distance != want[i].Distance {
+				t.Errorf("query %q rank %d: %v vs %v", q, i, got[i].Distance, want[i].Distance)
+			}
+		}
+	}
+
+	id := ix.Add("gatita", 3)
+	if id != uint64(len(d.Strings)) {
+		t.Fatalf("minted ID = %d", id)
+	}
+	r, ok := ix.Nearest("gatita")
+	if !ok || r.ID != id || r.Distance != 0 || r.Label != 3 {
+		t.Fatalf("nearest after add = %+v", r)
+	}
+	p, err := ix.Classify("gatita")
+	if err != nil || p.Label != 3 {
+		t.Fatalf("classify = %+v err=%v", p, err)
+	}
+	if !ix.Delete(0) || ix.Delete(0) {
+		t.Fatal("delete semantics broken")
+	}
+	if ix.Len() != len(d.Strings) {
+		t.Fatalf("live len = %d", ix.Len())
+	}
+	hits, err := ix.Radius("casa", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.ID == 0 {
+			t.Fatalf("deleted element in radius hits: %+v", hits)
+		}
+	}
+
+	// Snapshot round-trip: compaction first for a delta-free save, then
+	// reload and compare answers.
+	ix.Compact()
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadShardedIndex(&buf, Contextual(), ShardedIndexConfig{Pivots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ix.Len() || loaded.Shards() != ix.Shards() {
+		t.Fatalf("loaded shape: len=%d shards=%d", loaded.Len(), loaded.Shards())
+	}
+	for _, q := range []string{"cas", "gatita", "queso"} {
+		want := ix.KNearest(q, 3)
+		got := loaded.KNearest(q, 3)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("query %q rank %d: %+v vs %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShardedIndexValidation(t *testing.T) {
+	d := shardedTestDataset()
+	if _, err := NewShardedIndex(d, Contextual(), ShardedIndexConfig{Algorithm: "bktree"}); err == nil {
+		t.Error("bktree with dC should fail")
+	}
+	if _, err := NewShardedIndex(d, Contextual(), ShardedIndexConfig{Algorithm: "quadtree"}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if _, err := NewShardedIndex(d, nil, ShardedIndexConfig{}); err == nil {
+		t.Error("nil metric should fail")
+	}
+}
+
+func TestLoadIndexAllKinds(t *testing.T) {
+	d := shardedTestDataset()
+	for _, algo := range []string{"laesa", "vptree", "bktree"} {
+		m := Metric(Contextual())
+		if algo == "bktree" {
+			m = Levenshtein()
+		}
+		ix, err := NewIndex(algo, d.Strings, m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		loaded, err := LoadIndex(algo, &buf, m)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if loaded.Len() != ix.Len() || loaded.Algorithm() != algo {
+			t.Fatalf("%s: loaded %q with %d elements", algo, loaded.Algorithm(), loaded.Len())
+		}
+		for _, q := range []string{"cas", "gat"} {
+			want := ix.Nearest(q)
+			got := loaded.Nearest(q)
+			if got.Value != want.Value || got.Distance != want.Distance {
+				t.Errorf("%s query %q: %+v vs %+v", algo, q, got, want)
+			}
+		}
+	}
+	// The structure-only indexes refuse to save.
+	lin := NewLinear(d.Strings, Contextual())
+	if err := lin.Save(&bytes.Buffer{}); err == nil {
+		t.Error("linear Save should fail")
+	}
+	if _, err := LoadIndex("trie", &bytes.Buffer{}, Levenshtein()); err == nil {
+		t.Error("trie LoadIndex should fail")
+	}
+}

@@ -1,6 +1,7 @@
 // Command cedserve serves distance, k-NN and classification queries over a
 // corpus through an HTTP JSON API — and, since the sharded-corpus refactor,
-// accepts live mutations and restartless snapshots.
+// accepts live mutations and restartless snapshots. It can also run as one
+// node of a replicated cluster: see "Cluster modes" below.
 //
 // Usage:
 //
@@ -8,6 +9,10 @@
 //	         [-workers 0] [-build-workers 0] [-cache 4096] [-seed 1] [-sample 0]
 //	         [-shards 1] [-compact-threshold 256]
 //	         [-snapshot FILE] [-load-snapshot]
+//	cedserve -shard-server [-addr :9001] [-d dC,h] [-index laesa] [-pivots 16]
+//	cedserve -coordinator -shards-at http://h1:9001,http://h2:9001
+//	         [-corpus FILE | -sample N] [-cluster-shards 4] [-replicas 2]
+//	         [-range-width 0] [-hedge-after 0] [-request-timeout 2s] [-retries 2]
 //
 // The corpus file uses the dataset format (one string per line, optional
 // trailing "\tlabel"); labels enable the /classify endpoints. Without
@@ -31,24 +36,55 @@
 // instead of building indexes, so a warm cold-start costs zero distance
 // computations (a corpus source is then optional).
 //
+// # Cluster modes
+//
+// -shard-server turns the process into an empty shard host: it serves
+// logical shard slots under /shard/{slot}/... and waits for a coordinator
+// to seed them (corpus flags are refused — content arrives over the wire).
+// -coordinator makes the process the cluster front door: it seeds the
+// corpus across the shard servers listed in -shards-at (replica r of
+// logical shard s lands on node (s+r) mod N), replicates every write R
+// ways, fans queries over the shards with the cross-shard pruning bound,
+// hedges slow replicas after -hedge-after (0 picks an adaptive latency
+// percentile), and ejects/re-syncs/readmits failing replicas. The served
+// answers are exactly the monolithic engine's — distribution never
+// approximates (the differential suite under internal/remote/clustertest
+// pins this).
+//
 // Endpoints: GET /healthz; POST /distance, /distance/batch, /knn,
-// /knn/batch, /classify, /classify/batch, /add, /delete, /snapshot/save,
-// /snapshot/load. Every query response reports the number of distance
-// computations spent, the per-stage bound-ladder rejections among them and
-// the server-side latency in milliseconds; /healthz reports the lifetime
-// rejection totals plus per-shard delta/tombstone/epoch counters. See
-// README.md for the full wire format, the "Anatomy of a query" section for
-// the ladder and "Mutating the corpus" for the delta/compaction model.
+// /knn/batch, /radius, /classify, /classify/batch, /add, /delete,
+// /snapshot/save, /snapshot/load. Coordinator mode serves GET /healthz and
+// POST /knn, /radius, /classify, /add, /delete, /compact. Every query
+// response reports the number of distance computations spent, the
+// per-stage bound-ladder rejections among them and the server-side latency
+// in milliseconds; /healthz reports the lifetime rejection totals plus
+// per-shard delta/tombstone/epoch counters (monolithic) or per-replica
+// health (coordinator). See README.md for the full wire format, the
+// "Anatomy of a query" section for the ladder, "Mutating the corpus" for
+// the delta/compaction model and "Running a cluster" for the distributed
+// topology.
+//
+// All modes serve through a hardened http.Server (header/read/write/idle
+// timeouts) and shut down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"ced"
+	"ced/internal/metric"
+	"ced/internal/remote"
 )
 
 func main() {
@@ -67,21 +103,202 @@ func main() {
 		compactThr = flag.Int("compact-threshold", 0, "per-shard delta+tombstone size that triggers background compaction (0 = default 256)")
 		snapshot   = flag.String("snapshot", "", "server-side snapshot file for the /snapshot/save and /snapshot/load endpoints")
 		loadSnap   = flag.Bool("load-snapshot", false, "restore -snapshot at startup instead of building indexes (corpus flags become optional)")
+
+		shardServer   = flag.Bool("shard-server", false, "host logical shard slots for a cluster coordinator (a coordinator seeds them over HTTP; corpus flags are refused)")
+		coordinator   = flag.Bool("coordinator", false, "serve as the cluster coordinator over the shard servers in -shards-at")
+		shardsAt      = flag.String("shards-at", "", "comma-separated shard-server base URLs, e.g. http://h1:9001,http://h2:9001 (coordinator mode)")
+		clusterShards = flag.Int("cluster-shards", 0, "logical shard count (coordinator mode; 0 = one per node)")
+		replicas      = flag.Int("replicas", 1, "replication factor R: replica r of shard s lives on node (s+r) mod nodes")
+		rangeWidth    = flag.Int("range-width", 0, "ID-range placement block (0 = ceil(corpus/shards) at seed time)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "fixed delay before racing a second replica (0 = adaptive latency percentile, negative disables hedging)")
+		reqTimeout    = flag.Duration("request-timeout", 2*time.Second, "per-attempt timeout for coordinator-to-shard requests")
+		retries       = flag.Int("retries", 2, "transient-failure retries per coordinator-to-shard request (negative disables)")
 	)
 	flag.Parse()
-	srv, info, err := build(buildOpts{
-		corpusPath: *corpus, sample: *sample, dist: *dist, index: *index,
-		pivots: *pivots, workers: *workers, buildWorkers: *buildWrk,
-		cache: *cache, seed: *seed, shards: *shards, compactThreshold: *compactThr,
-		snapshotPath: *snapshot, loadSnapshot: *loadSnap,
-	})
+
+	var (
+		handler http.Handler
+		err     error
+	)
+	switch {
+	case *shardServer && *coordinator:
+		err = fmt.Errorf("-shard-server and -coordinator are mutually exclusive")
+	case *shardServer:
+		handler, err = buildShardServer(shardServerOpts{
+			dist: *dist, index: *index, pivots: *pivots, seed: *seed,
+			buildWorkers: *buildWrk, compactThreshold: *compactThr,
+			corpusPath: *corpus, sample: *sample,
+		}, *addr)
+	case *coordinator:
+		handler, err = buildCoordinator(coordinatorOpts{
+			shardsAt: *shardsAt, corpusPath: *corpus, sample: *sample,
+			dist: *dist, seed: *seed, clusterShards: *clusterShards,
+			replicas: *replicas, rangeWidth: *rangeWidth,
+			hedgeAfter: *hedgeAfter, timeout: *reqTimeout, retries: *retries,
+		}, *addr)
+	default:
+		var srv *ced.Server
+		var info ced.ServerInfo
+		srv, info, err = build(buildOpts{
+			corpusPath: *corpus, sample: *sample, dist: *dist, index: *index,
+			pivots: *pivots, workers: *workers, buildWorkers: *buildWrk,
+			cache: *cache, seed: *seed, shards: *shards, compactThreshold: *compactThr,
+			snapshotPath: *snapshot, loadSnapshot: *loadSnap,
+		})
+		if err == nil {
+			handler = srv.Handler()
+			log.Printf("cedserve: serving %d strings (%s index ×%d shards, %s metric, labelled=%v) on %s",
+				info.CorpusSize, info.Algorithm, info.Shards.Shards, info.Metric, info.Labelled, *addr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("cedserve: serving %d strings (%s index ×%d shards, %s metric, labelled=%v) on %s",
-		info.CorpusSize, info.Algorithm, info.Shards.Shards, info.Metric, info.Labelled, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if err := runServer(*addr, handler); err != nil {
+		log.Fatal("cedserve: ", err)
+	}
+}
+
+// runServer serves handler on addr with conservative connection timeouts
+// (a bare http.ListenAndServe holds header-less or dribbling connections
+// forever) and drains in-flight requests on SIGINT/SIGTERM before
+// returning. A clean shutdown returns nil.
+func runServer(addr string, handler http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately instead of draining
+		log.Print("cedserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// shardServerOpts carries the -shard-server flags; split from main so tests
+// can drive the mode without a process boundary.
+type shardServerOpts struct {
+	dist             string
+	index            string
+	pivots           int
+	seed             int64
+	buildWorkers     int
+	compactThreshold int
+	corpusPath       string
+	sample           int
+}
+
+// buildShardServer assembles the shard-host handler. Corpus flags are
+// refused: slot content arrives from the coordinator over HTTP, and a
+// locally loaded corpus would silently disagree with the cluster placement.
+func buildShardServer(o shardServerOpts, addr string) (http.Handler, error) {
+	if o.corpusPath != "" || o.sample > 0 {
+		return nil, fmt.Errorf("-shard-server takes no corpus; the coordinator seeds shard content over HTTP")
+	}
+	m, err := metric.ByName(o.dist)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := remote.NewShardServer(remote.ServerConfig{
+		Metric:           m,
+		Algorithm:        o.index,
+		Pivots:           o.pivots,
+		Seed:             o.seed,
+		BuildWorkers:     o.buildWorkers,
+		CompactThreshold: o.compactThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("cedserve: shard server (%s index, %s metric) awaiting seeds on %s", o.index, m.Name(), addr)
+	return srv.Handler(), nil
+}
+
+// coordinatorOpts carries the -coordinator flags.
+type coordinatorOpts struct {
+	shardsAt      string
+	corpusPath    string
+	sample        int
+	dist          string
+	seed          int64
+	clusterShards int
+	replicas      int
+	rangeWidth    int
+	hedgeAfter    time.Duration
+	timeout       time.Duration
+	retries       int
+}
+
+// buildCoordinator loads the corpus, seeds it across the shard servers and
+// returns the coordinator's HTTP handler.
+func buildCoordinator(o coordinatorOpts, addr string) (http.Handler, error) {
+	var nodes []string
+	for _, u := range strings.Split(o.shardsAt, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			nodes = append(nodes, u)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-coordinator needs -shards-at URL[,URL...]")
+	}
+	var data *ced.Dataset
+	var err error
+	switch {
+	case o.corpusPath != "" && o.sample > 0:
+		return nil, fmt.Errorf("-corpus and -sample are mutually exclusive")
+	case o.corpusPath != "":
+		if data, err = ced.ReadDatasetFile(o.corpusPath); err != nil {
+			return nil, err
+		}
+	case o.sample > 0:
+		data = ced.GenerateSpanish(o.sample, o.seed)
+	default:
+		return nil, fmt.Errorf("-coordinator needs -corpus FILE or -sample N to seed the cluster")
+	}
+	m, err := metric.ByName(o.dist)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := remote.NewCoordinator(remote.Config{
+		Nodes:      nodes,
+		Shards:     o.clusterShards,
+		Replicas:   o.replicas,
+		RangeWidth: o.rangeWidth,
+		MetricName: m.Name(),
+		Timeout:    o.timeout,
+		Retries:    o.retries,
+		HedgeAfter: o.hedgeAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := coord.Seed(ctx, data.Strings, data.Labels); err != nil {
+		coord.Close()
+		return nil, fmt.Errorf("seeding cluster: %w", err)
+	}
+	log.Printf("cedserve: coordinating %d strings over %d nodes (%d shards ×%d replicas, %s metric, labelled=%v) on %s",
+		len(data.Strings), len(nodes), coord.Shards(), coord.Replicas(), m.Name(), coord.Labelled(), addr)
+	return remote.NewCoordinatorHandler(coord), nil
 }
 
 // buildOpts carries the flag values into build; split from main so the

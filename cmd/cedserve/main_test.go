@@ -3,11 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // writeCorpus writes a small labelled corpus in the dataset file format.
@@ -293,6 +297,154 @@ func TestShardedServeAndSnapshotColdStart(t *testing.T) {
 	// -load-snapshot without -snapshot is a flag error.
 	if _, _, err := build(buildOpts{dist: "dC,h", index: "laesa", loadSnapshot: true}); err == nil {
 		t.Error("-load-snapshot without -snapshot should fail")
+	}
+}
+
+// TestClusterModesEndToEnd drives the flag-level cluster stack: two shard
+// hosts built by the -shard-server path, a coordinator built by the
+// -coordinator path seeding a labelled corpus across them with R=2, then
+// the client-facing JSON API end to end — /healthz topology, /knn with the
+// corpus member at distance 0, /classify, /add + /delete round trip.
+func TestClusterModesEndToEnd(t *testing.T) {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		h, err := buildShardServer(shardServerOpts{dist: "dC,h", index: "linear", seed: 1}, ":0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	corpus := writeCorpus(t)
+	ch, err := buildCoordinator(coordinatorOpts{
+		shardsAt: strings.Join(urls, ","), corpusPath: corpus, dist: "dC,h",
+		replicas: 2, timeout: 10 * time.Second, retries: 1,
+	}, ":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(ch)
+	defer cts.Close()
+
+	var h struct {
+		Status  string `json:"status"`
+		Cluster struct {
+			Shards   int  `json:"shards"`
+			Replicas int  `json:"replicas"`
+			Healthy  bool `json:"healthy"`
+			NextID   int  `json:"next_id"`
+		} `json:"cluster"`
+	}
+	resp, err := http.Get(cts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || !h.Cluster.Healthy || h.Cluster.Shards != 2 || h.Cluster.Replicas != 2 || h.Cluster.NextID != 8 {
+		t.Fatalf("/healthz = %+v", h)
+	}
+
+	var k struct {
+		Results []struct {
+			Index    int     `json:"index"`
+			Value    string  `json:"value"`
+			Distance float64 `json:"distance"`
+		} `json:"results"`
+		Computations int `json:"computations"`
+	}
+	if code := post(t, cts.URL+"/knn", `{"query":"queso","k":2}`, &k); code != http.StatusOK {
+		t.Fatalf("/knn status = %d", code)
+	}
+	if len(k.Results) != 2 || k.Results[0].Value != "queso" || k.Results[0].Distance != 0 || k.Computations <= 0 {
+		t.Fatalf("/knn = %+v", k)
+	}
+
+	var c struct {
+		Label int `json:"label"`
+	}
+	if code := post(t, cts.URL+"/classify", `{"query":"gatito"}`, &c); code != http.StatusOK {
+		t.Fatalf("/classify status = %d", code)
+	}
+	if c.Label != 3 {
+		t.Fatalf("/classify label = %d, want 3", c.Label)
+	}
+
+	var add struct {
+		ID   uint64 `json:"id"`
+		Size int    `json:"size"`
+	}
+	if code := post(t, cts.URL+"/add", `{"value":"gatita","label":3}`, &add); code != http.StatusOK {
+		t.Fatalf("/add status = %d", code)
+	}
+	if add.ID != 8 || add.Size != 9 {
+		t.Fatalf("/add = %+v", add)
+	}
+	if code := post(t, cts.URL+"/delete", `{"id":8}`, nil); code != http.StatusOK {
+		t.Fatal("/delete failed")
+	}
+	if code := post(t, cts.URL+"/delete", `{"id":8}`, nil); code != http.StatusNotFound {
+		t.Fatal("double delete should be a 404")
+	}
+}
+
+func TestClusterModeValidation(t *testing.T) {
+	corpus := writeCorpus(t)
+	if _, err := buildShardServer(shardServerOpts{dist: "dC,h", index: "linear", corpusPath: corpus}, ":0"); err == nil {
+		t.Error("-shard-server with a corpus should fail")
+	}
+	if _, err := buildShardServer(shardServerOpts{dist: "no-such", index: "linear"}, ":0"); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	if _, err := buildCoordinator(coordinatorOpts{corpusPath: corpus, dist: "dC,h"}, ":0"); err == nil {
+		t.Error("-coordinator without -shards-at should fail")
+	}
+	if _, err := buildCoordinator(coordinatorOpts{shardsAt: "http://x", dist: "dC,h"}, ":0"); err == nil {
+		t.Error("-coordinator without a corpus should fail")
+	}
+	if _, err := buildCoordinator(coordinatorOpts{shardsAt: "http://x", corpusPath: corpus, sample: 5, dist: "dC,h"}, ":0"); err == nil {
+		t.Error("-corpus and -sample together should fail")
+	}
+}
+
+// TestRunServerGracefulShutdown pins the serving loop every mode shares:
+// the server comes up, accepts a connection, and a SIGTERM drains it to a
+// clean nil return instead of the old log.Fatal(http.ListenAndServe(...)).
+func TestRunServerGracefulShutdown(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- runServer(addr, http.NotFoundHandler()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
 	}
 }
 

@@ -1,0 +1,266 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ced/internal/metric"
+	"ced/internal/shard"
+)
+
+// maxCoordinatorBody bounds coordinator request bodies; client-facing
+// queries are tiny, so this mirrors serve's ceiling rather than the bulky
+// shard-transport one.
+const maxCoordinatorBody = 8 << 20
+
+// Client-facing request and response bodies, mirroring the cedserve JSON
+// API (internal/serve) so a monolithic client retargets a coordinator by
+// changing nothing but the URL. Neighbor indexes are the cluster-stable
+// global IDs, exactly like the monolithic engine after mutations.
+type (
+	cKNNRequest struct {
+		Query string `json:"query"`
+		K     int    `json:"k"`
+	}
+	cRadiusRequest struct {
+		Query  string  `json:"query"`
+		Radius float64 `json:"radius"`
+	}
+	cClassifyRequest struct {
+		Query string `json:"query"`
+	}
+	cAddRequest struct {
+		Value *string `json:"value"`
+		Label *int    `json:"label"`
+	}
+	cDeleteRequest struct {
+		ID *uint64 `json:"id"`
+	}
+
+	cNeighbor struct {
+		Index    int     `json:"index"`
+		Value    string  `json:"value"`
+		Distance float64 `json:"distance"`
+	}
+	cStageRejections struct {
+		Length    int64 `json:"length"`
+		Edit      int64 `json:"edit"`
+		Heuristic int64 `json:"heuristic"`
+		Exact     int64 `json:"exact"`
+	}
+	cQueryMeta struct {
+		Computations int              `json:"computations"`
+		Rejections   cStageRejections `json:"rejections"`
+		LatencyMS    float64          `json:"latency_ms"`
+	}
+	cKNNResponse struct {
+		Results []cNeighbor `json:"results"`
+		cQueryMeta
+	}
+	cClassifyResponse struct {
+		Label    int       `json:"label"`
+		Neighbor cNeighbor `json:"neighbor"`
+		cQueryMeta
+	}
+	cMutateResponse struct {
+		ID   uint64 `json:"id"`
+		Size int    `json:"size"`
+	}
+	cHealthResponse struct {
+		Status  string      `json:"status"`
+		Cluster ClusterInfo `json:"cluster"`
+	}
+)
+
+func cNeighborOf(h shard.Hit) cNeighbor {
+	return cNeighbor{Index: int(h.ID), Value: h.Value, Distance: h.Distance}
+}
+
+func cMeta(st shard.Stats, start time.Time) cQueryMeta {
+	return cQueryMeta{
+		Computations: st.Computations,
+		Rejections: cStageRejections{
+			Length:    st.Rejections[metric.StageLength],
+			Edit:      st.Rejections[metric.StageEdit],
+			Heuristic: st.Rejections[metric.StageHeuristic],
+			Exact:     st.Rejections[metric.StageExact],
+		},
+		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+}
+
+// NewCoordinatorHandler wraps a Coordinator in the client-facing cedserve
+// JSON API:
+//
+//	GET  /healthz     cluster topology, hedge/retry counters, replica health
+//	POST /knn         {"query": ..., "k": ...}
+//	POST /radius      {"query": ..., "radius": ...}
+//	POST /classify    {"query": ...}
+//	POST /add         {"value": ..., "label": ...}
+//	POST /delete      {"id": ...}
+//	POST /compact     (no body)
+//
+// /healthz answers "ok" while every logical shard has at least one healthy
+// replica and "degraded" otherwise (HTTP 200 either way — a degraded
+// cluster still answers exactly through its fallback replicas as long as
+// one non-stale replica per shard survives).
+func NewCoordinatorHandler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		info := c.Info()
+		status := "ok"
+		if !info.Healthy {
+			status = "degraded"
+		}
+		writeJSON(w, http.StatusOK, cHealthResponse{Status: status, Cluster: info})
+	})
+	mux.HandleFunc("POST /knn", func(w http.ResponseWriter, r *http.Request) {
+		var req cKNNRequest
+		if !decodeCoordinator(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		hits, st, err := c.KNearest(r.Context(), req.Query, req.K)
+		if err != nil {
+			writeCoordinatorError(w, err)
+			return
+		}
+		results := make([]cNeighbor, len(hits))
+		for i, h := range hits {
+			results[i] = cNeighborOf(h)
+		}
+		writeJSON(w, http.StatusOK, cKNNResponse{Results: results, cQueryMeta: cMeta(st, start)})
+	})
+	mux.HandleFunc("POST /radius", func(w http.ResponseWriter, r *http.Request) {
+		var req cRadiusRequest
+		if !decodeCoordinator(w, r, &req) {
+			return
+		}
+		if req.Radius < 0 {
+			writeRemoteError(w, http.StatusBadRequest, fmt.Errorf("radius must be non-negative (got %g)", req.Radius))
+			return
+		}
+		start := time.Now()
+		hits, st, err := c.Radius(r.Context(), req.Query, req.Radius)
+		if err != nil {
+			writeCoordinatorError(w, err)
+			return
+		}
+		results := make([]cNeighbor, len(hits))
+		for i, h := range hits {
+			results[i] = cNeighborOf(h)
+		}
+		writeJSON(w, http.StatusOK, cKNNResponse{Results: results, cQueryMeta: cMeta(st, start)})
+	})
+	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
+		var req cClassifyRequest
+		if !decodeCoordinator(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		hit, st, err := c.Classify(r.Context(), req.Query)
+		if err != nil {
+			writeCoordinatorError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cClassifyResponse{
+			Label: hit.Label, Neighbor: cNeighborOf(hit), cQueryMeta: cMeta(st, start),
+		})
+	})
+	mux.HandleFunc("POST /add", func(w http.ResponseWriter, r *http.Request) {
+		var req cAddRequest
+		if !decodeCoordinator(w, r, &req) {
+			return
+		}
+		if req.Value == nil {
+			writeRemoteError(w, http.StatusBadRequest, fmt.Errorf("add needs a \"value\" field"))
+			return
+		}
+		if c.Labelled() && req.Label == nil {
+			writeRemoteError(w, http.StatusBadRequest, fmt.Errorf("the corpus is labelled; add needs a \"label\" field"))
+			return
+		}
+		label := 0
+		if req.Label != nil {
+			label = *req.Label
+		}
+		id, err := c.Add(r.Context(), *req.Value, label)
+		if err != nil {
+			writeCoordinatorError(w, err)
+			return
+		}
+		size, _ := c.Size(r.Context()) // best effort; 0 when the probe fails
+		writeJSON(w, http.StatusOK, cMutateResponse{ID: id, Size: size})
+	})
+	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
+		var req cDeleteRequest
+		if !decodeCoordinator(w, r, &req) {
+			return
+		}
+		if req.ID == nil {
+			writeRemoteError(w, http.StatusBadRequest, fmt.Errorf("delete needs an \"id\" field"))
+			return
+		}
+		deleted, err := c.Delete(r.Context(), *req.ID)
+		if err != nil {
+			writeCoordinatorError(w, err)
+			return
+		}
+		if !deleted {
+			writeRemoteError(w, http.StatusNotFound, fmt.Errorf("no live element with id %d", *req.ID))
+			return
+		}
+		size, _ := c.Size(r.Context())
+		writeJSON(w, http.StatusOK, cMutateResponse{ID: *req.ID, Size: size})
+	})
+	mux.HandleFunc("POST /compact", func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Compact(r.Context()); err != nil {
+			writeCoordinatorError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+		}{"ok"})
+	})
+	return mux
+}
+
+// decodeCoordinator parses a client-facing JSON body with serve's
+// strictness: unknown fields rejected, oversized bodies capped.
+func decodeCoordinator(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxCoordinatorBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeRemoteError(w, status, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeCoordinatorError maps a coordinator failure to a status: caller
+// mistakes (bad k, unlabelled classify) are 400s, shard-server rejections
+// keep their status, and cluster faults (every replica of a shard down)
+// are 502s — so clients and load balancers can tell "you asked wrong" from
+// "the cluster is hurt".
+func writeCoordinatorError(w http.ResponseWriter, err error) {
+	var bad *badRequestError
+	if errors.As(err, &bad) {
+		writeRemoteError(w, http.StatusBadRequest, err)
+		return
+	}
+	var api *apiError
+	if errors.As(err, &api) {
+		writeRemoteError(w, api.status, err)
+		return
+	}
+	writeRemoteError(w, http.StatusBadGateway, err)
+}

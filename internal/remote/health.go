@@ -1,0 +1,171 @@
+package remote
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// replica is one (logical shard, node) placement with its health state. The
+// coordinator routes queries only to non-ejected replicas; a replica that
+// misses a replicated write while ejected (or fails one) is additionally
+// marked stale, and a stale replica is never readmitted until a re-sync
+// reseeds it from a healthy peer — that invariant is what keeps every
+// served answer exact under churn.
+type replica struct {
+	node   int // index into the coordinator's node list
+	shard  int // logical shard this replica carries
+	client *Client
+
+	mu           sync.Mutex
+	consecFails  int
+	ejected      bool
+	stale        bool
+	ejections    uint64
+	readmissions uint64
+	lastErr      string
+	lastChange   time.Time
+}
+
+// healthy reports whether the replica is in the query rotation.
+func (r *replica) healthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.ejected
+}
+
+// usable reports whether the replica may serve an exact answer: not stale.
+// An ejected-but-clean replica is a legal last resort when every healthy
+// peer is gone (it merely failed recently; its content is current).
+func (r *replica) usable() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.stale
+}
+
+// recordSuccess clears the failure streak. It never readmits by itself —
+// readmission goes through the probe path so staleness is honoured.
+func (r *replica) recordSuccess() {
+	r.mu.Lock()
+	r.consecFails = 0
+	r.lastErr = ""
+	r.mu.Unlock()
+}
+
+// recordFailure notes a failed call; after threshold consecutive failures
+// the replica is ejected. It reports whether this call ejected it.
+func (r *replica) recordFailure(err error, threshold int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails++
+	r.lastErr = err.Error()
+	if !r.ejected && r.consecFails >= threshold {
+		r.ejected = true
+		r.ejections++
+		r.lastChange = time.Now()
+		return true
+	}
+	return false
+}
+
+// markStale flags the replica as having missed (or possibly missed) a
+// replicated write; only a re-sync clears it. A stale replica is always
+// ejected too — it must not serve queries.
+func (r *replica) markStale() {
+	r.mu.Lock()
+	r.stale = true
+	if !r.ejected {
+		r.ejected = true
+		r.ejections++
+		r.lastChange = time.Now()
+	}
+	r.mu.Unlock()
+}
+
+// clearStale marks a completed re-sync.
+func (r *replica) clearStale() {
+	r.mu.Lock()
+	r.stale = false
+	r.mu.Unlock()
+}
+
+// readmit returns the replica to the query rotation (probe path only; the
+// caller has verified liveness and, if it was stale, completed a re-sync).
+func (r *replica) readmit() {
+	r.mu.Lock()
+	if r.ejected {
+		r.ejected = false
+		r.consecFails = 0
+		r.readmissions++
+		r.lastChange = time.Now()
+	}
+	r.mu.Unlock()
+}
+
+// isEjected and isStale are snapshot reads for the probe loop.
+func (r *replica) isEjected() bool { r.mu.Lock(); defer r.mu.Unlock(); return r.ejected }
+func (r *replica) isStale() bool   { r.mu.Lock(); defer r.mu.Unlock(); return r.stale }
+
+// ReplicaHealth is one replica's state in the coordinator's /healthz view.
+type ReplicaHealth struct {
+	Node                string `json:"node"`
+	Shard               int    `json:"shard"`
+	Healthy             bool   `json:"healthy"`
+	Stale               bool   `json:"stale"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Ejections           uint64 `json:"ejections"`
+	Readmissions        uint64 `json:"readmissions"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// snapshot captures the replica's health for reporting.
+func (r *replica) snapshot(nodeURL string) ReplicaHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaHealth{
+		Node:                nodeURL,
+		Shard:               r.shard,
+		Healthy:             !r.ejected,
+		Stale:               r.stale,
+		ConsecutiveFailures: r.consecFails,
+		Ejections:           r.ejections,
+		Readmissions:        r.readmissions,
+		LastError:           r.lastErr,
+	}
+}
+
+// latencyRing keeps the most recent successful per-shard request latencies
+// for the adaptive hedge delay: the coordinator hedges once a request
+// outlives a percentile of this window.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples [128]time.Duration
+	n       int // total recorded; min(n, len) are valid
+}
+
+func (l *latencyRing) record(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.n%len(l.samples)] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// percentile returns the p-th (0 < p < 1) latency of the window, or 0 when
+// fewer than 16 samples have been seen (callers fall back to their cap).
+func (l *latencyRing) percentile(p float64) time.Duration {
+	l.mu.Lock()
+	n := min(l.n, len(l.samples))
+	if n < 16 {
+		l.mu.Unlock()
+		return 0
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, l.samples[:n])
+	l.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(p * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx]
+}

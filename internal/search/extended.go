@@ -37,6 +37,13 @@ type RadiusSearcher interface {
 // to the corpus's true top-k is returned; elements beyond bound may be
 // omitted or returned at the caller's peril (they were never competitive).
 // bound = +Inf is exactly KNearest.
+//
+// The contract is transport-agnostic: internal/remote serves the same
+// bounded surface (lifted to the set level, plus Add/Delete/Info) over
+// HTTP, with a coordinator threading its running cross-cluster bound into
+// each remote shard query. A bound that is stale by the time it arrives is
+// merely looser — it costs pruning power, never correctness — which is what
+// makes the seam safe to distribute.
 type BoundedKSearcher interface {
 	KSearcher
 	KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts)

@@ -387,6 +387,26 @@ func (e *Engine) knn(q []rune, k int) ([]Neighbor, Stats, error) {
 	return out, e.shardStats(st), nil
 }
 
+// Radius returns every corpus element within distance r of q (inclusive),
+// sorted by (distance, ID). Unlike KNearest there is no run-to-run stats
+// variance: r itself bounds every shard, so both the result set and the
+// pruning behaviour are deterministic.
+func (e *Engine) Radius(q string, r float64) ([]Neighbor, Stats, error) {
+	e.countRequest()
+	if r < 0 {
+		return nil, Stats{}, fmt.Errorf("serve: radius must be non-negative (got %g)", r)
+	}
+	hits, st, err := e.set.Load().Radius(e.cache.Get(q), r)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("serve: %w", err)
+	}
+	out := make([]Neighbor, len(hits))
+	for i, h := range hits {
+		out[i] = neighbor(h)
+	}
+	return out, e.shardStats(st), nil
+}
+
 // Classify labels q with the class of its nearest corpus element (the
 // paper's §4.4 protocol, one query at a time) and reports the work spent.
 // It fails when the corpus is unlabelled.

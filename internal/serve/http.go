@@ -22,6 +22,7 @@ const maxBodyBytes = 8 << 20
 //	POST /distance/batch     {"pairs": [{"a": ..., "b": ...}, ...]}
 //	POST /knn                {"query": ..., "k": ...}
 //	POST /knn/batch          {"queries": [...], "k": ...}
+//	POST /radius             {"query": ..., "radius": ...}
 //	POST /classify           {"query": ...}
 //	POST /classify/batch     {"queries": [...]}
 //	POST /add                {"value": ..., "label": ...}
@@ -87,6 +88,19 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, batchKNNResponse{Results: ns, queryMeta: meta(st, start)})
+	})
+	mux.HandleFunc("POST /radius", func(w http.ResponseWriter, r *http.Request) {
+		var req radiusRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		ns, st, err := e.Radius(req.Query, req.Radius)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, knnResponse{Results: ns, queryMeta: meta(st, start)})
 	})
 	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
 		var req classifyRequest
@@ -241,6 +255,10 @@ type (
 	batchKNNRequest struct {
 		Queries []string `json:"queries"`
 		K       int      `json:"k"`
+	}
+	radiusRequest struct {
+		Query  string  `json:"query"`
+		Radius float64 `json:"radius"`
 	}
 	classifyRequest struct {
 		Query string `json:"query"`

@@ -123,6 +123,43 @@ func TestKNNEndpoint(t *testing.T) {
 	}
 }
 
+// TestRadiusEndpoint pins the range-query endpoint added alongside the
+// cluster transport: a zero radius returns exactly the query's own corpus
+// entry, a generous one returns more, sorted by distance, and a negative
+// radius is a 400.
+func TestRadiusEndpoint(t *testing.T) {
+	srv := newTestServer(t, "laesa")
+	var out struct {
+		Results      []Neighbor `json:"results"`
+		Computations int        `json:"computations"`
+	}
+	if code := postJSON(t, srv, "/radius", `{"query":"queso","radius":0}`, &out); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(out.Results) != 1 || out.Results[0].Value != "queso" || out.Results[0].Distance != 0 {
+		t.Fatalf("zero-radius response = %+v", out)
+	}
+	if code := postJSON(t, srv, "/radius", `{"query":"casa","radius":0.9}`, &out); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(out.Results) < 2 || out.Computations <= 0 {
+		t.Fatalf("wide-radius response = %+v", out)
+	}
+	for i := 1; i < len(out.Results); i++ {
+		if out.Results[i].Distance < out.Results[i-1].Distance {
+			t.Fatalf("results not sorted by distance: %+v", out.Results)
+		}
+	}
+	for _, r := range out.Results {
+		if r.Distance > 0.9 {
+			t.Fatalf("hit outside the radius: %+v", r)
+		}
+	}
+	if code := postJSON(t, srv, "/radius", `{"query":"casa","radius":-1}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative radius status = %d, want 400", code)
+	}
+}
+
 func TestClassifyEndpoint(t *testing.T) {
 	srv := newTestServer(t, "laesa")
 	var out struct {

@@ -1,5 +1,7 @@
 package shard
 
+import "sort"
+
 // ShardInfo is one shard's snapshot for the health endpoints.
 type ShardInfo struct {
 	// Size is the shard's live element count (base − tombstones + delta).
@@ -56,3 +58,30 @@ func (s *Set) Info() Info {
 // Epoch returns shard i's compaction epoch (testing hook: epochs must be
 // monotone).
 func (s *Set) Epoch(i int) uint64 { return s.shards[i].epoch.Load() }
+
+// Elements returns every live element sorted by ID — the full-content dump
+// the remote transport uses to re-sync a stale replica from a healthy one
+// (and a convenient audit hook for differential tests). Each shard is read
+// from one atomic snapshot; quiesce mutators for a cross-shard-consistent
+// view.
+func (s *Set) Elements() []Element {
+	var out []Element
+	for _, sh := range s.shards {
+		st := sh.state.Load()
+		for pos, id := range st.baseIDs {
+			if _, dead := st.tombs[id]; dead {
+				continue
+			}
+			e := Element{ID: id, Value: st.baseStrs[pos]}
+			if st.baseLabels != nil {
+				e.Label = st.baseLabels[pos]
+			}
+			out = append(out, e)
+		}
+		for i, id := range st.deltaIDs {
+			out = append(out, Element{ID: id, Value: st.deltaStrs[i], Label: st.deltaLabels[i]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

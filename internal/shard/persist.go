@@ -29,8 +29,12 @@ type shardSnap struct {
 	BaseIDs    []uint64
 	BaseLabels []int
 	Tombs      []uint64
-	Delta      []deltaSnap
-	Epoch      uint64
+	// Dead is the full deleted-ID ledger (tombs plus delta deletions), so a
+	// reload keeps refusing to resurrect IDs whose delta entries are gone.
+	// Absent in older snapshots; Load falls back to Tombs alone.
+	Dead  []uint64
+	Delta []deltaSnap
+	Epoch uint64
 }
 
 // setSnapshot is the gob envelope for a whole Set: every shard's base index
@@ -81,6 +85,10 @@ func (s *Set) Save(w io.Writer) error {
 			ss.Tombs = append(ss.Tombs, id)
 		}
 		sort.Slice(ss.Tombs, func(a, b int) bool { return ss.Tombs[a] < ss.Tombs[b] })
+		for id := range st.dead {
+			ss.Dead = append(ss.Dead, id)
+		}
+		sort.Slice(ss.Dead, func(a, b int) bool { return ss.Dead[a] < ss.Dead[b] })
 		for j, id := range st.deltaIDs {
 			ss.Delta = append(ss.Delta, deltaSnap{ID: id, Value: st.deltaStrs[j], Label: st.deltaLabels[j]})
 		}
@@ -160,6 +168,7 @@ func (s *Set) loadShardState(i int, ss shardSnap) (*state, error) {
 		baseLabels: ss.BaseLabels,
 		baseByID:   make(map[uint64]int, len(ss.BaseIDs)),
 		tombs:      map[uint64]struct{}{},
+		dead:       make(map[uint64]struct{}, len(ss.Dead)),
 	}
 	n := uint64(len(s.shards))
 	for pos, id := range ss.BaseIDs {
@@ -183,6 +192,10 @@ func (s *Set) loadShardState(i int, ss shardSnap) (*state, error) {
 			return nil, fmt.Errorf("shard: corrupt snapshot: shard %d tombstone %d not in base", i, id)
 		}
 		st.tombs[id] = struct{}{}
+		st.dead[id] = struct{}{} // older snapshots have no Dead list
+	}
+	for _, id := range ss.Dead {
+		st.dead[id] = struct{}{}
 	}
 	for _, d := range ss.Delta {
 		if d.ID%n != uint64(i) {

@@ -15,10 +15,10 @@ import (
 // Hit is one merged query answer: a live element identified by its stable
 // global ID.
 type Hit struct {
-	ID       uint64
-	Value    string
-	Label    int
-	Distance float64
+	ID       uint64  `json:"id"`
+	Value    string  `json:"value"`
+	Label    int     `json:"label,omitempty"`
+	Distance float64 `json:"distance"`
 }
 
 // Stats is the work a fanned query spent, summed over the shards: distance
@@ -32,7 +32,9 @@ type Stats struct {
 	Rejections   metric.StageCounts
 }
 
-func (s *Stats) add(o Stats) {
+// Add accumulates another query's work into s (cross-shard and
+// cross-cluster totals).
+func (s *Stats) Add(o Stats) {
 	s.Computations += o.Computations
 	for i, n := range o.Rejections {
 		s.Rejections[i] += n
@@ -46,27 +48,43 @@ type atomicFloat struct{ bits atomic.Uint64 }
 func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
 func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
 
-// merger accumulates candidates from every shard into one bounded top-k
-// ordered by (distance, ID) and publishes the running k-th-best distance as
-// the pruning bound for shard queries that start later.
-type merger struct {
+// Merger accumulates k-NN candidates from independent sub-corpora — local
+// shards here, remote shard replicas in internal/remote — into one bounded
+// top-k ordered by (distance, ID), publishing the running k-th-best
+// distance as the pruning bound for queries that start (or retry) later.
+// All methods are safe for concurrent use.
+type Merger struct {
 	mu   sync.Mutex
 	k    int
 	hits []Hit
-	// bound is +Inf until k candidates are held, then the k-th best
-	// distance. Reads are lock-free hints: a stale (looser) bound costs
-	// pruning power, never correctness.
+	// bound starts at the externally seeded pruning radius (+Inf for a
+	// plain k-NN query) and only ever shrinks: the k-th best distance once
+	// k candidates are held, if tighter. Reads are lock-free hints: a
+	// stale (looser) bound costs pruning power, never correctness.
 	bound atomicFloat
 }
 
-func newMerger(k int) *merger {
-	m := &merger{k: k, hits: make([]Hit, 0, k)}
-	m.bound.store(math.Inf(1))
+// NewMerger returns a Merger for a top-k merge with no external bound.
+func NewMerger(k int) *Merger { return NewMergerBounded(k, math.Inf(1)) }
+
+// NewMergerBounded seeds the published pruning bound below +Inf — the
+// cross-cluster running bound a coordinator threads through nested merges.
+func NewMergerBounded(k int, bound float64) *Merger {
+	m := &Merger{k: k, hits: make([]Hit, 0, k)}
+	m.bound.store(bound)
 	return m
 }
 
-// offer merges a shard's candidates and tightens the shared bound.
-func (m *merger) offer(cands []Hit) {
+// Bound returns the current pruning bound (never grows; possibly stale,
+// which is always safe — see Merger).
+func (m *Merger) Bound() float64 { return m.bound.load() }
+
+// Hits returns the merged top-k so far, closest first (ties by ID). Callers
+// must not offer concurrently with reading the returned slice.
+func (m *Merger) Hits() []Hit { return m.hits }
+
+// Offer merges a sub-corpus's candidates and tightens the shared bound.
+func (m *Merger) Offer(cands []Hit) {
 	if len(cands) == 0 {
 		return
 	}
@@ -86,7 +104,7 @@ func (m *merger) offer(cands []Hit) {
 		copy(m.hits[pos+1:], m.hits[pos:])
 		m.hits[pos] = h
 	}
-	if len(m.hits) == m.k {
+	if len(m.hits) == m.k && m.hits[m.k-1].Distance < m.bound.load() {
 		m.bound.store(m.hits[m.k-1].Distance)
 	}
 	m.mu.Unlock()
@@ -102,22 +120,34 @@ func (m *merger) offer(cands []Hit) {
 // closer than the bound it was given, and bounds never drop below the final
 // k-th-best distance).
 func (s *Set) KNearest(q []rune, k int) ([]Hit, Stats) {
+	return s.KNearestBounded(q, k, math.Inf(1))
+}
+
+// KNearestBounded is KNearest with the merge bound seeded at bound instead
+// of +Inf — the set-level analogue of search.BoundedKSearcher, and the
+// surface the remote shard transport serves: a coordinator passes its
+// running cross-cluster k-th-best distance here, so every shard of a remote
+// set prunes against it from the first candidate on. The contract matches
+// the searcher-level one: every element with distance <= bound that belongs
+// to the set's true top-k is returned; elements beyond bound may be
+// omitted or included (they were never competitive).
+func (s *Set) KNearestBounded(q []rune, k int, bound float64) ([]Hit, Stats) {
 	if k <= 0 {
 		return nil, Stats{}
 	}
 	states := s.snapshot()
-	mg := newMerger(k)
+	mg := NewMergerBounded(k, bound)
 	stats := make([]Stats, len(states))
 	pool.Fan(len(states), s.workers, func(i int) {
-		cands, st := s.queryShard(states[i], q, k, mg.bound.load())
+		cands, st := s.queryShard(states[i], q, k, mg.Bound())
 		stats[i] = st
-		mg.offer(cands)
+		mg.Offer(cands)
 	})
 	var total Stats
 	for _, st := range stats {
-		total.add(st)
+		total.Add(st)
 	}
-	return mg.hits, total
+	return mg.Hits(), total
 }
 
 // Search returns the nearest live element to q: ok is false when the set is
@@ -206,7 +236,7 @@ func (s *Set) Radius(q []rune, r float64) ([]Hit, Stats, error) {
 	var total Stats
 	for i := range all {
 		merged = append(merged, all[i]...)
-		total.add(stats[i])
+		total.Add(stats[i])
 	}
 	sort.Slice(merged, func(a, b int) bool {
 		if merged[a].Distance != merged[b].Distance {

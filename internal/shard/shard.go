@@ -72,6 +72,16 @@ type entry struct {
 	label int
 }
 
+// Element is one corpus member together with its stable global ID — the
+// unit the remote shard transport (internal/remote) ships when seeding,
+// replicating and re-syncing shard replicas. Label is meaningful only for
+// labelled sets.
+type Element struct {
+	ID    uint64 `json:"id"`
+	Value string `json:"value"`
+	Label int    `json:"label,omitempty"`
+}
+
 // state is one shard's immutable snapshot: queries load it from the atomic
 // pointer and never observe a mutation in progress. Every field is frozen
 // once published — mutations build a new state sharing the unchanged parts.
@@ -88,6 +98,11 @@ type state struct {
 	// tombs is the set of deleted base IDs. Delta deletions need no
 	// tombstones — the delta arrays are rebuilt without the entry.
 	tombs map[uint64]struct{}
+	// dead is every ID ever deleted from this shard, base or delta. tombs
+	// only covers base deletions (live() subtracts it from the base count,
+	// so it must stay a subset of baseIDs); dead is what makes AddWithID's
+	// "deleted IDs never resurrect" promise hold for delta entries too.
+	dead map[uint64]struct{}
 
 	// delta is a linear scanner over the live delta entries (nil when
 	// none): mutation appends here, and every query scans it with the same
@@ -146,31 +161,63 @@ type Set struct {
 // len(corpus) long; when present every later Add must supply a label and
 // Classify is enabled. Element i of the corpus gets global ID i.
 func New(corpus []string, labels []int, cfg Config) (*Set, error) {
+	if len(labels) != 0 && len(labels) != len(corpus) {
+		return nil, fmt.Errorf("shard: %d corpus strings but %d labels", len(corpus), len(labels))
+	}
+	elems := make([]Element, len(corpus))
+	for i, v := range corpus {
+		elems[i] = Element{ID: uint64(i), Value: v}
+		if len(labels) != 0 {
+			elems[i].Label = labels[i]
+		}
+	}
+	return NewFromElements(elems, len(labels) != 0, cfg)
+}
+
+// NewFromElements builds a Set from elements carrying explicit global IDs —
+// the constructor the remote shard transport uses to seed a replica with
+// its slice of a cluster corpus (IDs are minted by the coordinator, so they
+// are arbitrary here; placement inside the set is still ID mod shards).
+// labelled is explicit because an empty or unlabelled-looking slice must
+// still be able to declare a labelled corpus. Duplicate IDs are rejected.
+// The set's next minted ID starts past the largest ID present.
+func NewFromElements(elems []Element, labelled bool, cfg Config) (*Set, error) {
 	if cfg.Metric == nil {
 		return nil, fmt.Errorf("shard: nil metric")
 	}
 	if cfg.Build == nil {
 		return nil, fmt.Errorf("shard: nil build function")
 	}
-	if len(labels) != 0 && len(labels) != len(corpus) {
-		return nil, fmt.Errorf("shard: %d corpus strings but %d labels", len(corpus), len(labels))
+	seen := make(map[uint64]struct{}, len(elems))
+	next := uint64(0)
+	for _, e := range elems {
+		if _, dup := seen[e.ID]; dup {
+			return nil, fmt.Errorf("shard: duplicate element ID %d", e.ID)
+		}
+		seen[e.ID] = struct{}{}
+		if e.ID+1 > next {
+			next = e.ID + 1
+		}
 	}
-	s := newSet(cfg, len(labels) != 0)
-	n := len(s.shards)
+	s := newSet(cfg, labelled)
+	n := uint64(len(s.shards))
 	for i := range s.shards {
 		var strs []string
 		var ids []uint64
 		var lbls []int
-		for j := i; j < len(corpus); j += n {
-			strs = append(strs, corpus[j])
-			ids = append(ids, uint64(j))
+		for _, e := range elems {
+			if e.ID%n != uint64(i) {
+				continue
+			}
+			strs = append(strs, e.Value)
+			ids = append(ids, e.ID)
 			if s.labelled {
-				lbls = append(lbls, labels[j])
+				lbls = append(lbls, e.Label)
 			}
 		}
 		s.shards[i].state.Store(s.newBaseState(i, strs, ids, lbls))
 	}
-	s.nextID.Store(uint64(len(corpus)))
+	s.nextID.Store(next)
 	return s, nil
 }
 
@@ -208,6 +255,7 @@ func (s *Set) newBaseState(shardIdx int, strs []string, ids []uint64, labels []i
 		baseLabels: labels,
 		baseByID:   make(map[uint64]int, len(ids)),
 		tombs:      map[uint64]struct{}{},
+		dead:       map[uint64]struct{}{},
 	}
 	for pos, id := range ids {
 		st.baseByID[id] = pos
@@ -254,11 +302,51 @@ func (s *Set) NextID() uint64 { return s.nextID.Load() }
 // background compaction folds it into the shard's base index later.
 func (s *Set) Add(value string, label int) uint64 {
 	id := s.nextID.Add(1) - 1
-	sh := s.shards[id%uint64(len(s.shards))]
-	e := entry{id: id, value: value, runes: []rune(value), label: label}
+	s.insert(entry{id: id, value: value, runes: []rune(value), label: label})
+	return id
+}
+
+// AddWithID inserts value under a caller-supplied global ID — the write
+// path of a replicated cluster, where the coordinator mints the ID once and
+// applies it to every replica. It reports whether the element was inserted:
+// an ID that is already live is a no-op (false), which makes retried
+// replication writes idempotent, and an ID that was ever deleted stays dead
+// (false) so a stale retry can never resurrect it. The set's own ID
+// allocator advances past id, so later Add calls never collide.
+func (s *Set) AddWithID(id uint64, value string, label int) bool {
+	for {
+		cur := s.nextID.Load()
+		if cur > id {
+			break
+		}
+		if s.nextID.CompareAndSwap(cur, id+1) {
+			break
+		}
+	}
+	return s.insert(entry{id: id, value: value, runes: []rune(value), label: label})
+}
+
+// insert lands e in its shard's delta under the shard lock, refusing IDs
+// that are already live or tombstoned. It reports whether e was inserted.
+func (s *Set) insert(e entry) bool {
+	sh := s.shards[e.id%uint64(len(s.shards))]
 
 	sh.mu.Lock()
 	st := sh.state.Load()
+	if _, gone := st.dead[e.id]; gone {
+		sh.mu.Unlock()
+		return false
+	}
+	if _, ok := st.baseByID[e.id]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	for _, did := range st.deltaIDs {
+		if did == e.id {
+			sh.mu.Unlock()
+			return false
+		}
+	}
 	ns := st.clone()
 	ns.appendDelta(s.metric, e)
 	sh.state.Store(ns)
@@ -266,7 +354,7 @@ func (s *Set) Add(value string, label int) uint64 {
 
 	s.adds.Add(1)
 	s.maybeCompact(sh)
-	return id
+	return true
 }
 
 // Delete removes the element with the given ID, reporting whether it was
@@ -282,7 +370,7 @@ func (s *Set) Delete(id uint64) bool {
 	st := sh.state.Load()
 	var ns *state
 	if _, ok := st.baseByID[id]; ok {
-		if _, dead := st.tombs[id]; dead {
+		if _, gone := st.tombs[id]; gone {
 			sh.mu.Unlock()
 			return false
 		}
@@ -308,6 +396,12 @@ func (s *Set) Delete(id uint64) bool {
 		ns = st.clone()
 		ns.rebuildDeltaWithout(s.metric, id)
 	}
+	dead := make(map[uint64]struct{}, len(st.dead)+1)
+	for d := range st.dead {
+		dead[d] = struct{}{}
+	}
+	dead[id] = struct{}{}
+	ns.dead = dead
 	sh.state.Store(ns)
 	sh.mu.Unlock()
 
@@ -316,9 +410,9 @@ func (s *Set) Delete(id uint64) bool {
 	return true
 }
 
-// clone copies the state shell: base fields are shared (immutable), delta
-// and tombstone containers still alias the original and must be replaced —
-// never mutated — by the caller before publishing.
+// clone copies the state shell: base fields are shared (immutable), delta,
+// tombstone and dead-ID containers still alias the original and must be
+// replaced — never mutated — by the caller before publishing.
 func (st *state) clone() *state {
 	ns := *st
 	return &ns
@@ -461,6 +555,10 @@ func (s *Set) compactShard(sh *shard) {
 
 	sh.mu.Lock()
 	cur := sh.state.Load()
+	// The dead-ID ledger survives compaction wholesale: cur.dead already
+	// holds every deletion, including ones that raced the rebuild (aliasing
+	// the published map is safe — Delete replaces it copy-on-write).
+	ns.dead = cur.dead
 	// Deletes that raced the rebuild: base deletes are still in cur.tombs;
 	// delta deletes vanished from cur's delta arrays. Both target elements
 	// now baked into the new base, so they become tombstones there.

@@ -144,6 +144,15 @@ func (s *Server) KNearest(q string, k int) ([]Neighbor, int, error) {
 	return ns, st.Computations, err
 }
 
+// Radius returns every corpus element within distance r of q (inclusive),
+// sorted by (distance, ID), with the distance computations spent. Both the
+// result set and the pruning behaviour are deterministic: r itself bounds
+// every shard, so there is no run-to-run variance to account for.
+func (s *Server) Radius(q string, r float64) ([]Neighbor, int, error) {
+	ns, st, err := s.eng.Radius(q, r)
+	return ns, st.Computations, err
+}
+
 // Classify labels q with the class of its nearest corpus element. The
 // corpus passed to NewServer must have been labelled.
 func (s *Server) Classify(q string) (Prediction, int, error) {

@@ -1,0 +1,213 @@
+// Package analysistest runs an analyzer over source fixtures and checks
+// its diagnostics against expectations written in the fixtures themselves —
+// the offline, stdlib-only counterpart of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. A line that should
+// trigger a diagnostic carries a trailing comment of the form
+//
+//	// want "regexp"
+//
+// (one quoted or backquoted regexp per expected diagnostic; several may
+// follow one want). Runs fail on diagnostics with no matching want and on
+// wants with no matching diagnostic, so every fixture is simultaneously a
+// positive and a negative test. Imports inside fixtures resolve against
+// sibling fixture directories first (testdata/src/metric stands in for
+// ced/internal/metric — analyzers match package paths by suffix for exactly
+// this reason) and against the standard library otherwise.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ced/internal/analysis"
+)
+
+// fixtureImporter resolves fixture imports: a sibling fixture package when
+// testdata/src/<path> exists, the standard library otherwise.
+type fixtureImporter struct {
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	srcDir string
+	pkgs   map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	return fi.ImportFrom(path, "", 0)
+}
+
+func (fi *fixtureImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	pdir := filepath.Join(fi.srcDir, filepath.FromSlash(path))
+	if st, err := os.Stat(pdir); err != nil || !st.IsDir() {
+		return fi.std.ImportFrom(path, dir, mode)
+	}
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	files, err := parseFixtureDir(fi.fset, pdir)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: fi}
+	pkg, err := conf.Check(path, fi.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	fi.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func parseFixtureDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no fixture files", dir)
+	}
+	return files, nil
+}
+
+// expectation is one want comment: a diagnostic matching rx on line.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts the want expectations from a file's comments.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				var lit string
+				switch rest[0] {
+				case '"':
+					end := strings.Index(rest[1:], `"`)
+					if end < 0 {
+						t.Fatalf("%s: unterminated want pattern: %s", pos, rest)
+					}
+					lit = rest[:end+2]
+					rest = strings.TrimSpace(rest[end+2:])
+				case '`':
+					end := strings.Index(rest[1:], "`")
+					if end < 0 {
+						t.Fatalf("%s: unterminated want pattern: %s", pos, rest)
+					}
+					lit = rest[:end+2]
+					rest = strings.TrimSpace(rest[end+2:])
+				default:
+					t.Fatalf("%s: malformed want pattern: %s", pos, rest)
+				}
+				pat, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// Run type-checks each fixture package (testdata/src/<pattern>), applies
+// the analyzer and verifies its diagnostics against the fixtures' want
+// comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	fi := &fixtureImporter{
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		srcDir: filepath.Join(testdata, "src"),
+		pkgs:   map[string]*types.Package{},
+	}
+	for _, pattern := range patterns {
+		dir := filepath.Join(fi.srcDir, filepath.FromSlash(pattern))
+		files, err := parseFixtureDir(fset, dir)
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: fi}
+		tpkg, err := conf.Check(pattern, fset, files, info)
+		if err != nil {
+			t.Fatalf("%s: type-checking fixture: %v", pattern, err)
+		}
+		pkg := &analysis.Package{
+			Path: pattern, Dir: dir, Fset: fset,
+			Files: files, Types: tpkg, TypesInfo: info,
+		}
+		diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: running %s: %v", pattern, a.Name, err)
+		}
+
+		var wants []*expectation
+		for _, f := range files {
+			wants = append(wants, parseWants(t, fset, f)...)
+		}
+		for _, d := range diags {
+			found := false
+			for _, w := range wants {
+				if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+					w.matched = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: unexpected diagnostic: %s", pattern, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", pattern, w.file, w.line, w.rx)
+			}
+		}
+	}
+}

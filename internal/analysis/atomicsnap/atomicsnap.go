@@ -1,0 +1,160 @@
+// Package atomicsnap guards the PR-5 shard snapshot discipline: a shard's
+// live state hangs off atomic.Pointer fields and is republished wholesale,
+// never mutated in place. Two rules follow. First, any struct field whose
+// type comes from sync/atomic may only be touched through its atomic
+// method set (Load/Store/Swap/CompareAndSwap/Add) — copying or aliasing it
+// defeats the race detector and the memory model alike. Second, a struct
+// marked //ced:frozen is immutable once published: its fields may be
+// assigned only inside functions marked //ced:publish, which by convention
+// build a fresh value before the atomic.Pointer swing.
+package atomicsnap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ced/internal/analysis"
+)
+
+// Analyzer is the atomicsnap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsnap",
+	Doc: "sync/atomic struct fields must be used only via Load/Store/Swap/" +
+		"CompareAndSwap/Add, and fields of //ced:frozen structs may be written " +
+		"only inside //ced:publish functions",
+	Run: run,
+}
+
+// atomicMethods is the sanctioned method set on sync/atomic values.
+var atomicMethods = map[string]bool{
+	"Load":           true,
+	"Store":          true,
+	"Swap":           true,
+	"CompareAndSwap": true,
+	"Add":            true,
+	"Or":             true,
+	"And":            true,
+}
+
+func run(pass *analysis.Pass) error {
+	frozen := frozenTypes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			publish := analysis.HasMarker(fn.Doc, "publish")
+			analysis.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					checkAtomicField(pass, n, stack)
+				case *ast.AssignStmt:
+					if !publish {
+						for _, lhs := range n.Lhs {
+							checkFrozenWrite(pass, fn, lhs, frozen)
+						}
+					}
+				case *ast.IncDecStmt:
+					if !publish {
+						checkFrozenWrite(pass, fn, n.X, frozen)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// frozenTypes collects type names declared with a //ced:frozen doc marker.
+func frozenTypes(pass *analysis.Pass) map[types.Object]bool {
+	frozen := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if analysis.HasMarker(ts.Doc, "frozen") || (len(gd.Specs) == 1 && analysis.HasMarker(gd.Doc, "frozen")) {
+					if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+						frozen[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return frozen
+}
+
+// checkAtomicField enforces rule one: a selector resolving to a struct
+// field of a sync/atomic type must immediately receive one of the atomic
+// methods.
+func checkAtomicField(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	named := analysis.NamedOf(s.Type())
+	if named == nil || !analysis.IsPkgType(named, "sync/atomic", named.Obj().Name()) {
+		return
+	}
+	if pass.LineMarked(sel.Pos(), "atomicsnap-ok") {
+		return
+	}
+	// The only sanctioned parent shape: (sel).Method(...) with Method in
+	// the atomic set, itself called.
+	if len(stack) >= 2 {
+		if m, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && m.X == sel && atomicMethods[m.Sel.Name] {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == m {
+				return
+			}
+		}
+	}
+	pass.Reportf(sel.Pos(),
+		"atomic field %s used outside its atomic method set: access it only via "+
+			"Load/Store/Swap/CompareAndSwap/Add so every reader sees a published snapshot",
+		sel.Sel.Name)
+}
+
+// checkFrozenWrite enforces rule two: assignments (including index writes)
+// through fields of a //ced:frozen struct are confined to //ced:publish
+// functions.
+func checkFrozenWrite(pass *analysis.Pass, fn *ast.FuncDecl, lhs ast.Expr, frozen map[types.Object]bool) {
+	if len(frozen) == 0 {
+		return
+	}
+	// Peel index expressions: ns.tombs[id] = v writes through field tombs.
+	e := ast.Unparen(lhs)
+	for {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	named := analysis.NamedOf(s.Recv())
+	if named == nil || !frozen[named.Obj()] {
+		return
+	}
+	if pass.LineMarked(sel.Pos(), "atomicsnap-ok") {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"field %s of frozen type %s written in %s, which is not marked //ced:publish: "+
+			"published snapshots are immutable — build a fresh %s and swing the atomic pointer",
+		sel.Sel.Name, named.Obj().Name(), fn.Name.Name, named.Obj().Name())
+}

@@ -1,0 +1,12 @@
+package atomicsnap_test
+
+import (
+	"testing"
+
+	"ced/internal/analysis/analysistest"
+	"ced/internal/analysis/atomicsnap"
+)
+
+func TestAtomicSnap(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicsnap.Analyzer, "a")
+}

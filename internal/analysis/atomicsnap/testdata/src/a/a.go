@@ -1,0 +1,67 @@
+// Package a exercises the atomicsnap analyzer: atomic fields only through
+// their method set, frozen structs only written by publish functions.
+package a
+
+import "sync/atomic"
+
+// state is frozen once published behind shard.state.
+//
+//ced:frozen
+type state struct {
+	base  []string
+	byID  map[uint64]int
+	tombs map[uint64]bool
+}
+
+type shard struct {
+	state atomic.Pointer[state]
+	epoch atomic.Uint64
+}
+
+// snapshot reads through the sanctioned method.
+func (s *shard) snapshot() *state {
+	return s.state.Load()
+}
+
+// bump uses the numeric atomic correctly.
+func (s *shard) bump() uint64 {
+	return s.epoch.Add(1)
+}
+
+// alias copies the atomic by value through a raw field read.
+func (s *shard) alias() any {
+	return s.state // want `atomic field state used outside its atomic method set`
+}
+
+// raw compares the atomic field itself instead of its Load.
+func (s *shard) raw(other *shard) bool {
+	return &s.epoch == &other.epoch // want `atomic field epoch used outside its atomic method set` `atomic field epoch used outside its atomic method set`
+}
+
+// publishDelta rebuilds and swings the pointer; the doc marker licenses
+// the field writes on the not-yet-published value.
+//
+//ced:publish
+func (s *shard) publishDelta(doc string) {
+	old := s.state.Load()
+	ns := &state{byID: map[uint64]int{}, tombs: map[uint64]bool{}}
+	ns.base = append(append([]string(nil), old.base...), doc)
+	for id, i := range old.byID {
+		ns.byID[id] = i
+	}
+	ns.tombs[7] = true
+	s.state.Store(ns)
+}
+
+// mutateLive writes a published snapshot in place.
+func (s *shard) mutateLive(doc string) {
+	st := s.state.Load()
+	st.base = append(st.base, doc) // want `field base of frozen type state written in mutateLive`
+	st.tombs[3] = true             // want `field tombs of frozen type state written in mutateLive`
+}
+
+// waived is a reviewed in-place write.
+func (s *shard) waived() {
+	st := s.state.Load()
+	st.byID[0] = 0 //ced:atomicsnap-ok: reviewed single-writer warm-up path.
+}

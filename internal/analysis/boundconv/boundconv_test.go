@@ -1,0 +1,12 @@
+package boundconv_test
+
+import (
+	"testing"
+
+	"ced/internal/analysis/analysistest"
+	"ced/internal/analysis/boundconv"
+)
+
+func TestBoundConv(t *testing.T) {
+	analysistest.Run(t, "testdata", boundconv.Analyzer, "a")
+}

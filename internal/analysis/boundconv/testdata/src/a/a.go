@@ -1,0 +1,92 @@
+// Package a exercises the boundconv analyzer: negative bounds exist only
+// in the wire encoding, where they stand for +Inf.
+package a
+
+import "math"
+
+// knnRequest mirrors the wire struct in ced/internal/remote.
+type knnRequest struct {
+	Query string
+	K     int
+	Bound float64
+}
+
+const noBound = -1
+
+func wireBound(b float64) float64 {
+	if math.IsInf(b, 1) {
+		return noBound
+	}
+	return b
+}
+
+func fromWireBound(b float64) float64 {
+	if b < 0 {
+		return math.Inf(1)
+	}
+	return b
+}
+
+// KNearestBounded is a stand-in for the local bounded entry points.
+func KNearestBounded(q string, k int, bound float64) int { return k }
+
+// negLiteral smuggles the wire sentinel into a local call.
+func negLiteral() {
+	KNearestBounded("q", 5, -1) // want `negative bound -1 passed to KNearestBounded`
+}
+
+// negConst does the same through a named constant.
+func negConst() {
+	KNearestBounded("q", 5, noBound) // want `negative bound -1 passed to KNearestBounded`
+}
+
+// infBound is the sanctioned local spelling of "no bound".
+func infBound() {
+	KNearestBounded("q", 5, math.Inf(1))
+}
+
+// finiteBound is an ordinary pruning radius.
+func finiteBound() {
+	KNearestBounded("q", 5, 0.25)
+}
+
+// waivedNeg is a reviewed exception.
+func waivedNeg() {
+	KNearestBounded("q", 5, -1) //ced:boundconv-ok: exercising the reject-all path.
+}
+
+// encode builds a wire request the sanctioned way.
+func encode(b float64) knnRequest {
+	return knnRequest{Query: "q", K: 3, Bound: wireBound(b)}
+}
+
+// encodeRaw stores a local bound without encoding it.
+func encodeRaw(b float64) knnRequest {
+	return knnRequest{Query: "q", K: 3, Bound: b} // want `wire bound field knnRequest.Bound set without wireBound`
+}
+
+// assignRaw writes the field without encoding.
+func assignRaw(req *knnRequest, b float64) {
+	req.Bound = b // want `wire bound field req.Bound written without wireBound`
+}
+
+// assignEncoded writes the field the sanctioned way.
+func assignEncoded(req *knnRequest, b float64) {
+	req.Bound = wireBound(b)
+}
+
+// decode reads the field the sanctioned way.
+func decode(req knnRequest) float64 {
+	return fromWireBound(req.Bound)
+}
+
+// compareRaw compares the still-encoded value, which silently treats the
+// "+Inf" sentinel as the tightest bound imaginable.
+func compareRaw(req knnRequest, r float64) bool {
+	return r <= req.Bound // want `wire bound field req.Bound used while still encoded`
+}
+
+// readWaived is a reviewed raw read (e.g. logging the wire value).
+func readWaived(req knnRequest) float64 {
+	return req.Bound //ced:boundconv-ok: logging the raw wire value.
+}

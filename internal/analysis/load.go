@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked unit under analysis: a package together with
+// its in-package test files, or the external (_test-suffixed) test package
+// of a directory.
+type Package struct {
+	// Path is the import path ("ced/internal/shard", or
+	// "ced_test" style paths suffixed "_test" for external test packages).
+	Path string
+	// Dir is the package directory on disk.
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// newInfo allocates the types.Info maps every pass relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// moduleImporter resolves imports while type-checking packages under
+// analysis: module-internal paths are type-checked recursively from source
+// (without test files), everything else — the standard library, since the
+// module has no external dependencies — goes through the compiler's source
+// importer. Import results are cached per importer.
+type moduleImporter struct {
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	module  string // module path, e.g. "ced"
+	rootDir string // module root directory
+	pkgs    map[string]*types.Package
+	loading map[string]bool
+}
+
+func newModuleImporter(fset *token.FileSet, module, rootDir string) *moduleImporter {
+	return &moduleImporter{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		module:  module,
+		rootDir: rootDir,
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	return mi.ImportFrom(path, "", 0)
+}
+
+func (mi *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path != mi.module && !strings.HasPrefix(path, mi.module+"/") {
+		return mi.std.ImportFrom(path, dir, mode)
+	}
+	if p, ok := mi.pkgs[path]; ok {
+		return p, nil
+	}
+	if mi.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	mi.loading[path] = true
+	defer delete(mi.loading, path)
+
+	pdir := filepath.Join(mi.rootDir, filepath.FromSlash(strings.TrimPrefix(path, mi.module)))
+	files, err := parseGoDir(mi.fset, pdir, false)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: mi}
+	pkg, err := conf.Check(path, mi.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	mi.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseGoDir parses the .go files of one directory (sorted by name, with
+// comments), optionally including _test.go files of the in-package test
+// suite; external _test-package files are never returned.
+func parseGoDir(fset *token.FileSet, dir string, tests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if !tests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	var pkgName string
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if !tests {
+			// Exclude external test packages and keep a single package: the
+			// non-test package name is the one without the _test suffix.
+			if strings.HasSuffix(f.Name.Name, "_test") {
+				continue
+			}
+			if pkgName == "" {
+				pkgName = f.Name.Name
+			} else if f.Name.Name != pkgName {
+				return nil, fmt.Errorf("%s: multiple packages %s and %s", dir, pkgName, f.Name.Name)
+			}
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	return files, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// goList runs the go command in dir and decodes its JSON package stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goModulePath returns the module path of the module rooted at (or above)
+// dir.
+func goModulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// Load enumerates the packages matching patterns (go list syntax, resolved
+// in dir) and type-checks each from source: the package with its in-package
+// test files as one unit, plus — when present — the external test package
+// as a second unit. The standard library is imported from source, so Load
+// needs no compiled export data, no network and no modules beyond the one
+// under analysis.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	module, err := goModulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	mi := newModuleImporter(fset, module, moduleRoot(dir, listed, module))
+
+	var pkgs []*Package
+	check := func(path, pdir string, fileNames []string) error {
+		if len(fileNames) == 0 {
+			return nil
+		}
+		var files []*ast.File
+		for _, n := range fileNames {
+			f, err := parser.ParseFile(fset, filepath.Join(pdir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: mi}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return fmt.Errorf("type-checking %s: %w", path, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path, Dir: pdir, Fset: fset,
+			Files: files, Types: tpkg, TypesInfo: info,
+		})
+		return nil
+	}
+	for _, lp := range listed {
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		names := append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+		sort.Strings(names)
+		if err := check(lp.ImportPath, lp.Dir, names); err != nil {
+			return nil, err
+		}
+		if len(lp.XTestGoFiles) > 0 {
+			xnames := append([]string{}, lp.XTestGoFiles...)
+			sort.Strings(xnames)
+			if err := check(lp.ImportPath+"_test", lp.Dir, xnames); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+// moduleRoot derives the module root directory: the listed package whose
+// import path equals the module path, or dir walked up to go.mod.
+func moduleRoot(dir string, listed []listedPackage, module string) string {
+	for _, lp := range listed {
+		if lp.ImportPath == module {
+			return lp.Dir
+		}
+		if rel, ok := strings.CutPrefix(lp.ImportPath, module+"/"); ok {
+			suffix := filepath.FromSlash(rel)
+			if strings.HasSuffix(lp.Dir, suffix) {
+				return strings.TrimSuffix(lp.Dir, suffix)
+			}
+		}
+	}
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,117 @@
+// Package poolleak enforces the pooled-workspace release discipline of the
+// PR-2/PR-4 kernel: scratch acquired from a sync.Pool (or through a
+// checkout helper such as core's pooled workspaces or LAESA's per-query
+// scratch) must be released by a *deferred* call in the same function, so a
+// panic on any path — the exact bug the PR-4 withWorkspace hardening fixed —
+// cannot leak the buffer or poison the pool.
+package poolleak
+
+import (
+	"go/ast"
+	"strings"
+
+	"ced/internal/analysis"
+)
+
+// Analyzer is the poolleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolleak",
+	Doc: "pooled scratch must be released via defer on every path: a function " +
+		"that calls (sync.Pool).Get, getWorkspace or a checkout* helper needs a " +
+		"deferred Put/Release/release in the same body (or a //ced:poolleak-ok " +
+		"func doc when ownership is handed to the caller by contract)",
+	Run: run,
+}
+
+// releaseNames are the method/function names accepted as a pool release.
+var releaseNames = map[string]bool{
+	"Put": true, "put": true,
+	"Release": true, "release": true,
+	"putWorkspace": true,
+}
+
+// acquiringCall reports whether call checks scratch out of a pool: a Get on
+// a sync.Pool value, or a call to a named checkout helper.
+func acquiringCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name := analysis.CalleeName(call)
+	if name == "getWorkspace" || strings.HasPrefix(name, "checkout") {
+		return true
+	}
+	if name != "Get" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsPkgType(tv.Type, "sync", "Pool")
+}
+
+// releasesInDefer reports whether stmt is a defer whose call — directly or
+// anywhere inside a deferred func literal — releases to a pool.
+func releasesInDefer(stmt ast.Stmt) bool {
+	def, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(def.Call, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && releaseNames[analysis.CalleeName(call)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if analysis.HasMarker(fn.Doc, "poolleak-ok") {
+				continue
+			}
+			var acquires []*ast.CallExpr
+			hasDeferredRelease := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					// A nested literal owns its own acquisitions; the
+					// enclosing function is judged on its own body. (Deferred
+					// literals were already credited by releasesInDefer.)
+					return false
+				case *ast.CallExpr:
+					if acquiringCall(pass, n) {
+						acquires = append(acquires, n)
+					}
+				case ast.Stmt:
+					if releasesInDefer(n) {
+						hasDeferredRelease = true
+					}
+				}
+				return true
+			})
+			if hasDeferredRelease {
+				continue
+			}
+			for _, call := range acquires {
+				pass.Reportf(call.Pos(),
+					"pooled scratch acquired by %s without a deferred release in %s; "+
+						"release via defer so a panic cannot leak it (or mark the func //ced:poolleak-ok)",
+					describe(call), fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func describe(call *ast.CallExpr) string {
+	if name := analysis.CalleeName(call); name != "" {
+		return name
+	}
+	return "a pool checkout"
+}

@@ -1,0 +1,12 @@
+package poolleak_test
+
+import (
+	"testing"
+
+	"ced/internal/analysis/analysistest"
+	"ced/internal/analysis/poolleak"
+)
+
+func TestPoolLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", poolleak.Analyzer, "a")
+}

@@ -1,0 +1,77 @@
+// Package a exercises the poolleak analyzer: pooled scratch must be
+// released by a deferred call in the acquiring function.
+package a
+
+import "sync"
+
+type scratch struct{ buf []int }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// leaky gets scratch and releases it on the happy path only: a panic in
+// work() leaks the buffer — the PR-4 bug, as a lint.
+func leaky() {
+	s := pool.Get().(*scratch) // want `pooled scratch acquired by Get without a deferred release in leaky`
+	work(s)
+	pool.Put(s)
+}
+
+// earlyReturn releases on one path and forgets the error path.
+func earlyReturn(fail bool) error {
+	s := pool.Get().(*scratch) // want `pooled scratch acquired by Get without a deferred release in earlyReturn`
+	if fail {
+		return errFail
+	}
+	work(s)
+	pool.Put(s)
+	return nil
+}
+
+// deferred is the required idiom: the release survives panics and early
+// returns alike.
+func deferred() {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	work(s)
+}
+
+// deferredClosure releases inside a deferred func literal, which also
+// counts.
+func deferredClosure() {
+	s := pool.Get().(*scratch)
+	defer func() { pool.Put(s) }()
+	work(s)
+}
+
+// checkoutScratch mirrors the LAESA checkout helper: it hands ownership to
+// the caller, which the annotation declares.
+//
+//ced:poolleak-ok: the caller releases via defer.
+func checkoutScratch() *scratch {
+	return pool.Get().(*scratch)
+}
+
+// caller uses the checkout helper correctly.
+func caller() {
+	s := checkoutScratch()
+	defer pool.Put(s)
+	work(s)
+}
+
+// callerLeaks uses the checkout helper without a deferred release.
+func callerLeaks() {
+	s := checkoutScratch() // want `pooled scratch acquired by checkoutScratch without a deferred release in callerLeaks`
+	work(s)
+	pool.Put(s)
+}
+
+// withScratch mirrors core.withWorkspace, the canonical round-trip.
+func withScratch(fn func(*scratch)) {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	fn(s)
+}
+
+func work(*scratch) {}
+
+var errFail error

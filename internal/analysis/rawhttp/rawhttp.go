@@ -1,0 +1,100 @@
+// Package rawhttp keeps every listening HTTP server on the hardened path
+// established by cmd/cedserve's runServer: an explicit http.Server literal
+// with a ReadHeaderTimeout (plus read/write/idle timeouts) and a graceful
+// Shutdown. The package-level convenience entry points — http.ListenAndServe
+// and friends — ship with no timeouts at all, so a slow-loris client can
+// pin a connection forever; they are banned outright, and a zero-value or
+// timeout-less http.Server literal is flagged as the same hazard spelled
+// differently. httptest servers used in tests are unaffected.
+package rawhttp
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ced/internal/analysis"
+)
+
+// Analyzer is the rawhttp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawhttp",
+	Doc: "forbid net/http's package-level serve helpers and http.Server " +
+		"literals without a ReadHeaderTimeout; serve through a hardened, " +
+		"shutdown-capable http.Server as in cedserve's runServer " +
+		"(//ced:rawhttp-ok waives a reviewed line)",
+	Run: run,
+}
+
+// bannedFuncs are the net/http package-level entry points with no timeout
+// protection.
+var bannedFuncs = map[string]bool{
+	"ListenAndServe":    true,
+	"ListenAndServeTLS": true,
+	"Serve":             true,
+	"ServeTLS":          true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkBannedCall(pass, n)
+			case *ast.CompositeLit:
+				checkServerLiteral(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBannedCall flags net/http package-level serve functions.
+func checkBannedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !bannedFuncs[sel.Sel.Name] {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "net/http" {
+		return
+	}
+	if pass.LineMarked(call.Pos(), "rawhttp-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"http.%s has no timeouts and no shutdown hook: build an http.Server with "+
+			"ReadHeaderTimeout and serve it with graceful shutdown (see cedserve runServer)",
+		sel.Sel.Name)
+}
+
+// checkServerLiteral flags http.Server composite literals that omit
+// ReadHeaderTimeout, the minimum slow-loris defence.
+func checkServerLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	named := analysis.NamedOf(tv.Type)
+	if named == nil || named.Obj().Name() != "Server" || !analysis.IsPkgType(named, "net/http", "Server") {
+		return
+	}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "ReadHeaderTimeout" {
+				return
+			}
+		}
+	}
+	if pass.LineMarked(lit.Pos(), "rawhttp-ok") {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"http.Server literal without ReadHeaderTimeout: a slow-loris client can hold "+
+			"header reads open forever; set ReadHeaderTimeout (and read/write/idle timeouts) "+
+			"as in cedserve runServer")
+}

@@ -1,0 +1,12 @@
+package rawhttp_test
+
+import (
+	"testing"
+
+	"ced/internal/analysis/analysistest"
+	"ced/internal/analysis/rawhttp"
+)
+
+func TestRawHTTP(t *testing.T) {
+	analysistest.Run(t, "testdata", rawhttp.Analyzer, "a")
+}

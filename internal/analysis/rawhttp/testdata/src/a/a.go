@@ -1,0 +1,50 @@
+// Package a exercises the rawhttp analyzer: no raw serve helpers, no
+// timeout-less server literals.
+package a
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// rawListen uses the banned convenience entry point.
+func rawListen(h http.Handler) error {
+	return http.ListenAndServe(":8080", h) // want `http.ListenAndServe has no timeouts`
+}
+
+// rawTLS does the same over TLS.
+func rawTLS(h http.Handler) error {
+	return http.ListenAndServeTLS(":8443", "cert", "key", h) // want `http.ListenAndServeTLS has no timeouts`
+}
+
+// bareServer builds a server with no slow-loris defence.
+func bareServer(h http.Handler) *http.Server {
+	return &http.Server{Addr: ":8080", Handler: h} // want `http.Server literal without ReadHeaderTimeout`
+}
+
+// hardened mirrors cedserve's runServer.
+func hardened(h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              ":8080",
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// shutdown drives the hardened server with a graceful stop, the full
+// sanctioned shape.
+func shutdown(ctx context.Context, h http.Handler) error {
+	srv := hardened(h)
+	go srv.ListenAndServe()
+	<-ctx.Done()
+	return srv.Shutdown(context.Background())
+}
+
+// waived is a reviewed exception (e.g. a throwaway debug listener).
+func waived(h http.Handler) error {
+	return http.ListenAndServe("127.0.0.1:0", h) //ced:rawhttp-ok: loopback-only debug listener.
+}

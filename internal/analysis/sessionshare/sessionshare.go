@@ -1,0 +1,140 @@
+// Package sessionshare enforces the per-worker session confinement of the
+// PR-3 bulk layer: a metric session minted by a Session() call (see
+// metric.Sessioner) holds private scratch memory and is not safe for
+// concurrent use, so it must never be captured by a go-launched closure or
+// sent on a channel. The sanctioned plumbing — bulk.Evaluator handing
+// sessions[w] to worker w inside pool.FanWorker — passes sessions through
+// ordinary calls, which this analyzer deliberately leaves alone.
+package sessionshare
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ced/internal/analysis"
+)
+
+// Analyzer is the sessionshare pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sessionshare",
+	Doc: "a metric session (minted by a Session() call) is per-goroutine by " +
+		"contract: it must not be captured by a `go` closure declared around it " +
+		"and must not be sent on a channel (//ced:sessionshare-ok waives a " +
+		"reviewed handoff)",
+	Run: run,
+}
+
+// sessionVars collects, per function body, the objects of variables bound
+// directly to the result of a Session() call.
+func sessionVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || analysis.CalleeName(call) != "Session" {
+			return
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, name := range n.Names {
+					bind(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			vars := sessionVars(pass, fn.Body)
+			if len(vars) == 0 {
+				continue
+			}
+			analysis.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					checkGo(pass, n, vars)
+					// The go statement's subtree was fully handled.
+					return false
+				case *ast.SendStmt:
+					if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok && vars[pass.TypesInfo.Uses[id]] {
+						if !pass.LineMarked(n.Pos(), "sessionshare-ok") {
+							pass.Reportf(n.Pos(),
+								"session %s sent on a channel: sessions hold per-goroutine scratch and must stay "+
+									"confined to the worker that minted them", id.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkGo flags session variables that cross into a new goroutine: free
+// variables of a `go func(){...}()` literal, and session arguments of any
+// `go f(args...)` call. A session declared inside the literal belongs to
+// the new goroutine and is fine.
+func checkGo(pass *analysis.Pass, g *ast.GoStmt, vars map[types.Object]bool) {
+	lit, _ := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	report := func(id *ast.Ident, how string) {
+		if pass.LineMarked(id.Pos(), "sessionshare-ok") || pass.LineMarked(g.Pos(), "sessionshare-ok") {
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"session %s %s: sessions hold per-goroutine scratch and must not be shared across "+
+				"goroutines (mint one per worker, e.g. via bulk.Evaluator)", id.Name, how)
+	}
+	for _, arg := range g.Call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && vars[pass.TypesInfo.Uses[id]] {
+				report(id, "handed to a go call")
+			}
+			return true
+		})
+	}
+	if lit == nil {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !vars[obj] {
+			return true
+		}
+		// Declared inside the literal: confined to the new goroutine.
+		if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		report(id, "captured by a go closure")
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package sessionshare_test
+
+import (
+	"testing"
+
+	"ced/internal/analysis/analysistest"
+	"ced/internal/analysis/sessionshare"
+)
+
+func TestSessionShare(t *testing.T) {
+	analysistest.Run(t, "testdata", sessionshare.Analyzer, "a")
+}

@@ -1,0 +1,86 @@
+// Package a exercises the sessionshare analyzer: sessions are
+// per-goroutine and must not leak across goroutine boundaries.
+package a
+
+import (
+	"sync"
+
+	"metric"
+)
+
+var m metric.Sessioner
+
+// captured leaks a session into a go closure declared around it.
+func captured() {
+	s := m.Session()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Distance(nil, nil) // want `session s captured by a go closure`
+	}()
+	wg.Wait()
+}
+
+// handed passes a session into a goroutine as an argument.
+func handed() {
+	s := m.Session()
+	go work(s) // want `session s handed to a go call`
+}
+
+// sent ships a session over a channel.
+func sent(ch chan metric.Metric) {
+	s := m.Session()
+	ch <- s // want `session s sent on a channel`
+}
+
+// waived is a reviewed handoff.
+func waived(ch chan metric.Metric) {
+	s := m.Session()
+	ch <- s //ced:sessionshare-ok: receiver is the sole user by construction.
+}
+
+// perWorker is the sanctioned idiom: each goroutine mints its own session.
+func perWorker() {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := m.Session()
+			s.Distance(nil, nil)
+		}()
+	}
+	wg.Wait()
+}
+
+// fanWorker mirrors bulk.Evaluator.FanWorker: sessions[w] flows to worker w
+// through an ordinary call into a fan primitive, which the per-worker
+// striping contract confines. Plain calls are not flagged.
+func fanWorker(n int) {
+	workers := 4
+	sessions := make([]metric.Metric, workers)
+	for w := range sessions {
+		sessions[w] = m.Session()
+	}
+	fan(n, workers, func(w, i int) {
+		sessions[w].Distance(nil, nil)
+	})
+}
+
+// fan is a stand-in for pool.FanWorker.
+func fan(n, workers int, fn func(w, i int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func work(s metric.Metric) { s.Distance(nil, nil) }

@@ -1,0 +1,19 @@
+// Package metric is a fixture standing in for ced/internal/metric: the
+// sessionshare analyzer matches package paths by suffix, so this "metric"
+// plays the real one.
+package metric
+
+// Metric is the fixture distance interface.
+type Metric interface {
+	Distance(a, b []rune) float64
+}
+
+type session struct{ scratch []int }
+
+func (s *session) Distance(a, b []rune) float64 { return float64(len(s.scratch)) }
+
+// Sessioner mints per-goroutine sessions.
+type Sessioner struct{}
+
+// Session returns a private, non-concurrency-safe evaluator.
+func (Sessioner) Session() Metric { return &session{} }

@@ -1,0 +1,121 @@
+// Package stagecount protects the observability contract of the staged
+// rejection ladder (PR-4/PR-5): every bounded search returns a StageCounts
+// tally saying which bound stage rejected each candidate, and callers are
+// expected to merge those counters upward (shard.Stats.Add, queryShard's
+// rej merging) so operators can see where pruning happens. Discarding a
+// StageCounts — with a blank identifier or by dropping a call's results on
+// the floor — silently zeroes a shard's contribution to the global tally,
+// which is how dashboards end up lying. Deliberate discards (benchmarks,
+// tests pinning unrelated behaviour) carry a //ced:stagecount-ok marker.
+package stagecount
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ced/internal/analysis"
+)
+
+// Analyzer is the stagecount pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "stagecount",
+	Doc: "StageCounts returned by bounded searches must be merged into the " +
+		"caller's tally, not discarded with _ or an expression statement " +
+		"(//ced:stagecount-ok waives a deliberate discard)",
+	Run: run,
+}
+
+// isStageCounts reports whether t (possibly via the metric.StageCounts
+// alias) is the StageCounts counter struct.
+func isStageCounts(t types.Type) bool {
+	named := analysis.NamedOf(t)
+	return named != nil && named.Obj().Name() == "StageCounts"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.ExprStmt:
+				checkExprStmt(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags blank-identifier positions whose incoming value is a
+// StageCounts.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	report := func(pos ast.Node) {
+		if pass.LineMarked(pos.Pos(), "stagecount-ok") {
+			return
+		}
+		pass.Reportf(pos.Pos(),
+			"StageCounts discarded with _: merge the rejection tally into the caller's "+
+				"counters (StageCounts.Add / shard.Stats.Add) so stage accounting stays honest")
+	}
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		// Multi-value call: x, _, _ := f().
+		tv, ok := pass.TypesInfo.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isStageCounts(tuple.At(i).Type()) {
+				report(lhs)
+			}
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) {
+				if tv, ok := pass.TypesInfo.Types[as.Rhs[i]]; ok && isStageCounts(tv.Type) {
+					report(lhs)
+				}
+			}
+		}
+	}
+}
+
+// checkExprStmt flags bare calls whose dropped results include a
+// StageCounts.
+func checkExprStmt(pass *analysis.Pass, st *ast.ExprStmt) {
+	call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	drops := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isStageCounts(t.At(i).Type()) {
+				drops = true
+			}
+		}
+	default:
+		drops = isStageCounts(tv.Type)
+	}
+	if !drops || pass.LineMarked(call.Pos(), "stagecount-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call result containing StageCounts dropped: merge the rejection tally into the "+
+			"caller's counters (StageCounts.Add / shard.Stats.Add) so stage accounting stays honest")
+}

@@ -1,0 +1,12 @@
+package stagecount_test
+
+import (
+	"testing"
+
+	"ced/internal/analysis/analysistest"
+	"ced/internal/analysis/stagecount"
+)
+
+func TestStageCount(t *testing.T) {
+	analysistest.Run(t, "testdata", stagecount.Analyzer, "a")
+}

@@ -1,0 +1,58 @@
+// Package a exercises the stagecount analyzer: rejection tallies must be
+// merged, never silently dropped.
+package a
+
+// StageCounts mirrors ced/internal/core's per-stage rejection counters.
+type StageCounts struct {
+	Length, Anchor, Interval, Exact int
+}
+
+// Add merges o into c.
+func (c *StageCounts) Add(o StageCounts) {
+	c.Length += o.Length
+	c.Anchor += o.Anchor
+	c.Interval += o.Interval
+	c.Exact += o.Exact
+}
+
+// Stats mirrors shard.Stats.
+type Stats struct {
+	Computations int
+	Rejections   StageCounts
+}
+
+// KNearestBounded is a stand-in for the bounded search entry points.
+func KNearestBounded(q string, k int, bound float64) ([]string, int, StageCounts) {
+	return nil, 0, StageCounts{}
+}
+
+// blankDiscard throws the tally away.
+func blankDiscard(q string) []string {
+	got, _, _ := KNearestBounded(q, 5, 0.25) // want `StageCounts discarded with _`
+	return got
+}
+
+// merged is the sanctioned idiom, mirroring shard.queryShard.
+func merged(q string, stats *Stats) []string {
+	got, n, rej := KNearestBounded(q, 5, 0.25)
+	stats.Computations += n
+	stats.Rejections.Add(rej)
+	return got
+}
+
+// dropped throws every result away, tally included.
+func dropped(q string) {
+	KNearestBounded(q, 5, 0.25) // want `call result containing StageCounts dropped`
+}
+
+// singleBlank discards a lone StageCounts value.
+func singleBlank(q string) {
+	_, _, rej := KNearestBounded(q, 5, 0.25)
+	_ = rej // want `StageCounts discarded with _`
+}
+
+// waived pins unrelated behaviour and documents the deliberate discard.
+func waived(q string) []string {
+	got, _, _ := KNearestBounded(q, 5, 0.25) //ced:stagecount-ok: test pins result order only.
+	return got
+}

@@ -50,6 +50,8 @@ func (e *Evaluator) Metric() metric.Metric { return e.m }
 // caller. Use Session/Release directly for irregular concurrency (the
 // VP-tree's concurrent subtree builds); the fan methods below handle the
 // common striped case.
+//
+//ced:poolleak-ok: ownership transfers to the caller, which pairs with Release.
 func (e *Evaluator) Session() metric.Metric {
 	if e.sessions == nil {
 		return e.m
@@ -74,10 +76,10 @@ func (e *Evaluator) FanWorker(n, workers int, fn func(s metric.Metric, w, i int)
 	}
 	workers = pool.Workers(n, workers)
 	sessions := e.checkout(workers)
+	defer e.release(sessions)
 	pool.FanWorker(n, workers, func(w, i int) {
 		fn(sessions[w], w, i)
 	})
-	e.release(sessions)
 }
 
 // Fan is FanWorker without the worker index: fn(s, i) with s private to the

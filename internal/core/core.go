@@ -80,6 +80,11 @@ func DistanceStrings(x, y string) float64 {
 // because every kernel re-derives its buffers from scratch per call (no
 // cell is read before being written and the harmonic prefix only ever
 // grows), so a half-finished evaluation cannot poison the next one.
+//
+// This pairing is the canonical shape cedvet's poolleak analyzer enforces
+// repo-wide: every pool checkout either defers its release like this or
+// carries a //ced:poolleak-ok ownership-transfer annotation (see
+// internal/analysis).
 func withWorkspace[T any](fn func(w *Workspace) T) T {
 	w := workspaces.Get().(*Workspace)
 	defer workspaces.Put(w)

@@ -81,7 +81,10 @@ type Staged interface {
 // per-goroutine session holding private scratch memory (e.g. a reusable
 // contextual-distance workspace, making steady-state calls allocation-free
 // with no pool contention). Sessions are NOT safe for concurrent use;
-// batch layers create one per worker.
+// batch layers create one per worker. cedvet's sessionshare analyzer
+// (internal/analysis) enforces the confinement mechanically: a session
+// must not be captured by a go closure or sent on a channel
+// (//ced:sessionshare-ok waives a reviewed handoff).
 type Sessioner interface {
 	Session() Metric
 }

@@ -25,6 +25,11 @@ import (
 
 // noBound is the wire encoding of an unbounded (+Inf) pruning radius:
 // JSON cannot carry IEEE infinities, so any negative bound means "none".
+// The sentinel exists only on the wire: cedvet's boundconv analyzer
+// (internal/analysis) rejects any use of a request's Bound field outside
+// wireBound/fromWireBound and any negative literal handed to a local
+// bounded call, so the encoding cannot leak into pruning arithmetic
+// (//ced:boundconv-ok waives a reviewed line).
 const noBound = -1
 
 // wireBound encodes a pruning bound for the wire.

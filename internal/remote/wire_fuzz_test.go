@@ -1,0 +1,74 @@
+package remote
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzWireBound pins the negative-means-+Inf bound convention under
+// arbitrary float inputs, the dynamic complement of cedvet's boundconv
+// analyzer: encode/decode round-trips every legal local bound exactly
+// (finite non-negative values bit-for-bit, +Inf through the negative
+// sentinel), decode normalises every negative wire value to +Inf, and the
+// encoded form survives the JSON hop inside a knnRequest.
+func FuzzWireBound(f *testing.F) {
+	f.Add(0.0)
+	f.Add(0.25)
+	f.Add(1.0)
+	f.Add(math.Inf(1))
+	f.Add(math.Inf(-1))
+	f.Add(-1.0)
+	f.Add(float64(noBound))
+	f.Add(math.SmallestNonzeroFloat64)
+	f.Add(math.MaxFloat64)
+	f.Fuzz(func(t *testing.T, b float64) {
+		if math.IsNaN(b) {
+			t.Skip("NaN is not a bound: no caller can produce one and JSON cannot carry it")
+		}
+
+		w := wireBound(b)
+		if math.IsInf(b, 1) {
+			if w >= 0 {
+				t.Fatalf("wireBound(+Inf) = %v, want a negative sentinel", w)
+			}
+		} else if b >= 0 && w != b {
+			t.Fatalf("wireBound(%v) = %v, want the value unchanged", b, w)
+		}
+
+		got := fromWireBound(w)
+		switch {
+		case math.IsInf(b, 1) || b < 0:
+			// +Inf encodes to the sentinel; a negative local value is
+			// already wire-encoded, so decoding treats it as "no bound".
+			if !math.IsInf(got, 1) {
+				t.Fatalf("round trip of %v = %v, want +Inf", b, got)
+			}
+		default:
+			if got != b {
+				t.Fatalf("round trip of %v = %v, want exact", b, got)
+			}
+		}
+
+		// The encoded bound must survive the JSON hop: JSON has no IEEE
+		// infinities, which is the whole reason the sentinel exists. Legal
+		// local bounds (finite ≥ 0 or +Inf) always encode finite; a
+		// nonsense input like -Inf passes through and is only pinned above.
+		if math.IsInf(w, 0) {
+			return
+		}
+		req := knnRequest{Query: "q", K: 1, Bound: wireBound(b)}
+		data, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal with bound %v (wire %v): %v", b, w, err)
+		}
+		var back knnRequest
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		want := fromWireBound(req.Bound)
+		if gotJSON := fromWireBound(back.Bound); gotJSON != want && !(math.IsInf(gotJSON, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("JSON hop changed the bound: sent %v, decoded %v", want, gotJSON)
+		}
+	})
+}

@@ -103,6 +103,8 @@ type laesaScratch struct {
 // checkoutScratch returns scratch slices sized for the corpus, recycled
 // through the index's pool: g zeroed, alive reset to every corpus index.
 // Pair with s.scratch.Put(sc) when the query is done.
+//
+//ced:poolleak-ok: ownership transfers to the caller, which defers the Put.
 func (s *LAESA) checkoutScratch() *laesaScratch {
 	n := len(s.corpus)
 	sc, _ := s.scratch.Get().(*laesaScratch)
@@ -151,6 +153,7 @@ func (s *LAESA) Search(q []rune) Result {
 		return Result{Index: -1}
 	}
 	sc := s.checkoutScratch()
+	defer s.scratch.Put(sc)
 	g, alive := sc.g, sc.alive
 	best := Result{Index: -1, Distance: math.Inf(1)}
 	comps := 0
@@ -218,7 +221,6 @@ func (s *LAESA) Search(q []rune) Result {
 		}
 		alive = w
 	}
-	s.scratch.Put(sc)
 	best.Computations = comps
 	return best
 }

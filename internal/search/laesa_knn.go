@@ -31,6 +31,7 @@ func (s *LAESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, 
 		k = n
 	}
 	sc := s.checkoutScratch()
+	defer s.scratch.Put(sc)
 	g, alive := sc.g, sc.alive
 	top := make([]Result, 0, k) // sorted ascending by distance
 	kth := bound
@@ -109,7 +110,6 @@ func (s *LAESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, 
 		}
 		alive = w
 	}
-	s.scratch.Put(sc)
 	return top, comps, rej
 }
 
@@ -123,6 +123,7 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 		return nil, 0
 	}
 	sc := s.checkoutScratch()
+	defer s.scratch.Put(sc)
 	g, alive := sc.g, sc.alive
 	var hits []Result
 	comps := 0
@@ -184,7 +185,6 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 		}
 		alive = w
 	}
-	s.scratch.Put(sc)
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Distance != hits[j].Distance {
 			return hits[i].Distance < hits[j].Distance

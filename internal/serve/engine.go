@@ -141,6 +141,10 @@ type Prediction struct {
 // are safe for concurrent use: queries read atomic per-shard snapshots,
 // mutations take short per-shard locks, snapshot loads swap the whole set
 // behind an atomic pointer, and the caches are internally locked.
+//
+// The atomic fields below are under cedvet's atomicsnap analyzer
+// (internal/analysis): they may be touched only through their atomic
+// method set (Load/Store/Add/...), never field-accessed raw.
 type Engine struct {
 	algorithm string
 	m         metric.Metric

@@ -153,6 +153,8 @@ func Load(r io.Reader, cfg Config) (*Set, error) {
 }
 
 // loadShardState reconstructs one shard's state from its wire form.
+//
+//ced:publish
 func (s *Set) loadShardState(i int, ss shardSnap) (*state, error) {
 	if len(ss.BaseIDs) != len(ss.BaseStrs) {
 		return nil, fmt.Errorf("shard: corrupt snapshot: shard %d has %d base ids for %d strings",

@@ -85,6 +85,8 @@ type Element struct {
 // state is one shard's immutable snapshot: queries load it from the atomic
 // pointer and never observe a mutation in progress. Every field is frozen
 // once published — mutations build a new state sharing the unchanged parts.
+//
+//ced:frozen
 type state struct {
 	// base is the frozen index over baseStrs; nil for an empty shard.
 	base     search.KSearcher
@@ -248,6 +250,8 @@ func newSet(cfg Config, labelled bool) *Set {
 
 // newBaseState builds a shard state with the given base corpus and no
 // delta, invoking the build function unless the shard is empty.
+//
+//ced:publish
 func (s *Set) newBaseState(shardIdx int, strs []string, ids []uint64, labels []int) *state {
 	st := &state{
 		baseStrs:   strs,
@@ -360,6 +364,8 @@ func (s *Set) insert(e entry) bool {
 // Delete removes the element with the given ID, reporting whether it was
 // live. Base elements gain a tombstone (space is reclaimed at the next
 // compaction); delta entries are dropped outright.
+//
+//ced:publish
 func (s *Set) Delete(id uint64) bool {
 	if id >= s.nextID.Load() {
 		return false
@@ -421,6 +427,8 @@ func (st *state) clone() *state {
 // appendDelta publishes a delta with e appended. The slices are re-copied
 // so no published state ever shares a backing array that a later append
 // could overwrite.
+//
+//ced:publish
 func (st *state) appendDelta(m metric.Metric, e entry) {
 	n := len(st.deltaIDs)
 	runes := make([][]rune, n, n+1)
@@ -439,6 +447,8 @@ func (st *state) appendDelta(m metric.Metric, e entry) {
 }
 
 // rebuildDeltaWithout publishes a delta with the entry id removed.
+//
+//ced:publish
 func (st *state) rebuildDeltaWithout(m metric.Metric, id uint64) {
 	n := len(st.deltaIDs)
 	runes := make([][]rune, 0, n-1)
@@ -519,6 +529,8 @@ func (s *Set) Wait() { s.compactWG.Wait() }
 // carried over: entries added during the build stay in the new delta, and
 // elements deleted during the build are tombstoned in the new base instead
 // of resurrected.
+//
+//ced:publish
 func (s *Set) compactShard(sh *shard) {
 	snap := sh.state.Load()
 

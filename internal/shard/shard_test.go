@@ -391,7 +391,7 @@ func TestKNearestBoundedContract(t *testing.T) {
 			want := idx.KNearest([]rune(q), 5)
 			kth := want[len(want)-1].Distance
 			for _, bound := range []float64{math.Inf(1), kth, kth * 2} {
-				got, _, _ := idx.KNearestBounded([]rune(q), 5, bound)
+				got, _, _ := idx.KNearestBounded([]rune(q), 5, bound) //ced:stagecount-ok: pins result parity only.
 				if len(got) != len(want) {
 					t.Fatalf("%s %q bound=%v: %d results, want %d", name, q, bound, len(got), len(want))
 				}

@@ -8,8 +8,8 @@
 //	cedserve [-addr :8080] [-corpus FILE] [-d dC,h] [-index laesa] [-pivots 16]
 //	         [-workers 0] [-build-workers 0] [-cache 4096] [-seed 1] [-sample 0]
 //	         [-shards 1] [-compact-threshold 256]
-//	         [-snapshot FILE] [-load-snapshot]
-//	cedserve -shard-server [-addr :9001] [-d dC,h] [-index laesa] [-pivots 16]
+//	         [-snapshot FILE] [-store DIR|URL] [-snapshot-every N] [-load-snapshot]
+//	cedserve -shard-server [-addr :9001] [-d dC,h] [-index laesa] [-pivots 16] [-store DIR|URL]
 //	cedserve -coordinator -shards-at http://h1:9001,http://h2:9001
 //	         [-corpus FILE | -sample N] [-cluster-shards 4] [-replicas 2]
 //	         [-range-width 0] [-hedge-after 0] [-request-timeout 2s] [-retries 2]
@@ -36,11 +36,27 @@
 // instead of building indexes, so a warm cold-start costs zero distance
 // computations (a corpus source is then optional).
 //
+// -store DIR|URL attaches a durable blob store — a local directory
+// (crash-safe temp-file + fsync + rename writes) or an http(s)://
+// object-server URL (retried, integrity-checked uploads). With a store,
+// /snapshot/save publishes an incremental manifest-addressed snapshot
+// that re-uploads only the shards changed since the last save and commits
+// by writing the manifest last, so a crash at any point leaves the
+// previous snapshot fully loadable; -load-snapshot cold-starts from the
+// newest manifest and -snapshot-every N publishes a background snapshot
+// after every N mutations (single-flight, with a failure cool-down).
+// /healthz reports the last snapshot's sequence, age and error under
+// "snapshot".
+//
 // # Cluster modes
 //
 // -shard-server turns the process into an empty shard host: it serves
 // logical shard slots under /shard/{slot}/... and waits for a coordinator
 // to seed them (corpus flags are refused — content arrives over the wire).
+// Giving every shard server in a fleet the same -store enables the
+// coordinator's store-first replica re-sync: a healthy donor publishes an
+// incremental slot snapshot and the recovering node restores it from the
+// store, so the bulk bytes never transit the coordinator.
 // -coordinator makes the process the cluster front door: it seeds the
 // corpus across the shard servers listed in -shards-at (replica r of
 // logical shard s lands on node (s+r) mod N), replicates every write R
@@ -83,6 +99,7 @@ import (
 	"time"
 
 	"ced"
+	"ced/internal/blob"
 	"ced/internal/metric"
 	"ced/internal/remote"
 )
@@ -102,7 +119,9 @@ func main() {
 		shards     = flag.Int("shards", 1, "partition the corpus across this many independent indexes")
 		compactThr = flag.Int("compact-threshold", 0, "per-shard delta+tombstone size that triggers background compaction (0 = default 256)")
 		snapshot   = flag.String("snapshot", "", "server-side snapshot file for the /snapshot/save and /snapshot/load endpoints")
-		loadSnap   = flag.Bool("load-snapshot", false, "restore -snapshot at startup instead of building indexes (corpus flags become optional)")
+		loadSnap   = flag.Bool("load-snapshot", false, "restore the -store (or -snapshot file) at startup instead of building indexes (corpus flags become optional)")
+		store      = flag.String("store", "", "durable snapshot store: a directory path or an http(s):// object-server URL; /snapshot/save uploads only changed shards")
+		snapEvery  = flag.Int("snapshot-every", 0, "publish a background store snapshot after this many mutations (0 = manual; needs -store)")
 
 		shardServer   = flag.Bool("shard-server", false, "host logical shard slots for a cluster coordinator (a coordinator seeds them over HTTP; corpus flags are refused)")
 		coordinator   = flag.Bool("coordinator", false, "serve as the cluster coordinator over the shard servers in -shards-at")
@@ -118,6 +137,7 @@ func main() {
 
 	var (
 		handler http.Handler
+		drain   func()
 		err     error
 	)
 	switch {
@@ -127,7 +147,7 @@ func main() {
 		handler, err = buildShardServer(shardServerOpts{
 			dist: *dist, index: *index, pivots: *pivots, seed: *seed,
 			buildWorkers: *buildWrk, compactThreshold: *compactThr,
-			corpusPath: *corpus, sample: *sample,
+			corpusPath: *corpus, sample: *sample, store: *store,
 		}, *addr)
 	case *coordinator:
 		handler, err = buildCoordinator(coordinatorOpts{
@@ -144,9 +164,11 @@ func main() {
 			pivots: *pivots, workers: *workers, buildWorkers: *buildWrk,
 			cache: *cache, seed: *seed, shards: *shards, compactThreshold: *compactThr,
 			snapshotPath: *snapshot, loadSnapshot: *loadSnap,
+			store: *store, snapshotEvery: *snapEvery,
 		})
 		if err == nil {
 			handler = srv.Handler()
+			drain = srv.WaitSnapshots // finish in-flight background snapshots before exiting
 			log.Printf("cedserve: serving %d strings (%s index ×%d shards, %s metric, labelled=%v) on %s",
 				info.CorpusSize, info.Algorithm, info.Shards.Shards, info.Metric, info.Labelled, *addr)
 		}
@@ -155,7 +177,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cedserve:", err)
 		os.Exit(1)
 	}
-	if err := runServer(*addr, handler); err != nil {
+	if err := runServer(*addr, handler, drain); err != nil {
 		log.Fatal("cedserve: ", err)
 	}
 }
@@ -163,8 +185,10 @@ func main() {
 // runServer serves handler on addr with conservative connection timeouts
 // (a bare http.ListenAndServe holds header-less or dribbling connections
 // forever) and drains in-flight requests on SIGINT/SIGTERM before
-// returning. A clean shutdown returns nil.
-func runServer(addr string, handler http.Handler) error {
+// returning; drain (optional) then runs before the clean return — the
+// engine hooks its background-snapshot wait there so a TERM never cuts a
+// store upload in half. A clean shutdown returns nil.
+func runServer(addr string, handler http.Handler, drain func()) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -189,6 +213,9 @@ func runServer(addr string, handler http.Handler) error {
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		if drain != nil {
+			drain()
+		}
 		return nil
 	}
 }
@@ -204,6 +231,7 @@ type shardServerOpts struct {
 	compactThreshold int
 	corpusPath       string
 	sample           int
+	store            string
 }
 
 // buildShardServer assembles the shard-host handler. Corpus flags are
@@ -217,6 +245,12 @@ func buildShardServer(o shardServerOpts, addr string) (http.Handler, error) {
 	if err != nil {
 		return nil, err
 	}
+	var st blob.Store
+	if o.store != "" {
+		if st, err = blob.Open(o.store); err != nil {
+			return nil, fmt.Errorf("opening blob store: %w", err)
+		}
+	}
 	srv, err := remote.NewShardServer(remote.ServerConfig{
 		Metric:           m,
 		Algorithm:        o.index,
@@ -224,6 +258,7 @@ func buildShardServer(o shardServerOpts, addr string) (http.Handler, error) {
 		Seed:             o.seed,
 		BuildWorkers:     o.buildWorkers,
 		CompactThreshold: o.compactThreshold,
+		Store:            st,
 	})
 	if err != nil {
 		return nil, err
@@ -317,6 +352,8 @@ type buildOpts struct {
 	compactThreshold int
 	snapshotPath     string
 	loadSnapshot     bool
+	store            string
+	snapshotEvery    int
 }
 
 // build loads or generates the corpus (or restores a snapshot) and
@@ -355,8 +392,11 @@ func build(o buildOpts) (*ced.Server, ced.ServerInfo, error) {
 	if o.cache <= 0 {
 		o.cache = -1 // flag semantics: 0 disables; ServerConfig treats 0 as "default"
 	}
-	if o.loadSnapshot && o.snapshotPath == "" {
-		return nil, ced.ServerInfo{}, fmt.Errorf("-load-snapshot needs -snapshot FILE")
+	if o.loadSnapshot && o.snapshotPath == "" && o.store == "" {
+		return nil, ced.ServerInfo{}, fmt.Errorf("-load-snapshot needs -store DIR|URL or -snapshot FILE")
+	}
+	if o.snapshotEvery > 0 && o.store == "" {
+		return nil, ced.ServerInfo{}, fmt.Errorf("-snapshot-every needs -store DIR|URL")
 	}
 	srv, err := ced.NewServer(data, ced.ServerConfig{
 		Algorithm:        o.index,
@@ -369,11 +409,22 @@ func build(o buildOpts) (*ced.Server, ced.ServerInfo, error) {
 		Shards:           o.shards,
 		CompactThreshold: o.compactThreshold,
 		SnapshotPath:     o.snapshotPath,
+		Store:            o.store,
+		SnapshotEvery:    o.snapshotEvery,
 	})
 	if err != nil {
 		return nil, ced.ServerInfo{}, err
 	}
-	if o.loadSnapshot {
+	switch {
+	case o.loadSnapshot && o.store != "":
+		// The store is the durable source of truth when both are set: it
+		// holds the newest manifest and verifies object integrity.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		if _, err := srv.LoadFromStore(ctx); err != nil {
+			return nil, ced.ServerInfo{}, fmt.Errorf("loading store snapshot: %w", err)
+		}
+	case o.loadSnapshot:
 		f, err := os.Open(o.snapshotPath)
 		if err != nil {
 			return nil, ced.ServerInfo{}, fmt.Errorf("loading snapshot: %w", err)

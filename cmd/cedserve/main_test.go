@@ -422,7 +422,7 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 	l.Close()
 
 	done := make(chan error, 1)
-	go func() { done <- runServer(addr, http.NotFoundHandler()) }()
+	go func() { done <- runServer(addr, http.NotFoundHandler(), nil) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		conn, err := net.Dial("tcp", addr)
@@ -464,5 +464,82 @@ func TestBuildSampleCorpus(t *testing.T) {
 	}
 	if code := post(t, ts.URL+"/knn", `{"query":"hola","k":1}`, nil); code != http.StatusOK {
 		t.Fatalf("/knn status = %d", code)
+	}
+}
+
+// TestStoreSnapshotColdStart drives the durable-store path at the flag
+// level: serve a corpus with -store DIR and -snapshot-every, mutate past
+// the threshold, then cold-start a second server from the store with
+// -load-snapshot and require the mutations (including a tombstone) back.
+func TestStoreSnapshotColdStart(t *testing.T) {
+	corpus := writeCorpus(t)
+	dir := t.TempDir()
+	srv, info, err := build(buildOpts{
+		corpusPath: corpus, dist: "dC,h", index: "laesa", pivots: 4,
+		seed: 1, shards: 4, store: dir, snapshotEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CorpusSize != 8 {
+		t.Fatalf("info = %+v", info)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var add struct {
+		ID uint64 `json:"id"`
+	}
+	if code := post(t, ts.URL+"/add", `{"value":"gatita","label":3}`, &add); code != http.StatusOK {
+		t.Fatal("/add failed")
+	}
+	if code := post(t, ts.URL+"/delete", `{"id":0}`, nil); code != http.StatusOK {
+		t.Fatal("/delete failed")
+	}
+	// Two mutations crossed -snapshot-every=2; the drain hook cedserve
+	// runs at shutdown guarantees the background snapshot is durable.
+	srv.WaitSnapshots()
+	if info := srv.Info(); info.Snapshot.LastSeq == 0 || info.Snapshot.LastError != "" {
+		t.Fatalf("background snapshot never landed: %+v", info.Snapshot)
+	}
+
+	cold, coldInfo, err := build(buildOpts{
+		dist: "dC,h", index: "laesa", pivots: 4, seed: 1,
+		store: dir, loadSnapshot: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldInfo.CorpusSize != 8 || !coldInfo.Labelled {
+		t.Fatalf("cold-start info = %+v", coldInfo)
+	}
+	ts2 := httptest.NewServer(cold.Handler())
+	defer ts2.Close()
+	var k struct {
+		Results []struct {
+			Index int    `json:"index"`
+			Value string `json:"value"`
+		} `json:"results"`
+	}
+	if code := post(t, ts2.URL+"/knn", `{"query":"gatita","k":1}`, &k); code != http.StatusOK {
+		t.Fatal("/knn failed on cold start")
+	}
+	if len(k.Results) != 1 || k.Results[0].Value != "gatita" || k.Results[0].Index != int(add.ID) {
+		t.Fatalf("restored mutation missing: %+v", k)
+	}
+	if code := post(t, ts2.URL+"/delete", `{"id":0}`, nil); code != http.StatusNotFound {
+		t.Error("tombstone for id 0 not restored")
+	}
+
+	// Flag validation around the store.
+	if _, _, err := build(buildOpts{
+		corpusPath: corpus, dist: "dC,h", index: "laesa", snapshotEvery: 4,
+	}); err == nil {
+		t.Error("-snapshot-every without -store should fail")
+	}
+	if _, _, err := build(buildOpts{
+		dist: "dC,h", index: "laesa", store: t.TempDir(), loadSnapshot: true,
+	}); err == nil {
+		t.Error("-load-snapshot from an empty store should fail")
 	}
 }

@@ -1,0 +1,324 @@
+package blob
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// shaHeader carries the hex SHA-256 of the object body on both directions
+// of the HTTP transport, so a flipped bit anywhere between the writer's
+// buffer and the reader's is a hard error, not silent corruption.
+const shaHeader = "X-Ced-Sha256"
+
+// HTTPConfig tunes the HTTP object-store client. Zero values select
+// production defaults.
+type HTTPConfig struct {
+	// Timeout bounds one attempt of one request (default 30s — objects are
+	// whole shard snapshots, not tiny records).
+	Timeout time.Duration
+	// Retries is the number of re-attempts after the first failure on 5xx
+	// or connection errors (default 3).
+	Retries int
+	// RetryBase is the initial backoff, doubled per retry (default 50ms,
+	// capped at 2s).
+	RetryBase time.Duration
+	// Client overrides the underlying *http.Client (its Timeout is left
+	// alone; per-attempt deadlines come from Timeout above).
+	Client *http.Client
+}
+
+func (c *HTTPConfig) fill() {
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Retries <= 0 {
+		c.Retries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+}
+
+// HTTPStore talks to an S3-style object server (Handler, or anything
+// speaking the same PUT/GET/DELETE-by-key shape) with per-attempt
+// timeouts, bounded retry with doubling backoff on 5xx and transport
+// errors, and content-length plus SHA-256 verification on both uploads
+// and downloads. 4xx answers are terminal — retrying a bad request is
+// wasted load.
+type HTTPStore struct {
+	base string
+	cfg  HTTPConfig
+}
+
+// NewHTTPStore opens a store rooted at base (e.g. "http://host:9100").
+func NewHTTPStore(base string, cfg HTTPConfig) *HTTPStore {
+	cfg.fill()
+	return &HTTPStore{base: strings.TrimRight(base, "/"), cfg: cfg}
+}
+
+// apiError is a non-retryable server verdict (4xx).
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("blob: server status %d: %s", e.status, e.msg)
+}
+
+// do runs one request with bounded retries. build must return a fresh
+// request each attempt (bodies are consumed on failure).
+func (s *HTTPStore) do(ctx context.Context, build func(ctx context.Context) (*http.Request, error)) (*http.Response, error) {
+	backoff := s.cfg.RetryBase
+	var last error
+	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		}
+		resp, err := s.attempt(ctx, build)
+		if err == nil {
+			return resp, nil
+		}
+		var ae *apiError
+		if errors.As(err, &ae) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), err)
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("blob: giving up after %d attempts: %w", s.cfg.Retries+1, last)
+}
+
+// attempt runs a single try under its own deadline. On success the
+// response body is fully read and the per-attempt context released before
+// returning, so the deadline cannot fire mid-read in the caller.
+func (s *HTTPStore) attempt(ctx context.Context, build func(ctx context.Context) (*http.Request, error)) (*http.Response, error) {
+	actx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+	req, err := build(actx)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxObjectBytes))
+	if err != nil {
+		return nil, fmt.Errorf("blob: reading response: %w", err)
+	}
+	switch {
+	case resp.StatusCode >= 500:
+		return nil, fmt.Errorf("blob: server status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	case resp.StatusCode >= 400:
+		return nil, &apiError{status: resp.StatusCode, msg: strings.TrimSpace(string(body))}
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "" {
+		want, err := strconv.ParseInt(cl, 10, 64)
+		if err == nil && want != int64(len(body)) {
+			return nil, fmt.Errorf("blob: truncated response: got %d bytes, Content-Length %d", len(body), want)
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	return resp, nil
+}
+
+func (s *HTTPStore) keyURL(key string) string { return s.base + "/" + key }
+
+func (s *HTTPStore) Put(ctx context.Context, key string, r io.Reader) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	// Buffer the object so every retry replays identical bytes and the
+	// digest covers exactly what goes on the wire.
+	b, err := io.ReadAll(io.LimitReader(r, maxObjectBytes))
+	if err != nil {
+		return fmt.Errorf("blob: put %s: %w", key, err)
+	}
+	sum := sha256.Sum256(b)
+	resp, err := s.do(ctx, func(actx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(actx, http.MethodPut, s.keyURL(key), bytes.NewReader(b))
+		if err != nil {
+			return nil, err
+		}
+		req.ContentLength = int64(len(b))
+		req.Header.Set(shaHeader, hex.EncodeToString(sum[:]))
+		req.Header.Set("Content-Type", "application/octet-stream")
+		return req, nil
+	})
+	if err != nil {
+		return fmt.Errorf("blob: put %s: %w", key, err)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+func (s *HTTPStore) Get(ctx context.Context, key string) (io.ReadCloser, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	resp, err := s.do(ctx, func(actx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(actx, http.MethodGet, s.keyURL(key), nil)
+	})
+	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.status == http.StatusNotFound {
+			return nil, fmt.Errorf("blob: get %s: %w", key, ErrNotFound)
+		}
+		return nil, fmt.Errorf("blob: get %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("blob: get %s: %w", key, err)
+	}
+	if want := resp.Header.Get(shaHeader); want != "" {
+		sum := sha256.Sum256(body)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			return nil, fmt.Errorf("blob: get %s: body sha256 %s does not match header %s", key, got, want)
+		}
+	}
+	return io.NopCloser(bytes.NewReader(body)), nil
+}
+
+func (s *HTTPStore) List(ctx context.Context, prefix string) ([]string, error) {
+	resp, err := s.do(ctx, func(actx context.Context) (*http.Request, error) {
+		u := s.base + "/?prefix=" + prefix
+		return http.NewRequestWithContext(actx, http.MethodGet, u, nil)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("blob: list %s: %w", prefix, err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("blob: list %s: %w", prefix, err)
+	}
+	return out.Keys, nil
+}
+
+func (s *HTTPStore) Delete(ctx context.Context, key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	resp, err := s.do(ctx, func(actx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(actx, http.MethodDelete, s.keyURL(key), nil)
+	})
+	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.status == http.StatusNotFound {
+			return nil
+		}
+		return fmt.Errorf("blob: delete %s: %w", key, err)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Handler serves inner over the same S3-style wire shape HTTPStore
+// speaks: PUT/GET/DELETE /{key...} plus GET /?prefix= for listing. Uploads
+// are verified against their declared Content-Length and SHA-256 header
+// before they reach the backing store — a torn or corrupted upload is
+// rejected with 400, never stored.
+func Handler(inner Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		keys, err := inner.List(r.Context(), r.URL.Query().Get("prefix"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if keys == nil {
+			keys = []string{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string][]string{"keys": keys})
+	})
+	mux.HandleFunc("PUT /{key...}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !ValidKey(key) {
+			http.Error(w, "invalid key", http.StatusBadRequest)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxObjectBytes))
+		if err != nil {
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if r.ContentLength >= 0 && r.ContentLength != int64(len(body)) {
+			http.Error(w, fmt.Sprintf("body is %d bytes, Content-Length %d", len(body), r.ContentLength), http.StatusBadRequest)
+			return
+		}
+		if want := r.Header.Get(shaHeader); want != "" {
+			sum := sha256.Sum256(body)
+			if got := hex.EncodeToString(sum[:]); got != want {
+				http.Error(w, "body sha256 "+got+" does not match "+shaHeader, http.StatusBadRequest)
+				return
+			}
+		}
+		if err := inner.Put(r.Context(), key, bytes.NewReader(body)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /{key...}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !ValidKey(key) {
+			http.Error(w, "invalid key", http.StatusBadRequest)
+			return
+		}
+		b, err := GetBytes(r.Context(), inner, key)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				http.Error(w, "not found", http.StatusNotFound)
+			} else {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		sum := sha256.Sum256(b)
+		w.Header().Set(shaHeader, hex.EncodeToString(sum[:]))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+		w.Write(b)
+	})
+	mux.HandleFunc("DELETE /{key...}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !ValidKey(key) {
+			http.Error(w, "invalid key", http.StatusBadRequest)
+			return
+		}
+		if err := inner.Delete(r.Context(), key); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}

@@ -1,0 +1,198 @@
+package blob
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastCfg() HTTPConfig {
+	return HTTPConfig{Timeout: 2 * time.Second, Retries: 3, RetryBase: time.Millisecond}
+}
+
+// TestHTTPStoreRetries5xx: transient 5xx answers are retried with backoff
+// and the op succeeds once the server recovers.
+func TestHTTPStoreRetries5xx(t *testing.T) {
+	ctx := context.Background()
+	var calls atomic.Int64
+	inner := NewMemStore()
+	h := Handler(inner)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "brownout", http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	s := NewHTTPStore(srv.URL, fastCfg())
+	if err := PutBytes(ctx, s, "k", []byte("survives brownout")); err != nil {
+		t.Fatalf("Put through 2×5xx: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	b, err := GetBytes(ctx, s, "k")
+	if err != nil || string(b) != "survives brownout" {
+		t.Fatalf("Get after retry: %q, %v", b, err)
+	}
+}
+
+// TestHTTPStoreGivesUp: a persistent 5xx exhausts the retry budget and
+// surfaces as an error rather than hanging forever.
+func TestHTTPStoreGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	s := NewHTTPStore(srv.URL, fastCfg())
+	err := PutBytes(context.Background(), s, "k", []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v, want giving-up error", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d calls, want 4 (1 + 3 retries)", got)
+	}
+}
+
+// TestHTTPStoreNoRetryOn4xx: client errors are terminal — one attempt.
+func TestHTTPStoreNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	s := NewHTTPStore(srv.URL, fastCfg())
+	if err := PutBytes(context.Background(), s, "k", []byte("x")); err == nil {
+		t.Fatal("Put succeeded against 400")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no 4xx retry)", got)
+	}
+}
+
+// TestHTTPStoreHangTimesOut: a hung server trips the per-attempt timeout;
+// with retries also hanging, the whole op fails in bounded time.
+func TestHTTPStoreHangTimesOut(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	s := NewHTTPStore(srv.URL, HTTPConfig{Timeout: 50 * time.Millisecond, Retries: 1, RetryBase: time.Millisecond})
+	start := time.Now()
+	_, err := GetBytes(context.Background(), s, "k")
+	if err == nil {
+		t.Fatal("Get succeeded against hung server")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("hung for %v, want bounded by per-attempt timeouts", el)
+	}
+}
+
+// TestHTTPStoreRejectsTruncatedBody: a response shorter than its declared
+// Content-Length is an integrity error, not data.
+func TestHTTPStoreRejectsTruncatedBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "100")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("only twenty bytes!!!"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		// Hijack and drop the connection so the short body is all the
+		// client ever sees.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+	}))
+	defer srv.Close()
+	s := NewHTTPStore(srv.URL, HTTPConfig{Timeout: time.Second, Retries: 1, RetryBase: time.Millisecond})
+	if _, err := GetBytes(context.Background(), s, "k"); err == nil {
+		t.Fatal("Get accepted truncated body")
+	}
+}
+
+// TestHTTPStoreRejectsShaMismatch: a body whose SHA-256 disagrees with the
+// server's header fails closed.
+func TestHTTPStoreRejectsShaMismatch(t *testing.T) {
+	body := []byte("the real object")
+	sum := sha256.Sum256([]byte("something else entirely"))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(shaHeader, hex.EncodeToString(sum[:]))
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.Write(body)
+	}))
+	defer srv.Close()
+	s := NewHTTPStore(srv.URL, fastCfg())
+	_, err := GetBytes(context.Background(), s, "k")
+	if err == nil || !strings.Contains(err.Error(), "sha256") {
+		t.Fatalf("err = %v, want sha256 mismatch", err)
+	}
+}
+
+// TestHandlerRejectsCorruptUpload: the server side verifies the declared
+// digest before storing — a bit-flipped upload never lands.
+func TestHandlerRejectsCorruptUpload(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	srv := httptest.NewServer(Handler(inner))
+	defer srv.Close()
+	body := []byte("upload payload")
+	sum := sha256.Sum256([]byte("corrupted in flight"))
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/k", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(shaHeader, hex.EncodeToString(sum[:]))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if inner.Len() != 0 {
+		t.Fatal("corrupt upload reached the backing store")
+	}
+	// And a well-formed upload with matching digest does land.
+	s := NewHTTPStore(srv.URL, fastCfg())
+	if err := PutBytes(ctx, s, "k", body); err != nil {
+		t.Fatalf("clean Put: %v", err)
+	}
+	if got, _ := GetBytes(ctx, inner, "k"); string(got) != string(body) {
+		t.Fatalf("stored %q", got)
+	}
+}
+
+// TestHTTPStoreConnectionRefused: transport-level failures are retried
+// then reported, not panicked on.
+func TestHTTPStoreConnectionRefused(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewMemStore()))
+	srv.Close() // nothing listens here any more
+	s := NewHTTPStore(srv.URL, HTTPConfig{Timeout: time.Second, Retries: 2, RetryBase: time.Millisecond})
+	if err := PutBytes(context.Background(), s, "k", []byte("x")); err == nil {
+		t.Fatal("Put succeeded against closed server")
+	}
+	if _, err := GetBytes(context.Background(), s, "k"); errors.Is(err, ErrNotFound) {
+		t.Fatal("transport failure mapped to ErrNotFound")
+	}
+}

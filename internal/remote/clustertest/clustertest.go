@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"ced/internal/blob"
 	"ced/internal/metric"
 	"ced/internal/remote"
 )
@@ -168,6 +169,11 @@ type Config struct {
 	HedgeAfter    time.Duration
 	FailThreshold int
 	ProbeInterval time.Duration // 0 = disabled; > 0 enables the loop
+	// Store, when set, is shared by every node in the fleet — the layout a
+	// real deployment gets from pointing all shard servers at one bucket.
+	// It enables the coordinator's store-first re-sync: a donor publishes a
+	// slot snapshot and the recovering replica restores the same digest.
+	Store blob.Store
 }
 
 // Cluster is a running test cluster. Nodes[i] serves the coordinator's
@@ -220,6 +226,7 @@ func Start(t testing.TB, cfg Config, corpus []string, labels []int) *Cluster {
 			Algorithm: cfg.Algorithm,
 			Pivots:    cfg.Pivots,
 			Seed:      cfg.Seed,
+			Store:     cfg.Store,
 		}
 		ss, err := remote.NewShardServer(scfg)
 		if err != nil {

@@ -1,0 +1,93 @@
+package clustertest
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ced/internal/blob"
+	"ced/internal/dataset"
+)
+
+// TestClusterRestartStoreResync replays the crash-restart recovery of
+// TestClusterCrashRestartReadmission on a fleet that shares a blob store,
+// and pins the transport the re-sync takes: the donor publishes an
+// incremental slot snapshot, the restarted node restores the same digest
+// from the store, and the full dump transfer never runs. The readmitted
+// node must then answer the oracle on its own — a store restore that
+// readmits a stale or empty replica would silently break cluster
+// exactness, so the answers are the real assertion.
+func TestClusterRestartStoreResync(t *testing.T) {
+	d := dataset.Spanish(120, 11)
+	labels := make([]int, len(d.Strings))
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	queries := []string{"casa", d.Strings[7], d.Strings[113] + "s"}
+	store := blob.NewFaultStore(blob.NewMemStore())
+	c := Start(t, Config{
+		Nodes: 2, Shards: 2, Replicas: 2,
+		Timeout: 300 * time.Millisecond,
+		Store:   store,
+	}, d.Strings, labels)
+	o := NewOracle(c.Metric, d.Strings, labels)
+	ctx := context.Background()
+
+	// Eject node 1's replicas through read failures, then bring the
+	// process back empty at the same address.
+	c.Nodes[1].SetFault(FaultDown)
+	for round := 0; round < 4; round++ {
+		for _, q := range queries {
+			assertClusterKNN(t, o, c, q, 5, "node-down")
+		}
+	}
+	c.Heal()
+	c.Nodes[1].Restart(t)
+	store.ResetCounters()
+	c.Coord.Probe(ctx)
+
+	info := c.Coord.Info()
+	if !info.Healthy {
+		t.Fatalf("cluster unhealthy after restart+probe: %+v", info.ReplicaHealth)
+	}
+	for _, rh := range nodeHealth(info, c.Nodes[1].Srv.URL) {
+		if !rh.Healthy || rh.Stale || rh.Readmissions == 0 {
+			t.Fatalf("restarted replica not re-synced and readmitted: %+v", rh)
+		}
+	}
+	if info.ResyncRestores == 0 {
+		t.Fatalf("re-sync should have gone through the shared store: %+v", info)
+	}
+	if info.ResyncSeeds != 0 {
+		t.Fatalf("store-first re-sync fell back to dump transfer %d times", info.ResyncSeeds)
+	}
+	if puts, gets, _, _ := store.Counts(); puts == 0 || gets == 0 {
+		t.Fatalf("store re-sync moved no bytes through the store: puts=%d gets=%d", puts, gets)
+	}
+
+	// The restored slots must carry the corpus: kill the donor node and
+	// pin the restarted node's answers alone.
+	c.Nodes[0].SetFault(Fault500)
+	for _, q := range queries {
+		assertClusterKNN(t, o, c, q, 5, "store-restored-serving")
+		assertClusterClassify(t, o, c, q, "store-restored-serving")
+	}
+
+	// A second crash of the same node re-syncs incrementally: nothing
+	// changed since the last publish, so the donor's snapshot re-uploads
+	// no shard objects (at most a manifest) before the restore.
+	c.Heal()
+	c.Nodes[1].Restart(t)
+	store.ResetCounters()
+	c.Coord.Probe(ctx)
+	info = c.Coord.Info()
+	if !info.Healthy || info.ResyncRestores < 2 {
+		t.Fatalf("second restart should restore from store again: %+v", info)
+	}
+	for _, k := range store.PutKeys() {
+		if !strings.Contains(k, "/manifest/") {
+			t.Fatalf("unchanged slot re-uploaded object %q on second re-sync", k)
+		}
+	}
+}

@@ -93,7 +93,11 @@ type Coordinator struct {
 	rr      []atomic.Uint64
 	hedged  atomic.Uint64
 	retried atomic.Uint64
-	lat     latencyRing
+	// resyncRestores/resyncSeeds count how replica re-syncs were served:
+	// store-mediated restore (fast path) vs full dump transfer (fallback).
+	resyncRestores atomic.Uint64
+	resyncSeeds    atomic.Uint64
+	lat            latencyRing
 
 	stopProbe chan struct{}
 	probeWG   sync.WaitGroup
@@ -661,18 +665,38 @@ func (c *Coordinator) Probe(ctx context.Context) {
 	}
 }
 
-// resync reseeds rep's slot from a healthy peer replica of shard s. The
-// caller holds the shard write lock.
+// resync rebuilds rep's slot to match a healthy peer replica of shard s.
+// The caller holds the shard write lock, so no write can fall between the
+// donor capture and the recovering replica's rebuild.
+//
+// Store-first: when the fleet shares a blob store, the donor publishes an
+// incremental snapshot (unchanged shards cost nothing) and the recovering
+// replica restores from the store, so the bulk bytes never transit the
+// coordinator. The path only counts as a re-sync if the restored
+// manifest's digest equals the one the donor just published — equal
+// digests mean bit-identical content, while a mismatch means the two
+// nodes do not actually share a store (each restored its own stale local
+// snapshot) and the full dump transfer below is the only exact option.
 func (c *Coordinator) resync(ctx context.Context, s int, rep *replica) error {
 	for _, donor := range c.replicas[s] {
 		if donor == rep || !donor.healthy() || donor.isStale() {
 			continue
 		}
+		if snap, err := donor.client.Snapshot(ctx); err == nil {
+			if got, err := rep.client.Restore(ctx); err == nil && got.ManifestSHA == snap.ManifestSHA {
+				c.resyncRestores.Add(1)
+				return nil
+			}
+		}
 		labelled, elems, err := donor.client.Dump(ctx)
 		if err != nil {
 			continue
 		}
-		return rep.client.Seed(ctx, c.cfg.MetricName, labelled, elems)
+		if err := rep.client.Seed(ctx, c.cfg.MetricName, labelled, elems); err != nil {
+			return err
+		}
+		c.resyncSeeds.Add(1)
+		return nil
 	}
 	return fmt.Errorf("remote: shard %d: no healthy donor for re-sync", s)
 }
@@ -693,6 +717,10 @@ type ClusterInfo struct {
 	// Hedged and Retried count launched hedge and failover requests.
 	Hedged  uint64 `json:"hedged"`
 	Retried uint64 `json:"retried"`
+	// ResyncRestores and ResyncSeeds count replica re-syncs by transport:
+	// blob-store restore (preferred) vs full dump reseed (fallback).
+	ResyncRestores uint64 `json:"resync_restores"`
+	ResyncSeeds    uint64 `json:"resync_seeds"`
 	// HedgeDelayMS is the hedge trigger currently in force.
 	HedgeDelayMS float64 `json:"hedge_delay_ms"`
 	// ReplicaHealth lists every replica, shard-major.
@@ -702,16 +730,18 @@ type ClusterInfo struct {
 // Info returns the current cluster health snapshot.
 func (c *Coordinator) Info() ClusterInfo {
 	info := ClusterInfo{
-		Nodes:        c.cfg.Nodes,
-		Shards:       len(c.replicas),
-		Replicas:     c.cfg.Replicas,
-		RangeWidth:   c.rangeWidth,
-		Labelled:     c.labelled,
-		NextID:       c.nextID.Load(),
-		Healthy:      true,
-		Hedged:       c.hedged.Load(),
-		Retried:      c.retried.Load(),
-		HedgeDelayMS: float64(c.hedgeDelay()) / float64(time.Millisecond),
+		Nodes:          c.cfg.Nodes,
+		Shards:         len(c.replicas),
+		Replicas:       c.cfg.Replicas,
+		RangeWidth:     c.rangeWidth,
+		Labelled:       c.labelled,
+		NextID:         c.nextID.Load(),
+		Healthy:        true,
+		Hedged:         c.hedged.Load(),
+		Retried:        c.retried.Load(),
+		ResyncRestores: c.resyncRestores.Load(),
+		ResyncSeeds:    c.resyncSeeds.Load(),
+		HedgeDelayMS:   float64(c.hedgeDelay()) / float64(time.Millisecond),
 	}
 	for s := range c.replicas {
 		anyHealthy := false

@@ -15,7 +15,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ced/internal/blob"
 	"ced/internal/bulk"
 	"ced/internal/metric"
 	"ced/internal/pool"
@@ -62,6 +64,19 @@ type Config struct {
 	// schedules a background compaction; <= 0 uses
 	// shard.DefaultCompactThreshold.
 	CompactThreshold int
+	// Store attaches a blob store for durable incremental snapshots:
+	// SaveToStore/LoadFromStore, the store-backed /snapshot endpoints and
+	// background snapshot-on-threshold all run against it. nil disables
+	// them (the single-file snapshot path keeps working regardless).
+	Store blob.Store
+	// SnapshotEvery starts a background store snapshot once this many
+	// mutations have landed since the last one (single-flight, with a
+	// failure cool-down). <= 0 disables auto-snapshots; ignored without a
+	// Store.
+	SnapshotEvery int
+	// SnapshotRetry is the cool-down after a failed background snapshot;
+	// <= 0 uses DefaultSnapshotRetry.
+	SnapshotRetry time.Duration
 }
 
 // Pair is one query pair for the batch-distance APIs; ced.Pair aliases it.
@@ -166,6 +181,22 @@ type Engine struct {
 	// HTTP API can never be steered to an arbitrary file).
 	snapshotPath string
 
+	// Durable-snapshot plumbing (store.go): the blob store and incremental
+	// saver fixed at startup, the mutation counter driving background
+	// snapshot-on-threshold, the single-flight latch and failure cool-down,
+	// and the atomically published last-snapshot status for /healthz.
+	store         blob.Store
+	saver         *shard.Saver
+	snapshotEvery int
+	snapshotRetry time.Duration
+	mutations     atomic.Uint64
+	snapSaving    atomic.Bool
+	snapRetryAt   atomic.Int64 // UnixNano before which auto-saves stay muted
+	saveWG        sync.WaitGroup
+	snapStatus    atomic.Pointer[snapStatus]
+	saveOK        atomic.Uint64
+	saveFail      atomic.Uint64
+
 	// ev is the session-threaded evaluation layer behind the batch
 	// endpoints: each striped batch worker evaluates through a private
 	// metric session (a reusable distance workspace for the contextual
@@ -230,12 +261,21 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	e := &Engine{
-		algorithm: cfg.Algorithm,
-		m:         m,
-		setCfg:    setCfg,
-		workers:   workers,
-		cache:     newRuneCache(cfg.CacheSize),
-		ev:        bulk.New(m),
+		algorithm:     cfg.Algorithm,
+		m:             m,
+		setCfg:        setCfg,
+		workers:       workers,
+		cache:         newRuneCache(cfg.CacheSize),
+		ev:            bulk.New(m),
+		store:         cfg.Store,
+		snapshotEvery: cfg.SnapshotEvery,
+		snapshotRetry: cfg.SnapshotRetry,
+	}
+	if e.store != nil {
+		e.saver = shard.NewSaver(e.store)
+	}
+	if e.snapshotRetry <= 0 {
+		e.snapshotRetry = DefaultSnapshotRetry
 	}
 	e.set.Store(set)
 	return e, nil
@@ -260,6 +300,10 @@ type Info struct {
 	// base/delta/tombstone sizes, compaction epochs and the lifetime
 	// add/delete/compaction counters.
 	Shards shard.Info `json:"shards"`
+	// Snapshot is the durable-snapshot health block: whether a store is
+	// attached, the last durable manifest's sequence/age/size, the most
+	// recent failure and the auto-save counters.
+	Snapshot SnapshotInfo `json:"snapshot"`
 }
 
 // Info returns the current engine snapshot.
@@ -279,8 +323,9 @@ func (e *Engine) Info() Info {
 			Heuristic: e.rejected[metric.StageHeuristic].Load(),
 			Exact:     e.rejected[metric.StageExact].Load(),
 		},
-		Cache:  e.cache.Stats(),
-		Shards: si,
+		Cache:    e.cache.Stats(),
+		Shards:   si,
+		Snapshot: e.snapshotInfo(),
 	}
 }
 
@@ -473,8 +518,10 @@ func (e *Engine) Add(value string, label int) (uint64, error) {
 		return 0, err
 	}
 	e.mutateMu.RLock()
-	defer e.mutateMu.RUnlock()
-	return e.set.Load().Add(value, label), nil
+	id := e.set.Load().Add(value, label)
+	e.mutateMu.RUnlock()
+	e.maybeSnapshot()
+	return id, nil
 }
 
 // Delete removes the element with the given ID from the live corpus,
@@ -486,8 +533,12 @@ func (e *Engine) Delete(id uint64) (bool, error) {
 		return false, err
 	}
 	e.mutateMu.RLock()
-	defer e.mutateMu.RUnlock()
-	return e.set.Load().Delete(id), nil
+	deleted := e.set.Load().Delete(id)
+	e.mutateMu.RUnlock()
+	if deleted {
+		e.maybeSnapshot()
+	}
+	return deleted, nil
 }
 
 // SnapshotPath returns the server-side snapshot file configured at
@@ -524,6 +575,12 @@ func (e *Engine) LoadSnapshot(r io.Reader) (int, error) {
 	e.mutateMu.Lock()
 	e.set.Store(set)
 	e.mutateMu.Unlock()
+	if e.saver != nil {
+		// The new corpus does not descend from the saver's attached
+		// manifest, so its epoch-keyed skip baseline is meaningless now;
+		// the next store save must upload everything afresh.
+		e.saver.Reset()
+	}
 	return set.Size(), nil
 }
 

@@ -37,10 +37,19 @@ type shardSnap struct {
 	Epoch uint64
 }
 
+// envelopeVersion is the current wire version of setSnapshot (and of the
+// blob-store manifest). Version 0 is the pre-versioned PR-5-era envelope,
+// which decodes identically (gob omits zero fields); loaders accept
+// anything up to the current version and refuse newer ones explicitly,
+// so an old binary pointed at a store written by newer software fails
+// with a version error instead of misreading fields.
+const envelopeVersion = 1
+
 // setSnapshot is the gob envelope for a whole Set: every shard's base index
 // plus its mutable overlay, so a reload resumes exactly where the save left
 // off — tombstones, deltas, ID allocator and all.
 type setSnapshot struct {
+	Version    int
 	MetricName string
 	Algorithm  string
 	Labelled   bool
@@ -58,39 +67,16 @@ type setSnapshot struct {
 // compute a distance.
 func (s *Set) Save(w io.Writer) error {
 	snap := setSnapshot{
+		Version:    envelopeVersion,
 		MetricName: s.metric.Name(),
 		Algorithm:  s.algorithm,
 		Labelled:   s.labelled,
 		Shards:     make([]shardSnap, len(s.shards)),
 	}
 	for i, sh := range s.shards {
-		st := sh.state.Load()
-		ss := shardSnap{
-			BaseStrs:   st.baseStrs,
-			BaseIDs:    st.baseIDs,
-			BaseLabels: st.baseLabels,
-			Epoch:      sh.epoch.Load(),
-		}
-		if st.base != nil {
-			ss.Kind = st.base.Name()
-			if p, ok := st.base.(search.Persister); ok {
-				var buf bytes.Buffer
-				if err := p.Save(&buf); err != nil {
-					return fmt.Errorf("shard: saving shard %d: %w", i, err)
-				}
-				ss.Index = buf.Bytes()
-			}
-		}
-		for id := range st.tombs {
-			ss.Tombs = append(ss.Tombs, id)
-		}
-		sort.Slice(ss.Tombs, func(a, b int) bool { return ss.Tombs[a] < ss.Tombs[b] })
-		for id := range st.dead {
-			ss.Dead = append(ss.Dead, id)
-		}
-		sort.Slice(ss.Dead, func(a, b int) bool { return ss.Dead[a] < ss.Dead[b] })
-		for j, id := range st.deltaIDs {
-			ss.Delta = append(ss.Delta, deltaSnap{ID: id, Value: st.deltaStrs[j], Label: st.deltaLabels[j]})
+		ss, err := captureShard(i, sh.state.Load())
+		if err != nil {
+			return err
 		}
 		snap.Shards[i] = ss
 	}
@@ -105,6 +91,41 @@ func (s *Set) Save(w io.Writer) error {
 		return fmt.Errorf("shard: saving set: %w", err)
 	}
 	return nil
+}
+
+// captureShard renders one atomically captured shard state into wire form.
+// The tombstone, dead-ID and delta slices are sorted (or in delta order),
+// so the encoding of a given state is deterministic — the property the
+// incremental saver's content-hash skip for overlays rests on.
+func captureShard(i int, st *state) (shardSnap, error) {
+	ss := shardSnap{
+		BaseStrs:   st.baseStrs,
+		BaseIDs:    st.baseIDs,
+		BaseLabels: st.baseLabels,
+		Epoch:      st.epoch,
+	}
+	if st.base != nil {
+		ss.Kind = st.base.Name()
+		if p, ok := st.base.(search.Persister); ok {
+			var buf bytes.Buffer
+			if err := p.Save(&buf); err != nil {
+				return shardSnap{}, fmt.Errorf("shard: saving shard %d: %w", i, err)
+			}
+			ss.Index = buf.Bytes()
+		}
+	}
+	for id := range st.tombs {
+		ss.Tombs = append(ss.Tombs, id)
+	}
+	sort.Slice(ss.Tombs, func(a, b int) bool { return ss.Tombs[a] < ss.Tombs[b] })
+	for id := range st.dead {
+		ss.Dead = append(ss.Dead, id)
+	}
+	sort.Slice(ss.Dead, func(a, b int) bool { return ss.Dead[a] < ss.Dead[b] })
+	for j, id := range st.deltaIDs {
+		ss.Delta = append(ss.Delta, deltaSnap{ID: id, Value: st.deltaStrs[j], Label: st.deltaLabels[j]})
+	}
+	return ss, nil
 }
 
 // Load restores a set written by Save. The shard count comes from the
@@ -123,6 +144,10 @@ func Load(r io.Reader, cfg Config) (*Set, error) {
 	var snap setSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("shard: loading set: %w", err)
+	}
+	if snap.Version > envelopeVersion {
+		return nil, fmt.Errorf("shard: snapshot version %d is newer than this binary supports (max %d)",
+			snap.Version, envelopeVersion)
 	}
 	if snap.MetricName != cfg.Metric.Name() {
 		return nil, fmt.Errorf("shard: snapshot was saved with metric %q, loader supplied %q",
@@ -171,6 +196,7 @@ func (s *Set) loadShardState(i int, ss shardSnap) (*state, error) {
 		baseByID:   make(map[uint64]int, len(ss.BaseIDs)),
 		tombs:      map[uint64]struct{}{},
 		dead:       make(map[uint64]struct{}, len(ss.Dead)),
+		epoch:      ss.Epoch,
 	}
 	n := uint64(len(s.shards))
 	for pos, id := range ss.BaseIDs {

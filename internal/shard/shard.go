@@ -105,6 +105,13 @@ type state struct {
 	// so it must stay a subset of baseIDs); dead is what makes AddWithID's
 	// "deleted IDs never resurrect" promise hold for delta entries too.
 	dead map[uint64]struct{}
+	// epoch is the compaction-swap count under which base was built. It
+	// rides inside the snapshot (rather than being read from the shard's
+	// counter separately) so a capture of this state pairs the base with
+	// the right epoch even when a compaction swap races the capture — the
+	// soundness condition for the incremental saver's "epoch unchanged ⇒
+	// base unchanged" skip rule.
+	epoch uint64
 
 	// delta is a linear scanner over the live delta entries (nil when
 	// none): mutation appends here, and every query scans it with the same
@@ -601,6 +608,7 @@ func (s *Set) compactShard(sh *shard) {
 			label: cur.deltaLabels[i],
 		})
 	}
+	ns.epoch = sh.epoch.Load() + 1
 	sh.state.Store(ns)
 	sh.epoch.Add(1)
 	sh.mu.Unlock()

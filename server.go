@@ -1,9 +1,11 @@
 package ced
 
 import (
+	"context"
 	"io"
 	"net/http"
 
+	"ced/internal/blob"
 	"ced/internal/serve"
 )
 
@@ -66,6 +68,19 @@ type ServerConfig struct {
 	// methods SaveSnapshot and LoadSnapshot take an io.Writer/io.Reader
 	// and work regardless.)
 	SnapshotPath string
+	// Store names a durable blob store for incremental snapshots: a local
+	// directory path or an http(s):// object-server URL (cedserve -store).
+	// When set, /snapshot/save publishes a consistent manifest-addressed
+	// snapshot into the store — re-uploading only the shards that changed
+	// since the last one — and /snapshot/load cold-starts from the newest
+	// manifest without recomputing a single index-build distance. Takes
+	// precedence over SnapshotPath for the HTTP endpoints.
+	Store string
+	// SnapshotEvery triggers a background store snapshot once that many
+	// mutations have accumulated since the last one (single-flight, with
+	// a retry cool-down after failures); <= 0 leaves snapshots manual.
+	// Requires Store.
+	SnapshotEvery int
 }
 
 // Server is the embeddable batch-serving engine behind cmd/cedserve: a
@@ -93,6 +108,13 @@ func NewServer(corpus *Dataset, cfg ServerConfig) (*Server, error) {
 	case cache < 0:
 		cache = 0
 	}
+	var store blob.Store
+	if cfg.Store != "" {
+		var err error
+		if store, err = blob.Open(cfg.Store); err != nil {
+			return nil, err
+		}
+	}
 	eng, err := serve.New(corpus.Strings, corpus.Labels, internalMetric(m), serve.Config{
 		Algorithm:        cfg.Algorithm,
 		Pivots:           cfg.Pivots,
@@ -102,6 +124,8 @@ func NewServer(corpus *Dataset, cfg ServerConfig) (*Server, error) {
 		CacheSize:        cache,
 		Shards:           cfg.Shards,
 		CompactThreshold: cfg.CompactThreshold,
+		Store:            store,
+		SnapshotEvery:    cfg.SnapshotEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -186,6 +210,27 @@ func (s *Server) SaveSnapshot(w io.Writer) error { return s.eng.SaveSnapshot(w) 
 // old corpus, queries issued afterwards see the new one, and none block.
 // The snapshot's metric and index algorithm must match this server's.
 func (s *Server) LoadSnapshot(r io.Reader) (int, error) { return s.eng.LoadSnapshot(r) }
+
+// SaveToStore publishes one consistent incremental snapshot of the live
+// corpus into the configured blob store (ServerConfig.Store): per-shard
+// objects are uploaded first — skipping shards unchanged since the last
+// save — and a small versioned manifest last, so a crash at any instant
+// leaves the previous snapshot fully loadable.
+func (s *Server) SaveToStore(ctx context.Context) error {
+	_, err := s.eng.SaveToStore(ctx)
+	return err
+}
+
+// LoadFromStore atomically replaces the live corpus with the newest
+// loadable snapshot in the configured blob store and reports the restored
+// live size. Object integrity is verified against the manifest's SHA-256
+// digests; a torn newest manifest falls back to the previous one, and a
+// manifest written by a newer binary is rejected outright.
+func (s *Server) LoadFromStore(ctx context.Context) (int, error) { return s.eng.LoadFromStore(ctx) }
+
+// WaitSnapshots blocks until every in-flight background snapshot
+// (ServerConfig.SnapshotEvery) has finished — the shutdown drain.
+func (s *Server) WaitSnapshots() { s.eng.WaitSnapshots() }
 
 // Compact synchronously folds every shard's mutation overlay (delta
 // entries and tombstones) into its base index. Background compaction runs

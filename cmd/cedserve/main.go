@@ -9,10 +9,13 @@
 //	         [-workers 0] [-build-workers 0] [-cache 4096] [-seed 1] [-sample 0]
 //	         [-shards 1] [-compact-threshold 256]
 //	         [-snapshot FILE] [-store DIR|URL] [-snapshot-every N] [-load-snapshot]
+//	         [-max-inflight 0] [-queue-wait 100ms] [-retry-after 1]
 //	cedserve -shard-server [-addr :9001] [-d dC,h] [-index laesa] [-pivots 16] [-store DIR|URL]
 //	cedserve -coordinator -shards-at http://h1:9001,http://h2:9001
 //	         [-corpus FILE | -sample N] [-cluster-shards 4] [-replicas 2]
 //	         [-range-width 0] [-hedge-after 0] [-request-timeout 2s] [-retries 2]
+//	         [-breaker-cooldown 250ms] [-allow-degraded]
+//	         [-max-inflight 0] [-queue-wait 100ms] [-retry-after 1]
 //
 // The corpus file uses the dataset format (one string per line, optional
 // trailing "\tlabel"); labels enable the /classify endpoints. Without
@@ -80,6 +83,21 @@
 // the delta/compaction model and "Running a cluster" for the distributed
 // topology.
 //
+// # Operating under overload
+//
+// Every query accepts a Ced-Budget-Ms header carrying the caller's
+// remaining deadline in milliseconds (clamped server-side to 60s); the
+// budget propagates coordinator→shard on every hop, cancellation reaches
+// into the scan loops, and an exhausted budget answers 504. A client that
+// disconnects mid-query stops the computation and is counted as a 499.
+// -max-inflight N admits at most N concurrently executing queries; excess
+// waits up to -queue-wait for a slot and is then shed with 429 +
+// Retry-After (health, mutation and snapshot endpoints are never gated).
+// In coordinator mode, -breaker-cooldown tunes the per-replica circuit
+// breaker's open window and -allow-degraded opts into partial answers
+// tagged "degraded": true with the missing-shard list when an entire
+// logical shard is down (the default is to fail such queries loudly).
+//
 // All modes serve through a hardened http.Server (header/read/write/idle
 // timeouts) and shut down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
@@ -123,6 +141,10 @@ func main() {
 		store      = flag.String("store", "", "durable snapshot store: a directory path or an http(s):// object-server URL; /snapshot/save uploads only changed shards")
 		snapEvery  = flag.Int("snapshot-every", 0, "publish a background store snapshot after this many mutations (0 = manual; needs -store)")
 
+		maxInFlight = flag.Int("max-inflight", 0, "admission control: maximum concurrently executing queries; excess sheds with 429 after -queue-wait (0 disables)")
+		queueWait   = flag.Duration("queue-wait", 0, "admission control: how long an over-admission query waits for a slot before shedding (0 = 100ms default)")
+		retryAfter  = flag.Int("retry-after", 0, "Retry-After header (seconds) sent with shed 429 responses (0 = 1s default)")
+
 		shardServer   = flag.Bool("shard-server", false, "host logical shard slots for a cluster coordinator (a coordinator seeds them over HTTP; corpus flags are refused)")
 		coordinator   = flag.Bool("coordinator", false, "serve as the cluster coordinator over the shard servers in -shards-at")
 		shardsAt      = flag.String("shards-at", "", "comma-separated shard-server base URLs, e.g. http://h1:9001,http://h2:9001 (coordinator mode)")
@@ -132,6 +154,8 @@ func main() {
 		hedgeAfter    = flag.Duration("hedge-after", 0, "fixed delay before racing a second replica (0 = adaptive latency percentile, negative disables hedging)")
 		reqTimeout    = flag.Duration("request-timeout", 2*time.Second, "per-attempt timeout for coordinator-to-shard requests")
 		retries       = flag.Int("retries", 2, "transient-failure retries per coordinator-to-shard request (negative disables)")
+		breakerCool   = flag.Duration("breaker-cooldown", 0, "circuit-breaker open window per ejected replica (0 = 250ms default, negative disables)")
+		allowDegraded = flag.Bool("allow-degraded", false, "serve tagged partial answers when every replica of a shard is down instead of failing the query")
 	)
 	flag.Parse()
 
@@ -155,6 +179,8 @@ func main() {
 			dist: *dist, seed: *seed, clusterShards: *clusterShards,
 			replicas: *replicas, rangeWidth: *rangeWidth,
 			hedgeAfter: *hedgeAfter, timeout: *reqTimeout, retries: *retries,
+			breakerCooldown: *breakerCool, allowDegraded: *allowDegraded,
+			maxInFlight: *maxInFlight, queueWait: *queueWait, retryAfter: *retryAfter,
 		}, *addr)
 	default:
 		var srv *ced.Server
@@ -165,6 +191,7 @@ func main() {
 			cache: *cache, seed: *seed, shards: *shards, compactThreshold: *compactThr,
 			snapshotPath: *snapshot, loadSnapshot: *loadSnap,
 			store: *store, snapshotEvery: *snapEvery,
+			maxInFlight: *maxInFlight, queueWait: *queueWait, retryAfter: *retryAfter,
 		})
 		if err == nil {
 			handler = srv.Handler()
@@ -280,6 +307,12 @@ type coordinatorOpts struct {
 	hedgeAfter    time.Duration
 	timeout       time.Duration
 	retries       int
+
+	breakerCooldown time.Duration
+	allowDegraded   bool
+	maxInFlight     int
+	queueWait       time.Duration
+	retryAfter      int
 }
 
 // buildCoordinator loads the corpus, seeds it across the shard servers and
@@ -313,14 +346,19 @@ func buildCoordinator(o coordinatorOpts, addr string) (http.Handler, error) {
 		return nil, err
 	}
 	coord, err := remote.NewCoordinator(remote.Config{
-		Nodes:      nodes,
-		Shards:     o.clusterShards,
-		Replicas:   o.replicas,
-		RangeWidth: o.rangeWidth,
-		MetricName: m.Name(),
-		Timeout:    o.timeout,
-		Retries:    o.retries,
-		HedgeAfter: o.hedgeAfter,
+		Nodes:           nodes,
+		Shards:          o.clusterShards,
+		Replicas:        o.replicas,
+		RangeWidth:      o.rangeWidth,
+		MetricName:      m.Name(),
+		Timeout:         o.timeout,
+		Retries:         o.retries,
+		HedgeAfter:      o.hedgeAfter,
+		BreakerCooldown: o.breakerCooldown,
+		AllowDegraded:   o.allowDegraded,
+		MaxInFlight:     o.maxInFlight,
+		MaxQueueWait:    o.queueWait,
+		RetryAfter:      o.retryAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -354,6 +392,9 @@ type buildOpts struct {
 	loadSnapshot     bool
 	store            string
 	snapshotEvery    int
+	maxInFlight      int
+	queueWait        time.Duration
+	retryAfter       int
 }
 
 // build loads or generates the corpus (or restores a snapshot) and
@@ -411,6 +452,9 @@ func build(o buildOpts) (*ced.Server, ced.ServerInfo, error) {
 		SnapshotPath:     o.snapshotPath,
 		Store:            o.store,
 		SnapshotEvery:    o.snapshotEvery,
+		MaxInFlight:      o.maxInFlight,
+		MaxQueueWaitMS:   int(o.queueWait / time.Millisecond),
+		RetryAfter:       o.retryAfter,
 	})
 	if err != nil {
 		return nil, ced.ServerInfo{}, err

@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -445,6 +447,112 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down on SIGTERM")
+	}
+}
+
+// TestRunServerDrainsInFlightUnderLoad extends the graceful-shutdown pin
+// to the overload story: a SIGTERM that arrives while a slow query is in
+// flight must let that query finish (200, full body), refuse new queries
+// immediately, and run the snapshot drain hook only after the in-flight
+// work completed — the e2e shape of "drains don't drop acknowledged work,
+// and drains don't wait for work that hasn't been admitted".
+func TestRunServerDrainsInFlightUnderLoad(t *testing.T) {
+	srv, _, err := build(buildOpts{sample: 200, dist: "dC,h", index: "linear", cache: -1, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make /knn observably slow so the test can interleave a SIGTERM with
+	// an admitted query, the way a drain under real load would.
+	var inFlight atomic.Int32
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/knn" {
+			inFlight.Add(1)
+			time.Sleep(300 * time.Millisecond)
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	var drained atomic.Bool
+	drain := func() { drained.Store(true) }
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	done := make(chan error, 1)
+	go func() { done <- runServer(addr, slow, drain) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Launch the slow query and wait until the handler has admitted it.
+	type result struct {
+		code int
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/knn", "application/json",
+			strings.NewReader(`{"query":"hola","k":3}`))
+		if err != nil {
+			resCh <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.ReadAll(resp.Body)
+		resCh <- result{resp.StatusCode, nil}
+	}()
+	for inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// New queries are refused the moment shutdown starts, while the
+	// in-flight one is still sleeping in the handler.
+	time.Sleep(100 * time.Millisecond)
+	if drained.Load() {
+		t.Fatal("drain hook ran while a query was still in flight")
+	}
+	if _, err := http.Post("http://"+addr+"/knn", "application/json",
+		strings.NewReader(`{"query":"hola","k":3}`)); err == nil {
+		t.Fatal("a new query was admitted after SIGTERM")
+	}
+
+	// The admitted query completes normally and only then does the server
+	// exit, having run the drain hook.
+	select {
+	case r := <-resCh:
+		if r.err != nil || r.code != http.StatusOK {
+			t.Fatalf("in-flight query during drain: code=%d err=%v", r.code, r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight query never completed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain under load returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after draining")
+	}
+	if !drained.Load() {
+		t.Fatal("snapshot drain hook never ran")
 	}
 }
 

@@ -33,6 +33,9 @@
 //	//ced:rawhttp-ok    (same line) a deliberately raw HTTP server.
 //	//ced:sessionshare-ok (same line) a reviewed cross-goroutine session
 //	                                  handoff.
+//	//ced:ctxflow-ok    (same line) a reviewed break in the cancellation
+//	                                chain (a deliberately detached root in
+//	                                a handler, or a bounded timer loop).
 package analysis
 
 import (

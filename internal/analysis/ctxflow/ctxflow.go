@@ -1,0 +1,215 @@
+// Package ctxflow keeps the cancellation chain unbroken from the HTTP edge
+// to the scan loops. The serving stack threads one context end to end —
+// request → engine → shard fan-out → searcher checkpoints — and that chain
+// is only as strong as its weakest link. Two links break silently:
+//
+//   - An HTTP handler that calls context.Background() or context.TODO()
+//     fabricates a fresh root mid-request, detaching everything downstream
+//     from the caller's deadline and disconnect. The work keeps running
+//     after the client is gone — exactly the leak the hedged-read fix and
+//     the cancel checkpoints exist to prevent. Handlers must derive from
+//     r.Context() (serve.RequestContext does, folding in the budget
+//     header).
+//
+//   - A timer-driven select inside a retry/poll loop that has a context in
+//     scope but no <-ctx.Done() arm spins on after cancellation, holding
+//     its goroutine (and often a connection or pool slot) until the timer
+//     chain runs dry. Every such select must give cancellation a way out.
+//
+// //ced:ctxflow-ok on the offending line waives a reviewed exception (for
+// example a deliberately detached audit write).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ced/internal/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "keep request contexts flowing: no context.Background()/TODO() " +
+		"inside HTTP handlers (derive from r.Context()), and every " +
+		"timer-driven select in a loop with a context in scope must carry " +
+		"a <-ctx.Done() arm (//ced:ctxflow-ok waives a reviewed line)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ft, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			handler := isHandlerFunc(pass, ft)
+			hasCtx := handler || hasContextParam(pass, ft)
+			if !handler && !hasCtx {
+				return true
+			}
+			checkFunc(pass, body, handler, hasCtx)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc walks one function body, stopping at nested function literals
+// (each literal is visited with its own signature by run).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, handler, hasCtx bool) {
+	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if handler {
+				checkFreshRoot(pass, n)
+			}
+		case *ast.SelectStmt:
+			if hasCtx && inLoop(stack) {
+				checkTimerSelect(pass, n)
+			}
+		}
+		return true
+	})
+}
+
+// isHandlerFunc reports whether ft has the http.HandlerFunc parameter
+// shape: an http.ResponseWriter and a *http.Request.
+func isHandlerFunc(pass *analysis.Pass, ft *ast.FuncType) bool {
+	var w, r bool
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		w = w || analysis.IsPkgType(t, "net/http", "ResponseWriter")
+		r = r || analysis.IsPkgType(t, "net/http", "Request")
+	}
+	return w && r
+}
+
+// hasContextParam reports whether ft takes a context.Context.
+func hasContextParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	for _, field := range ft.Params.List {
+		if analysis.IsPkgType(pass.TypesInfo.TypeOf(field.Type), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFreshRoot flags context.Background() / context.TODO() inside a
+// handler.
+func checkFreshRoot(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "context" {
+		return
+	}
+	if pass.LineMarked(call.Pos(), "ctxflow-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"context.%s inside an HTTP handler detaches downstream work from the "+
+			"request's deadline and disconnect; derive from r.Context() "+
+			"(serve.RequestContext folds in the budget header)", sel.Sel.Name)
+}
+
+// inLoop reports whether any ancestor is a for/range statement.
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// checkTimerSelect flags a select with a timer arm but no Done arm.
+func checkTimerSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	var timer, done bool
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		recv := receivedExpr(comm.Comm)
+		if recv == nil {
+			continue
+		}
+		timer = timer || isTimeChan(pass, recv)
+		done = done || isDoneCall(pass, recv)
+	}
+	if !timer || done {
+		return
+	}
+	if pass.LineMarked(sel.Pos(), "ctxflow-ok") {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"timer-driven select in a loop with a context in scope but no "+
+			"<-ctx.Done() arm: after cancellation the loop spins until its "+
+			"timers run dry; add a case <-ctx.Done()")
+}
+
+// receivedExpr extracts the channel expression of a comm clause's receive
+// (`<-ch`, `v := <-ch`, `v, ok := <-ch`), or nil for sends and defaults.
+func receivedExpr(comm ast.Stmt) ast.Expr {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(expr).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+		return u.X
+	}
+	return nil
+}
+
+// isTimeChan reports whether expr is a channel of time.Time — the shape of
+// time.After's result and the C fields of time.Timer and time.Ticker.
+func isTimeChan(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	ch, ok := types.Unalias(t).(*types.Chan)
+	if !ok {
+		return false
+	}
+	return analysis.IsPkgType(ch.Elem(), "time", "Time")
+}
+
+// isDoneCall reports whether expr is ctx.Done() for a context.Context ctx.
+func isDoneCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || analysis.CalleeName(call) != "Done" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return analysis.IsPkgType(pass.TypesInfo.TypeOf(sel.X), "context", "Context")
+}

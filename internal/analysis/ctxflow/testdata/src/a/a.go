@@ -1,0 +1,137 @@
+// Package a exercises the ctxflow analyzer: handlers must derive from
+// r.Context(), and timer-driven loops must honour cancellation.
+package a
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func work(ctx context.Context) { _ = ctx }
+func step() bool               { return false }
+func out() chan<- int          { return nil }
+func results() <-chan int      { return nil }
+
+// handler derives its context from the request: the sanctioned shape.
+func handler(w http.ResponseWriter, r *http.Request) {
+	work(r.Context())
+}
+
+// detached fabricates a fresh root mid-request, so the downstream work
+// outlives the caller's deadline and disconnect.
+func detached(w http.ResponseWriter, r *http.Request) {
+	work(context.Background()) // want `context.Background inside an HTTP handler`
+}
+
+// todoRoot is the same hazard spelled TODO.
+func todoRoot(w http.ResponseWriter, r *http.Request) {
+	work(context.TODO()) // want `context.TODO inside an HTTP handler`
+}
+
+// literalHandler checks func-literal handlers registered on a mux.
+func literalHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		work(context.Background()) // want `context.Background inside an HTTP handler`
+	})
+	return mux
+}
+
+// waivedHandler is a reviewed exception.
+func waivedHandler(w http.ResponseWriter, r *http.Request) {
+	work(context.Background()) //ced:ctxflow-ok: detached audit write must survive the request.
+}
+
+// notHandler has no request in scope; fresh roots are fine here.
+func notHandler() {
+	work(context.Background())
+}
+
+// pollNoDone spins on its timer with no escape: after ctx is cancelled the
+// loop keeps firing until the caller kills the process.
+func pollNoDone(ctx context.Context) {
+	for {
+		select { // want `timer-driven select in a loop .* no <-ctx.Done\(\) arm`
+		case <-time.After(time.Millisecond):
+			if step() {
+				return
+			}
+		}
+	}
+}
+
+// tickNoDone is the same hole through a Ticker's C field.
+func tickNoDone(ctx context.Context, t *time.Ticker) {
+	for {
+		select { // want `timer-driven select in a loop .* no <-ctx.Done\(\) arm`
+		case <-t.C:
+			if step() {
+				return
+			}
+		}
+	}
+}
+
+// pollDone gives cancellation a way out: the sanctioned retry shape.
+func pollDone(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+			if step() {
+				return
+			}
+		}
+	}
+}
+
+// handlerPoll: handlers count as having a context in scope (r.Context()).
+func handlerPoll(w http.ResponseWriter, r *http.Request) {
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// selectNoTimer has no timer arm; nothing to flag even without Done.
+func selectNoTimer(ctx context.Context) {
+	for {
+		select {
+		case out() <- 1:
+		case <-results():
+			return
+		}
+	}
+}
+
+// selectOutsideLoop runs once; a missing Done arm cannot spin.
+func selectOutsideLoop(ctx context.Context) {
+	select {
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// noCtxParam has no context to honour; its stop channel is its own law.
+func noCtxParam(stop chan struct{}, t *time.Ticker) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// waivedPoll is a reviewed exception (bounded by the step counter).
+func waivedPoll(ctx context.Context) {
+	for i := 0; i < 3; i++ {
+		select { //ced:ctxflow-ok: at most three one-millisecond waits.
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

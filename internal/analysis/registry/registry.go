@@ -6,6 +6,7 @@ import (
 	"ced/internal/analysis"
 	"ced/internal/analysis/atomicsnap"
 	"ced/internal/analysis/boundconv"
+	"ced/internal/analysis/ctxflow"
 	"ced/internal/analysis/poolleak"
 	"ced/internal/analysis/rawhttp"
 	"ced/internal/analysis/sessionshare"
@@ -17,6 +18,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicsnap.Analyzer,
 		boundconv.Analyzer,
+		ctxflow.Analyzer,
 		poolleak.Analyzer,
 		rawhttp.Analyzer,
 		sessionshare.Analyzer,

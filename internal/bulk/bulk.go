@@ -15,8 +15,10 @@
 package bulk
 
 import (
+	"context"
 	"sync"
 
+	"ced/internal/cancel"
 	"ced/internal/metric"
 	"ced/internal/pool"
 )
@@ -107,6 +109,39 @@ func (e *Evaluator) FanCount(n, workers int, fn func(s metric.Metric, i int) int
 		total += c
 	}
 	return total
+}
+
+// FanCtx is Fan with cooperative cancellation: each striped worker polls a
+// private cancellation checkpoint (see internal/cancel) between items and
+// stops evaluating once the context is cancelled, skipping its remaining
+// stripe. It returns the context's error when any worker stopped early and
+// nil when every fn call ran — partial output is only ever paired with a
+// non-nil error. With an uncancellable context it is exactly Fan.
+func (e *Evaluator) FanCtx(ctx context.Context, n, workers int, fn func(s metric.Metric, i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if cancel.New(ctx) == nil {
+		e.Fan(n, workers, fn)
+		return nil
+	}
+	workers = pool.Workers(n, workers)
+	checks := make([]*cancel.Check, workers)
+	for w := range checks {
+		checks[w] = cancel.New(ctx)
+	}
+	e.FanWorker(n, workers, func(s metric.Metric, w, i int) {
+		if checks[w].Hit() {
+			return
+		}
+		fn(s, i)
+	})
+	for _, c := range checks {
+		if c.Stopped() {
+			return c.Err()
+		}
+	}
+	return nil
 }
 
 // checkout returns one session per worker; release returns them.

@@ -1,0 +1,78 @@
+// Package cancel provides the cooperative-cancellation checkpoint shared by
+// the scan loops of internal/search, the shard fan-out and the bulk
+// evaluation workers. A Check wraps a context so a tight candidate loop can
+// poll for cancellation at a bounded amortised cost: each call is a counter
+// increment, and only one call in every stride actually polls the context's
+// done channel (a lock-free load for an open channel). A nil *Check is the
+// happy path — a query that cannot be cancelled pays a single nil comparison
+// per candidate and the loop stays bit-identical to the pre-context code.
+//
+// A Check is confined to one goroutine: fan-out layers derive one Check per
+// worker from the same context rather than sharing one.
+package cancel
+
+import "context"
+
+// stride is how many Hit calls elapse between polls of the context. It
+// bounds both the per-candidate overhead (one poll per stride candidates)
+// and the cancellation latency (at most stride evaluations run after the
+// context is cancelled). Must be a power of two.
+const stride = 64
+
+// Check is a single-goroutine cancellation checkpoint. The zero value and
+// the nil pointer never report cancellation.
+type Check struct {
+	ctx     context.Context
+	done    <-chan struct{}
+	n       uint32
+	stopped bool
+}
+
+// New returns a checkpoint for ctx, or nil when ctx can never be cancelled
+// (nil, context.Background(), context.TODO()) — the zero-overhead path.
+func New(ctx context.Context) *Check {
+	if ctx == nil {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return &Check{ctx: ctx, done: done}
+}
+
+// Hit reports whether the context has been cancelled, polling it at most
+// once per stride calls. Once Hit has observed cancellation it keeps
+// returning true without further polls.
+func (c *Check) Hit() bool {
+	if c == nil {
+		return false
+	}
+	if c.stopped {
+		return true
+	}
+	c.n++
+	if c.n&(stride-1) != 0 {
+		return false
+	}
+	select {
+	case <-c.done:
+		c.stopped = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Stopped reports whether a previous Hit observed cancellation.
+func (c *Check) Stopped() bool { return c != nil && c.stopped }
+
+// Err returns the context's error (context.Canceled or
+// context.DeadlineExceeded) once Hit has observed cancellation, and nil
+// before that — so loops can `return ..., chk.Err()` unconditionally.
+func (c *Check) Err() error {
+	if c == nil || !c.stopped {
+		return nil
+	}
+	return c.ctx.Err()
+}

@@ -1,13 +1,16 @@
 package remote
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"ced/internal/metric"
+	"ced/internal/serve"
 	"ced/internal/shard"
 )
 
@@ -56,14 +59,23 @@ type (
 		Rejections   cStageRejections `json:"rejections"`
 		LatencyMS    float64          `json:"latency_ms"`
 	}
+	// cDegradedMeta tags a partial answer served under AllowDegraded: the
+	// named logical shards contributed nothing. Absent (omitted) on every
+	// complete answer, so default-mode clients never see the fields.
+	cDegradedMeta struct {
+		Degraded      bool  `json:"degraded,omitempty"`
+		MissingShards []int `json:"missing_shards,omitempty"`
+	}
 	cKNNResponse struct {
 		Results []cNeighbor `json:"results"`
 		cQueryMeta
+		cDegradedMeta
 	}
 	cClassifyResponse struct {
 		Label    int       `json:"label"`
 		Neighbor cNeighbor `json:"neighbor"`
 		cQueryMeta
+		cDegradedMeta
 	}
 	cMutateResponse struct {
 		ID   uint64 `json:"id"`
@@ -77,6 +89,14 @@ type (
 
 func cNeighborOf(h shard.Hit) cNeighbor {
 	return cNeighbor{Index: int(h.ID), Value: h.Value, Distance: h.Distance}
+}
+
+// cDegraded converts a (possibly nil) *Degraded tag into response metadata.
+func cDegraded(deg *Degraded) cDegradedMeta {
+	if deg == nil {
+		return cDegradedMeta{}
+	}
+	return cDegradedMeta{Degraded: true, MissingShards: deg.MissingShards}
 }
 
 func cMeta(st shard.Stats, start time.Time) cQueryMeta {
@@ -109,6 +129,23 @@ func cMeta(st shard.Stats, start time.Time) cQueryMeta {
 // one non-stale replica per shard survives).
 func NewCoordinatorHandler(c *Coordinator) http.Handler {
 	mux := http.NewServeMux()
+	// query wraps the client-facing search endpoints in the same robustness
+	// layer as the monolithic server: admission control (saturating load is
+	// shed with 429 + Retry-After) and a cancellable query context carrying
+	// the clamped BudgetHeader deadline — which then flows to every shard
+	// call, so one edge deadline bounds the whole distributed fan-out.
+	query := func(h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if err := c.gate.Acquire(r.Context()); err != nil {
+				writeCoordinatorError(c, w, err)
+				return
+			}
+			defer c.gate.Release()
+			ctx, cancel := serve.RequestContext(r)
+			defer cancel()
+			h(ctx, w, r)
+		}
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		info := c.Info()
 		status := "ok"
@@ -117,24 +154,27 @@ func NewCoordinatorHandler(c *Coordinator) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, cHealthResponse{Status: status, Cluster: info})
 	})
-	mux.HandleFunc("POST /knn", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /knn", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req cKNNRequest
 		if !decodeCoordinator(w, r, &req) {
 			return
 		}
 		start := time.Now()
-		hits, st, err := c.KNearest(r.Context(), req.Query, req.K)
-		if err != nil {
-			writeCoordinatorError(w, err)
+		hits, st, err := c.KNearest(ctx, req.Query, req.K)
+		var deg *Degraded
+		if err != nil && !errors.As(err, &deg) {
+			writeCoordinatorError(c, w, err)
 			return
 		}
 		results := make([]cNeighbor, len(hits))
 		for i, h := range hits {
 			results[i] = cNeighborOf(h)
 		}
-		writeJSON(w, http.StatusOK, cKNNResponse{Results: results, cQueryMeta: cMeta(st, start)})
-	})
-	mux.HandleFunc("POST /radius", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, cKNNResponse{
+			Results: results, cQueryMeta: cMeta(st, start), cDegradedMeta: cDegraded(deg),
+		})
+	}))
+	mux.HandleFunc("POST /radius", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req cRadiusRequest
 		if !decodeCoordinator(w, r, &req) {
 			return
@@ -144,32 +184,37 @@ func NewCoordinatorHandler(c *Coordinator) http.Handler {
 			return
 		}
 		start := time.Now()
-		hits, st, err := c.Radius(r.Context(), req.Query, req.Radius)
-		if err != nil {
-			writeCoordinatorError(w, err)
+		hits, st, err := c.Radius(ctx, req.Query, req.Radius)
+		var deg *Degraded
+		if err != nil && !errors.As(err, &deg) {
+			writeCoordinatorError(c, w, err)
 			return
 		}
 		results := make([]cNeighbor, len(hits))
 		for i, h := range hits {
 			results[i] = cNeighborOf(h)
 		}
-		writeJSON(w, http.StatusOK, cKNNResponse{Results: results, cQueryMeta: cMeta(st, start)})
-	})
-	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, cKNNResponse{
+			Results: results, cQueryMeta: cMeta(st, start), cDegradedMeta: cDegraded(deg),
+		})
+	}))
+	mux.HandleFunc("POST /classify", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req cClassifyRequest
 		if !decodeCoordinator(w, r, &req) {
 			return
 		}
 		start := time.Now()
-		hit, st, err := c.Classify(r.Context(), req.Query)
-		if err != nil {
-			writeCoordinatorError(w, err)
+		hit, st, err := c.Classify(ctx, req.Query)
+		var deg *Degraded
+		if err != nil && !errors.As(err, &deg) {
+			writeCoordinatorError(c, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, cClassifyResponse{
-			Label: hit.Label, Neighbor: cNeighborOf(hit), cQueryMeta: cMeta(st, start),
+			Label: hit.Label, Neighbor: cNeighborOf(hit),
+			cQueryMeta: cMeta(st, start), cDegradedMeta: cDegraded(deg),
 		})
-	})
+	}))
 	mux.HandleFunc("POST /add", func(w http.ResponseWriter, r *http.Request) {
 		var req cAddRequest
 		if !decodeCoordinator(w, r, &req) {
@@ -189,7 +234,7 @@ func NewCoordinatorHandler(c *Coordinator) http.Handler {
 		}
 		id, err := c.Add(r.Context(), *req.Value, label)
 		if err != nil {
-			writeCoordinatorError(w, err)
+			writeCoordinatorError(c, w, err)
 			return
 		}
 		size, _ := c.Size(r.Context()) // best effort; 0 when the probe fails
@@ -206,7 +251,7 @@ func NewCoordinatorHandler(c *Coordinator) http.Handler {
 		}
 		deleted, err := c.Delete(r.Context(), *req.ID)
 		if err != nil {
-			writeCoordinatorError(w, err)
+			writeCoordinatorError(c, w, err)
 			return
 		}
 		if !deleted {
@@ -218,7 +263,7 @@ func NewCoordinatorHandler(c *Coordinator) http.Handler {
 	})
 	mux.HandleFunc("POST /compact", func(w http.ResponseWriter, r *http.Request) {
 		if err := c.Compact(r.Context()); err != nil {
-			writeCoordinatorError(w, err)
+			writeCoordinatorError(c, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, struct {
@@ -246,12 +291,28 @@ func decodeCoordinator(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// writeCoordinatorError maps a coordinator failure to a status: caller
-// mistakes (bad k, unlabelled classify) are 400s, shard-server rejections
-// keep their status, and cluster faults (every replica of a shard down)
-// are 502s — so clients and load balancers can tell "you asked wrong" from
-// "the cluster is hurt".
-func writeCoordinatorError(w http.ResponseWriter, err error) {
+// writeCoordinatorError maps a coordinator failure to a status: shed load
+// is 429 with a Retry-After hint, a vanished client is 499, an exhausted
+// deadline budget is 504, caller mistakes (bad k, unlabelled classify) are
+// 400s, shard-server rejections keep their status, and cluster faults
+// (every replica of a shard down) are 502s — so clients and load balancers
+// can tell "back off" from "you asked wrong" from "the cluster is hurt".
+// Cancellation outcomes are folded into the coordinator's /healthz
+// counters.
+func writeCoordinatorError(c *Coordinator, w http.ResponseWriter, err error) {
+	c.noteQueryError(err)
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(c.gate.RetryAfter()))
+		writeRemoteError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, context.Canceled):
+		writeRemoteError(w, serve.StatusClientClosedRequest, err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeRemoteError(w, http.StatusGatewayTimeout, err)
+		return
+	}
 	var bad *badRequestError
 	if errors.As(err, &bad) {
 		writeRemoteError(w, http.StatusBadRequest, err)

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
+	"ced/internal/serve"
 	"ced/internal/shard"
 )
 
@@ -147,6 +149,18 @@ func (c *Client) attempt(ctx context.Context, method, url string, payload []byte
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's remaining deadline budget so the server clamps
+	// its own work to it: without the header a shard keeps computing for a
+	// coordinator that has already timed out. Stamped per attempt — a retry
+	// carries the (smaller) budget that is actually left, and the per-attempt
+	// timeout participates because actx already folds it in.
+	if dl, ok := actx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1 // already exhausted: tell the server to fail fast
+		}
+		req.Header.Set(serve.BudgetHeader, strconv.FormatInt(ms, 10))
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {

@@ -14,6 +14,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -59,6 +61,36 @@ type Node struct {
 	mode    atomic.Int32
 	slowNS  atomic.Int64
 	faulted atomic.Int64 // requests the fault layer interfered with
+
+	// served counts the requests that actually reached the shard handler,
+	// keyed by operation (the request path's last segment: "knn", "seed",
+	// ...). A request the fault layer swallowed — including a FaultSlow hold
+	// whose client cancelled mid-sleep — is never counted, which is exactly
+	// what the hedge-cancellation regression test needs to observe.
+	servedMu sync.Mutex
+	served   map[string]int64
+}
+
+// Served reports how many requests for the given operation reached the
+// shard handler.
+func (n *Node) Served(op string) int64 {
+	n.servedMu.Lock()
+	defer n.servedMu.Unlock()
+	return n.served[op]
+}
+
+// noteServed records a request that is about to be handled for real.
+func (n *Node) noteServed(path string) {
+	op := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		op = path[i+1:]
+	}
+	n.servedMu.Lock()
+	if n.served == nil {
+		n.served = make(map[string]int64)
+	}
+	n.served[op]++
+	n.servedMu.Unlock()
 }
 
 // Restart simulates a crash-restart: the node keeps its address but every
@@ -133,10 +165,14 @@ func (n *Node) inject() http.Handler {
 			select {
 			case <-time.After(time.Duration(n.slowNS.Load())):
 			case <-r.Context().Done():
+				// The caller gave up mid-sleep (hedge loser cancelled, or
+				// deadline): the shard handler never runs, nothing is served.
 				return
 			}
+			n.noteServed(r.URL.Path)
 			next.ServeHTTP(w, r)
 		default:
+			n.noteServed(r.URL.Path)
 			next.ServeHTTP(w, r)
 		}
 	})
@@ -169,6 +205,12 @@ type Config struct {
 	HedgeAfter    time.Duration
 	FailThreshold int
 	ProbeInterval time.Duration // 0 = disabled; > 0 enables the loop
+	// BreakerCooldown is the circuit-breaker open window; 0 = disabled
+	// (ejected-clean replicas are immediately trial-eligible, keeping the
+	// suites timing-independent), > 0 enables the window under test.
+	BreakerCooldown time.Duration
+	// AllowDegraded opts the coordinator into tagged partial answers.
+	AllowDegraded bool
 	// Store, when set, is shared by every node in the fleet — the layout a
 	// real deployment gets from pointing all shard servers at one bucket.
 	// It enables the coordinator's store-first re-sync: a donor publishes a
@@ -214,6 +256,10 @@ func Start(t testing.TB, cfg Config, corpus []string, labels []int) *Cluster {
 	if probe <= 0 {
 		probe = -1
 	}
+	breaker := cfg.BreakerCooldown
+	if breaker <= 0 {
+		breaker = -1
+	}
 	m, err := metric.ByName(cfg.MetricName)
 	if err != nil {
 		t.Fatalf("clustertest: %v", err)
@@ -241,16 +287,18 @@ func Start(t testing.TB, cfg Config, corpus []string, labels []int) *Cluster {
 		urls[i] = n.Srv.URL
 	}
 	coord, err := remote.NewCoordinator(remote.Config{
-		Nodes:         urls,
-		Shards:        cfg.Shards,
-		Replicas:      cfg.Replicas,
-		RangeWidth:    cfg.RangeWidth,
-		MetricName:    cfg.MetricName,
-		Timeout:       cfg.Timeout,
-		Retries:       cfg.Retries,
-		HedgeAfter:    cfg.HedgeAfter,
-		FailThreshold: cfg.FailThreshold,
-		ProbeInterval: probe,
+		Nodes:           urls,
+		Shards:          cfg.Shards,
+		Replicas:        cfg.Replicas,
+		RangeWidth:      cfg.RangeWidth,
+		MetricName:      cfg.MetricName,
+		Timeout:         cfg.Timeout,
+		Retries:         cfg.Retries,
+		HedgeAfter:      cfg.HedgeAfter,
+		FailThreshold:   cfg.FailThreshold,
+		ProbeInterval:   probe,
+		BreakerCooldown: breaker,
+		AllowDegraded:   cfg.AllowDegraded,
 	})
 	if err != nil {
 		t.Fatalf("clustertest: %v", err)

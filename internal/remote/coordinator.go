@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ced/internal/serve"
 	"ced/internal/shard"
 )
 
@@ -21,6 +22,10 @@ const (
 	DefaultHedgePercentile = 0.95
 	DefaultHedgeMin        = 1 * time.Millisecond
 	DefaultHedgeMax        = 100 * time.Millisecond
+	// DefaultBreakerCooldown is how long an ejected (but clean) replica's
+	// breaker stays open — failing fast, receiving no traffic — before it
+	// goes half-open and trial queries may probe it again.
+	DefaultBreakerCooldown = 250 * time.Millisecond
 )
 
 // Config assembles a Coordinator.
@@ -64,9 +69,45 @@ type Config struct {
 	// DefaultProbeInterval, negative disables it (tests drive Probe
 	// directly).
 	ProbeInterval time.Duration
+	// BreakerCooldown is the per-replica circuit-breaker open window: an
+	// ejected clean replica receives no traffic at all until it elapses,
+	// then goes half-open and may serve trial queries (a success closes the
+	// breaker, a failure re-arms the window). 0 uses
+	// DefaultBreakerCooldown; negative disables the open window, making
+	// every ejected-clean replica an immediate last resort.
+	BreakerCooldown time.Duration
+
+	// AllowDegraded opts the coordinator into partial answers: when every
+	// replica of some logical shard is unusable, a fanned query returns the
+	// hits of the shards that did answer together with a *Degraded error
+	// naming the missing shards, instead of failing outright. Off by
+	// default — a silent partial answer would void the exactness guarantee,
+	// so callers must both opt in here and handle the tagged error.
+	AllowDegraded bool
+
+	// MaxInFlight bounds concurrently admitted client-facing queries on the
+	// coordinator HTTP handler (see serve.Config.MaxInFlight); <= 0
+	// disables admission control. MaxQueueWait and RetryAfter follow the
+	// serve.Gate conventions.
+	MaxInFlight  int
+	MaxQueueWait time.Duration
+	RetryAfter   int
 
 	// HTTPClient optionally shares one transport across all replicas.
 	HTTPClient *http.Client
+}
+
+// Degraded is the error a degraded-mode fan-out attaches to a partial
+// answer: the listed logical shards contributed nothing (every replica
+// unusable), every other shard's hits are present and exact. It is only
+// ever returned when Config.AllowDegraded is set; transports surface it as
+// a tagged 200, never as a silent success.
+type Degraded struct {
+	MissingShards []int
+}
+
+func (e *Degraded) Error() string {
+	return fmt.Sprintf("remote: degraded answer: shards %v unavailable", e.MissingShards)
 }
 
 // Coordinator serves the cluster: it owns the placement (ID ranges over
@@ -93,6 +134,12 @@ type Coordinator struct {
 	rr      []atomic.Uint64
 	hedged  atomic.Uint64
 	retried atomic.Uint64
+	// gate is the client-facing admission controller (nil when disabled);
+	// degraded/cancelled/deadline count query outcomes for /healthz.
+	gate      *serve.Gate
+	degraded  atomic.Uint64
+	cancelled atomic.Uint64
+	deadline  atomic.Uint64
 	// resyncRestores/resyncSeeds count how replica re-syncs were served:
 	// store-mediated restore (fast path) vs full dump transfer (fallback).
 	resyncRestores atomic.Uint64
@@ -136,6 +183,9 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.ProbeInterval == 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{}
 	}
@@ -151,6 +201,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		writeMu:    make([]sync.Mutex, cfg.Shards),
 		rr:         make([]atomic.Uint64, cfg.Shards),
 		rangeWidth: cfg.RangeWidth,
+		gate:       serve.NewGate(cfg.MaxInFlight, cfg.MaxQueueWait, cfg.RetryAfter),
 		stopProbe:  make(chan struct{}),
 	}
 	for s := 0; s < cfg.Shards; s++ {
@@ -246,10 +297,14 @@ func (c *Coordinator) Seed(ctx context.Context, corpus []string, labels []int) e
 	return nil
 }
 
-// queryOrder returns shard s's replicas in routing order: healthy replicas
-// first (rotated round-robin for load spreading), then ejected-but-clean
-// ones as a last resort. Stale replicas never appear — they may have missed
-// writes, and one approximate answer would void the cluster's guarantee.
+// queryOrder returns shard s's replicas in routing order: healthy
+// (breaker-closed) replicas first, rotated round-robin for load spreading,
+// then half-open ones — ejected clean replicas whose breaker cooldown has
+// elapsed — as trial-eligible fallbacks. Replicas with an open breaker are
+// skipped outright (fail fast: a node that just failed repeatedly gets a
+// quiet window, not more traffic), and stale replicas never appear — they
+// may have missed writes, and one approximate answer would void the
+// cluster's guarantee.
 func (c *Coordinator) queryOrder(s int) []*replica {
 	reps := c.replicas[s]
 	start := int(c.rr[s].Add(1)) % len(reps)
@@ -259,7 +314,7 @@ func (c *Coordinator) queryOrder(s int) []*replica {
 		switch {
 		case rep.healthy():
 			healthy = append(healthy, rep)
-		case rep.usable():
+		case rep.usable(c.cfg.BreakerCooldown):
 			fallback = append(fallback, rep)
 		}
 	}
@@ -298,25 +353,38 @@ type shardAnswer struct {
 // queryShard answers one logical shard's part of a query, racing replicas:
 // the primary goes first; a hedge replica launches when the primary
 // outlives the hedge delay, and a failover replica launches immediately on
-// error. The first success wins (all answers are exact — replicas are
-// interchangeable), losers are cancelled, and health is recorded per
-// replica.
+// error. Every attempt runs under its own cancellable child context, all of
+// which are cancelled the moment a winner returns (or the caller gives up)
+// — so a losing replica stops computing immediately instead of finishing
+// an answer nobody will read; with the budget header the cancellation
+// reaches all the way into the shard-side scan loop. The first success
+// wins (all answers are exact — replicas are interchangeable) and health
+// is recorded per replica.
 func (c *Coordinator) queryShard(ctx context.Context, s int, call func(context.Context, *Client) ([]shard.Hit, shard.Stats, error)) ([]shard.Hit, shard.Stats, error) {
 	order := c.queryOrder(s)
 	if len(order) == 0 {
 		return nil, shard.Stats{}, fmt.Errorf("remote: shard %d has no usable replica", s)
 	}
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	// cancels is touched only by this goroutine (launches happen in the
+	// select loop below); the deferred sweep reaps every still-running
+	// attempt on all return paths, including the winner's.
+	cancels := make([]context.CancelFunc, 0, len(order))
+	defer func() {
+		for _, cn := range cancels {
+			cn()
+		}
+	}()
 	resCh := make(chan shardAnswer, len(order))
 	launch := func(rep *replica) {
+		actx, acancel := context.WithCancel(ctx)
+		cancels = append(cancels, acancel)
 		go func() {
 			t0 := time.Now()
-			hits, st, err := call(cctx, rep.client)
+			hits, st, err := call(actx, rep.client)
 			if err == nil {
 				c.lat.record(time.Since(t0))
 				rep.recordSuccess()
-			} else if cctx.Err() == nil {
+			} else if actx.Err() == nil {
 				// A loser cancelled after the winner returned is not a
 				// health signal; a real failure is.
 				rep.recordFailure(err, c.cfg.FailThreshold)
@@ -361,8 +429,13 @@ func (c *Coordinator) queryShard(ctx context.Context, s int, call func(context.C
 }
 
 // fanQuery runs call against every logical shard concurrently, summing the
-// winning replicas' stats. Any shard failure fails the query: a partial
-// answer would be silently approximate, which this cluster never is.
+// winning replicas' stats. By default any shard failure fails the query: a
+// partial answer would be silently approximate, which this cluster never
+// is. With Config.AllowDegraded, shard-unavailability failures instead
+// drop that shard from the answer and the call returns the surviving
+// shards' results with a *Degraded error naming the missing ones — but
+// only if at least one shard answered, and never for caller mistakes or
+// the caller's own cancellation, which stay loud.
 func (c *Coordinator) fanQuery(ctx context.Context, call func(ctx context.Context, s int) ([]shard.Hit, shard.Stats, error)) ([][]shard.Hit, shard.Stats, error) {
 	all := make([][]shard.Hit, len(c.replicas))
 	stats := make([]shard.Stats, len(c.replicas))
@@ -377,13 +450,38 @@ func (c *Coordinator) fanQuery(ctx context.Context, call func(ctx context.Contex
 	}
 	wg.Wait()
 	var total shard.Stats
+	var missing []int
 	for s := range errs {
 		if errs[s] != nil {
-			return nil, shard.Stats{}, errs[s]
+			if !c.cfg.AllowDegraded || !degradable(errs[s]) {
+				return nil, shard.Stats{}, errs[s]
+			}
+			all[s] = nil
+			missing = append(missing, s)
+			continue
 		}
 		total.Add(stats[s])
 	}
+	if len(missing) == len(c.replicas) {
+		// Every shard is gone: there is no partial answer to degrade to.
+		return nil, shard.Stats{}, errs[missing[0]]
+	}
+	if len(missing) > 0 {
+		c.degraded.Add(1)
+		return all, total, &Degraded{MissingShards: missing}
+	}
 	return all, total, nil
+}
+
+// degradable reports whether a shard failure may be absorbed into a
+// degraded answer: cluster faults qualify; the caller's own cancellation
+// or mistake never does (degrading those would mask the real outcome).
+func degradable(err error) bool {
+	var bad *badRequestError
+	if errors.As(err, &bad) {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
 // KNearest returns the k nearest live cluster elements to q, closest first
@@ -409,10 +507,13 @@ func (c *Coordinator) KNearest(ctx context.Context, q string, k int) ([]shard.Hi
 		mu.Unlock()
 		return nil, st, nil
 	})
-	if err != nil {
+	var deg *Degraded
+	if err != nil && !errors.As(err, &deg) {
 		return nil, shard.Stats{}, err
 	}
-	return mg.Hits(), stats, nil
+	// err is nil or the *Degraded tag for the surviving shards' merged
+	// answer; the caller opted into (and must surface) the latter.
+	return mg.Hits(), stats, err
 }
 
 // Radius returns every live cluster element within distance r of q
@@ -424,7 +525,8 @@ func (c *Coordinator) Radius(ctx context.Context, q string, r float64) ([]shard.
 			return cl.Radius(ctx, q, r)
 		})
 	})
-	if err != nil {
+	var deg *Degraded
+	if err != nil && !errors.As(err, &deg) {
 		return nil, shard.Stats{}, err
 	}
 	var merged []shard.Hit
@@ -437,7 +539,7 @@ func (c *Coordinator) Radius(ctx context.Context, q string, r float64) ([]shard.
 		}
 		return merged[a].ID < merged[b].ID
 	})
-	return merged, stats, nil
+	return merged, stats, err // nil, or the *Degraded tag on a partial answer
 }
 
 // Classify labels q with the class of its nearest live element (ties by
@@ -447,13 +549,19 @@ func (c *Coordinator) Classify(ctx context.Context, q string) (shard.Hit, shard.
 		return shard.Hit{}, shard.Stats{}, badRequestf("remote: cluster corpus is unlabelled")
 	}
 	hits, st, err := c.KNearest(ctx, q, 1)
-	if err != nil {
+	var deg *Degraded
+	if err != nil && !errors.As(err, &deg) {
 		return shard.Hit{}, shard.Stats{}, err
 	}
 	if len(hits) == 0 {
+		if deg != nil {
+			// Nothing to classify with: the degraded tag cannot soften a
+			// missing answer, only a partial one.
+			return shard.Hit{}, st, fmt.Errorf("remote: no usable shard answered: %w", err)
+		}
 		return shard.Hit{}, st, badRequestf("remote: empty cluster corpus")
 	}
-	return hits[0], st, nil
+	return hits[0], st, err // nil, or the *Degraded tag on a partial answer
 }
 
 // writeReplicas applies op to every replica of shard s under the shard
@@ -717,6 +825,17 @@ type ClusterInfo struct {
 	// Hedged and Retried count launched hedge and failover requests.
 	Hedged  uint64 `json:"hedged"`
 	Retried uint64 `json:"retried"`
+	// Overload and cancellation outcomes: queries shed by admission
+	// control, abandoned by their clients, out of deadline budget, and
+	// answered partially under AllowDegraded.
+	Shed             uint64 `json:"shed"`
+	Cancelled        uint64 `json:"cancelled"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	DegradedServed   uint64 `json:"degraded_served"`
+	// AllowDegraded echoes the partial-answer opt-in; BreakerCooldownMS is
+	// the per-replica circuit-breaker open window in force.
+	AllowDegraded     bool    `json:"allow_degraded"`
+	BreakerCooldownMS float64 `json:"breaker_cooldown_ms"`
 	// ResyncRestores and ResyncSeeds count replica re-syncs by transport:
 	// blob-store restore (preferred) vs full dump reseed (fallback).
 	ResyncRestores uint64 `json:"resync_restores"`
@@ -730,23 +849,29 @@ type ClusterInfo struct {
 // Info returns the current cluster health snapshot.
 func (c *Coordinator) Info() ClusterInfo {
 	info := ClusterInfo{
-		Nodes:          c.cfg.Nodes,
-		Shards:         len(c.replicas),
-		Replicas:       c.cfg.Replicas,
-		RangeWidth:     c.rangeWidth,
-		Labelled:       c.labelled,
-		NextID:         c.nextID.Load(),
-		Healthy:        true,
-		Hedged:         c.hedged.Load(),
-		Retried:        c.retried.Load(),
-		ResyncRestores: c.resyncRestores.Load(),
-		ResyncSeeds:    c.resyncSeeds.Load(),
-		HedgeDelayMS:   float64(c.hedgeDelay()) / float64(time.Millisecond),
+		Nodes:             c.cfg.Nodes,
+		Shards:            len(c.replicas),
+		Replicas:          c.cfg.Replicas,
+		RangeWidth:        c.rangeWidth,
+		Labelled:          c.labelled,
+		NextID:            c.nextID.Load(),
+		Healthy:           true,
+		Hedged:            c.hedged.Load(),
+		Retried:           c.retried.Load(),
+		Shed:              c.gate.Shed(),
+		Cancelled:         c.cancelled.Load(),
+		DeadlineExceeded:  c.deadline.Load(),
+		DegradedServed:    c.degraded.Load(),
+		AllowDegraded:     c.cfg.AllowDegraded,
+		BreakerCooldownMS: float64(c.cfg.BreakerCooldown) / float64(time.Millisecond),
+		ResyncRestores:    c.resyncRestores.Load(),
+		ResyncSeeds:       c.resyncSeeds.Load(),
+		HedgeDelayMS:      float64(c.hedgeDelay()) / float64(time.Millisecond),
 	}
 	for s := range c.replicas {
 		anyHealthy := false
 		for _, rep := range c.replicas[s] {
-			snap := rep.snapshot(c.cfg.Nodes[rep.node])
+			snap := rep.snapshot(c.cfg.Nodes[rep.node], c.cfg.BreakerCooldown)
 			info.ReplicaHealth = append(info.ReplicaHealth, snap)
 			anyHealthy = anyHealthy || snap.Healthy
 		}
@@ -755,6 +880,17 @@ func (c *Coordinator) Info() ClusterInfo {
 		}
 	}
 	return info
+}
+
+// noteQueryError folds a failed client-facing query into the lifetime
+// cancellation counters (the transport layer calls it once per failure).
+func (c *Coordinator) noteQueryError(err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		c.cancelled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		c.deadline.Add(1)
+	}
 }
 
 // Unbounded is the +Inf pruning radius, exported for callers assembling

@@ -34,32 +34,57 @@ func (r *replica) healthy() bool {
 	return !r.ejected
 }
 
-// usable reports whether the replica may serve an exact answer: not stale.
-// An ejected-but-clean replica is a legal last resort when every healthy
-// peer is gone (it merely failed recently; its content is current).
-func (r *replica) usable() bool {
+// usable reports whether the replica may serve an exact answer under the
+// circuit breaker with the given cooldown: a closed (healthy) replica
+// always; an open one — ejected but clean — only once its cooldown has
+// elapsed, which moves it to half-open and lets trial queries through. A
+// negative cooldown disables the open window entirely (every ejected-clean
+// replica is immediately half-open — the pure last-resort policy). Stale
+// replicas are never usable: they may have missed writes, and one
+// approximate answer would void the cluster's guarantee.
+func (r *replica) usable(cooldown time.Duration) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return !r.stale
+	if r.stale {
+		return false
+	}
+	if !r.ejected {
+		return true
+	}
+	return cooldown < 0 || time.Since(r.lastChange) >= cooldown
 }
 
-// recordSuccess clears the failure streak. It never readmits by itself —
-// readmission goes through the probe path so staleness is honoured.
+// recordSuccess clears the failure streak. A half-open replica that just
+// served a successful trial closes its breaker (readmits) on the spot —
+// but only if it is still clean; a stale replica's readmission must go
+// through the probe path's re-sync, whatever it answers in the meantime.
 func (r *replica) recordSuccess() {
 	r.mu.Lock()
 	r.consecFails = 0
 	r.lastErr = ""
+	if r.ejected && !r.stale {
+		r.ejected = false
+		r.readmissions++
+		r.lastChange = time.Now()
+	}
 	r.mu.Unlock()
 }
 
 // recordFailure notes a failed call; after threshold consecutive failures
-// the replica is ejected. It reports whether this call ejected it.
+// the replica is ejected. A failure while already ejected re-arms the
+// breaker cooldown — a failed half-open trial re-opens the breaker for a
+// full cooldown window instead of letting trials hammer a sick node. It
+// reports whether this call ejected the replica.
 func (r *replica) recordFailure(err error, threshold int) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.consecFails++
 	r.lastErr = err.Error()
-	if !r.ejected && r.consecFails >= threshold {
+	if r.ejected {
+		r.lastChange = time.Now()
+		return false
+	}
+	if r.consecFails >= threshold {
 		r.ejected = true
 		r.ejections++
 		r.lastChange = time.Now()
@@ -106,27 +131,47 @@ func (r *replica) readmit() {
 func (r *replica) isEjected() bool { r.mu.Lock(); defer r.mu.Unlock(); return r.ejected }
 func (r *replica) isStale() bool   { r.mu.Lock(); defer r.mu.Unlock(); return r.stale }
 
+// Breaker state names as reported in ReplicaHealth.
+const (
+	BreakerClosed   = "closed"    // healthy, in the query rotation
+	BreakerOpen     = "open"      // ejected, failing fast until the cooldown elapses
+	BreakerHalfOpen = "half-open" // ejected but accepting trial queries
+	BreakerStale    = "stale"     // ejected and missing writes; only a re-sync reopens it
+)
+
 // ReplicaHealth is one replica's state in the coordinator's /healthz view.
 type ReplicaHealth struct {
 	Node                string `json:"node"`
 	Shard               int    `json:"shard"`
 	Healthy             bool   `json:"healthy"`
 	Stale               bool   `json:"stale"`
+	Breaker             string `json:"breaker"`
 	ConsecutiveFailures int    `json:"consecutive_failures"`
 	Ejections           uint64 `json:"ejections"`
 	Readmissions        uint64 `json:"readmissions"`
 	LastError           string `json:"last_error,omitempty"`
 }
 
-// snapshot captures the replica's health for reporting.
-func (r *replica) snapshot(nodeURL string) ReplicaHealth {
+// snapshot captures the replica's health for reporting; cooldown is the
+// coordinator's breaker cooldown, needed to tell open from half-open.
+func (r *replica) snapshot(nodeURL string, cooldown time.Duration) ReplicaHealth {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	breaker := BreakerClosed
+	switch {
+	case r.stale:
+		breaker = BreakerStale
+	case r.ejected && cooldown >= 0 && time.Since(r.lastChange) < cooldown:
+		breaker = BreakerOpen
+	case r.ejected:
+		breaker = BreakerHalfOpen
+	}
 	return ReplicaHealth{
 		Node:                nodeURL,
 		Shard:               r.shard,
 		Healthy:             !r.ejected,
 		Stale:               r.stale,
+		Breaker:             breaker,
 		ConsecutiveFailures: r.consecFails,
 		Ejections:           r.ejections,
 		Readmissions:        r.readmissions,

@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"ced/internal/blob"
 	"ced/internal/metric"
+	"ced/internal/serve"
 	"ced/internal/shard"
 )
 
@@ -50,6 +52,13 @@ type ShardServer struct {
 	mu     sync.RWMutex
 	slots  map[int]*shard.Set
 	savers map[int]*shard.Saver // lazily built per slot; reset on re-seed
+
+	// Cancellation outcome counters, surfaced on /healthz. A climbing
+	// cancelled count is the direct evidence that coordinator hedging (and
+	// client disconnects) actually stop shard-side computation instead of
+	// letting abandoned scans run to completion.
+	cancelled atomic.Uint64 // queries stopped by caller cancellation (499)
+	deadline  atomic.Uint64 // queries stopped by an exhausted budget (504)
 }
 
 // NewShardServer builds an empty shard host; slots appear when seeded.
@@ -211,10 +220,12 @@ func (s *ShardServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
-			Status string      `json:"status"`
-			Metric string      `json:"metric"`
-			Slots  map[int]int `json:"slots"`
-		}{"ok", s.cfg.Metric.Name(), s.Slots()})
+			Status    string      `json:"status"`
+			Metric    string      `json:"metric"`
+			Slots     map[int]int `json:"slots"`
+			Cancelled uint64      `json:"cancelled"`
+			Deadline  uint64      `json:"deadline_exceeded"`
+		}{"ok", s.cfg.Metric.Name(), s.Slots(), s.cancelled.Load(), s.deadline.Load()})
 	})
 	mux.HandleFunc("POST /shard/{slot}/seed", s.withSlotIdx(func(w http.ResponseWriter, r *http.Request, idx int) {
 		var req seedRequest
@@ -237,7 +248,13 @@ func (s *ShardServer) Handler() http.Handler {
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		hits, st := set.KNearestBounded([]rune(req.Query), req.K, fromWireBound(req.Bound))
+		ctx, cancel := serve.RequestContext(r)
+		defer cancel()
+		hits, st, err := set.KNearestBoundedCtx(ctx, []rune(req.Query), req.K, fromWireBound(req.Bound))
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
 		comps, rej := statsOf(st)
 		writeJSON(w, http.StatusOK, queryResponse{Hits: hits, Computations: comps, Rejections: rej})
 	}))
@@ -246,9 +263,11 @@ func (s *ShardServer) Handler() http.Handler {
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		hits, st, err := set.Radius([]rune(req.Query), req.Radius)
+		ctx, cancel := serve.RequestContext(r)
+		defer cancel()
+		hits, st, err := set.RadiusCtx(ctx, []rune(req.Query), req.Radius)
 		if err != nil {
-			writeRemoteError(w, http.StatusBadRequest, err)
+			s.writeQueryError(w, err)
 			return
 		}
 		comps, rej := statsOf(st)
@@ -365,6 +384,23 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 		return false
 	}
 	return true
+}
+
+// writeQueryError maps a failed slot query to a status and bumps the
+// node's cancellation counters: a vanished caller (the coordinator gave
+// up, often because a hedged sibling won) is 499, an exhausted budget is
+// 504, anything else is a plain bad request.
+func (s *ShardServer) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+		writeRemoteError(w, serve.StatusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadline.Add(1)
+		writeRemoteError(w, http.StatusGatewayTimeout, err)
+	default:
+		writeRemoteError(w, http.StatusBadRequest, err)
+	}
 }
 
 func writeRemoteError(w http.ResponseWriter, status int, err error) {

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ced/internal/bulk"
+	"ced/internal/cancel"
 	"ced/internal/metric"
 	"ced/internal/pool"
 )
@@ -157,9 +158,14 @@ func (s *AESA) KNearest(q []rune, k int) []Result {
 // instead of +Inf (see BoundedKSearcher): a bail proves every remaining
 // candidate exceeds the seeded bound too, so the early break stays sound.
 func (s *AESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
+	res, comps, rej, _ := s.knearestBounded(q, k, bound, nil)
+	return res, comps, rej
+}
+
+func (s *AESA) knearestBounded(q []rune, k int, bound float64, chk *cancel.Check) ([]Result, int, metric.StageCounts, error) {
 	n := len(s.corpus)
 	if n == 0 || k <= 0 {
-		return nil, 0, metric.StageCounts{}
+		return nil, 0, metric.StageCounts{}, nil
 	}
 	if k > n {
 		k = n
@@ -173,6 +179,9 @@ func (s *AESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, m
 	comps := 0
 	var rej metric.StageCounts
 	for len(alive) > 0 {
+		if chk.Hit() {
+			return nil, comps, rej, chk.Err()
+		}
 		var u int
 		u, alive = selectMin(g, alive)
 
@@ -195,15 +204,20 @@ func (s *AESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, m
 		}
 		alive = w
 	}
-	return top.res, comps, rej
+	return top.res, comps, rej, nil
 }
 
 // Radius returns every corpus element within distance r of q (inclusive),
 // sorted by distance, plus the number of distance computations spent.
 func (s *AESA) Radius(q []rune, r float64) ([]Result, int) {
+	hits, comps, _ := s.radius(q, r, nil)
+	return hits, comps
+}
+
+func (s *AESA) radius(q []rune, r float64, chk *cancel.Check) ([]Result, int, error) {
 	n := len(s.corpus)
 	if n == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	g := make([]float64, n)
 	alive := make([]int, n)
@@ -214,6 +228,9 @@ func (s *AESA) Radius(q []rune, r float64) ([]Result, int) {
 	comps := 0
 	var rej metric.StageCounts
 	for len(alive) > 0 {
+		if chk.Hit() {
+			return nil, comps, chk.Err()
+		}
 		var u int
 		u, alive = selectMin(g, alive)
 
@@ -243,5 +260,5 @@ func (s *AESA) Radius(q []rune, r float64) ([]Result, int) {
 		hits[i].Computations = comps
 		hits[i].Rejections = rej
 	}
-	return hits, comps
+	return hits, comps, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ced/internal/bulk"
+	"ced/internal/cancel"
 	"ced/internal/metric"
 	"ced/internal/pool"
 )
@@ -221,11 +222,19 @@ func (t *BKTree) Search(q []rune) Result {
 // with the number of distance computations spent — the classic BK-tree
 // range query used by the spell-checking example.
 func (t *BKTree) Radius(q []rune, r float64) ([]Result, int) {
+	hits, comps, _ := t.radius(q, r, nil)
+	return hits, comps
+}
+
+func (t *BKTree) radius(q []rune, r float64, chk *cancel.Check) ([]Result, int, error) {
 	var out []Result
 	comps := 0
 	var rej metric.StageCounts
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
+		if chk.Hit() {
+			return
+		}
 		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], r+float64(n.maxEdge))
 		comps++
 		if !exact {
@@ -244,10 +253,13 @@ func (t *BKTree) Radius(q []rune, r float64) ([]Result, int) {
 	if t.root != nil {
 		walk(t.root)
 	}
+	if chk.Stopped() {
+		return nil, comps, chk.Err()
+	}
 	sortHits(out)
 	for i := range out {
 		out[i].Computations = comps
 		out[i].Rejections = rej
 	}
-	return out, comps
+	return out, comps, nil
 }

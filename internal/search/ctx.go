@@ -1,0 +1,99 @@
+package search
+
+import (
+	"context"
+
+	"ced/internal/cancel"
+	"ced/internal/metric"
+)
+
+// CtxBoundedKSearcher is the context-aware extension of BoundedKSearcher:
+// the same bounded k-NN contract plus cooperative cancellation. The scan
+// loop polls the context every few candidates (see internal/cancel) and a
+// cancelled query returns the context's error along with the evaluations it
+// had already spent — so work counters stay honest and provably stop
+// growing — while the result slice is nil (a partial top-k is not a valid
+// answer). With an uncancellable context the query is bit-identical to
+// KNearestBounded, at the cost of one nil check per candidate.
+type CtxBoundedKSearcher interface {
+	BoundedKSearcher
+	KNearestBoundedCtx(ctx context.Context, q []rune, k int, bound float64) ([]Result, int, metric.StageCounts, error)
+}
+
+// CtxRadiusSearcher is the context-aware extension of RadiusSearcher, with
+// the same cancellation semantics as CtxBoundedKSearcher.
+type CtxRadiusSearcher interface {
+	RadiusSearcher
+	RadiusCtx(ctx context.Context, q []rune, r float64) ([]Result, int, error)
+}
+
+// Interface conformance checks: every built-in scan loop is cancellable.
+// (Trie is the deliberate exception — its walk is structural rather than a
+// candidate loop — and callers fall back to the uncancellable surface.)
+var (
+	_ CtxBoundedKSearcher = (*Linear)(nil)
+	_ CtxBoundedKSearcher = (*LAESA)(nil)
+	_ CtxBoundedKSearcher = (*VPTree)(nil)
+	_ CtxBoundedKSearcher = (*BKTree)(nil)
+	_ CtxBoundedKSearcher = (*AESA)(nil)
+	_ CtxRadiusSearcher   = (*Linear)(nil)
+	_ CtxRadiusSearcher   = (*LAESA)(nil)
+	_ CtxRadiusSearcher   = (*VPTree)(nil)
+	_ CtxRadiusSearcher   = (*BKTree)(nil)
+	_ CtxRadiusSearcher   = (*AESA)(nil)
+)
+
+// KNearestBoundedCtx is KNearestBounded with cooperative cancellation (see
+// CtxBoundedKSearcher).
+func (s *Linear) KNearestBoundedCtx(ctx context.Context, q []rune, k int, bound float64) ([]Result, int, metric.StageCounts, error) {
+	return s.knearestBounded(q, k, bound, cancel.New(ctx))
+}
+
+// RadiusCtx is Radius with cooperative cancellation (see CtxRadiusSearcher).
+func (s *Linear) RadiusCtx(ctx context.Context, q []rune, r float64) ([]Result, int, error) {
+	return s.radius(q, r, cancel.New(ctx))
+}
+
+// KNearestBoundedCtx is KNearestBounded with cooperative cancellation (see
+// CtxBoundedKSearcher).
+func (s *LAESA) KNearestBoundedCtx(ctx context.Context, q []rune, k int, bound float64) ([]Result, int, metric.StageCounts, error) {
+	return s.knearestBounded(q, k, bound, cancel.New(ctx))
+}
+
+// RadiusCtx is Radius with cooperative cancellation (see CtxRadiusSearcher).
+func (s *LAESA) RadiusCtx(ctx context.Context, q []rune, r float64) ([]Result, int, error) {
+	return s.radius(q, r, cancel.New(ctx))
+}
+
+// KNearestBoundedCtx is KNearestBounded with cooperative cancellation (see
+// CtxBoundedKSearcher).
+func (t *VPTree) KNearestBoundedCtx(ctx context.Context, q []rune, k int, bound float64) ([]Result, int, metric.StageCounts, error) {
+	return t.knearestBounded(q, k, bound, cancel.New(ctx))
+}
+
+// RadiusCtx is Radius with cooperative cancellation (see CtxRadiusSearcher).
+func (t *VPTree) RadiusCtx(ctx context.Context, q []rune, r float64) ([]Result, int, error) {
+	return t.radius(q, r, cancel.New(ctx))
+}
+
+// KNearestBoundedCtx is KNearestBounded with cooperative cancellation (see
+// CtxBoundedKSearcher).
+func (t *BKTree) KNearestBoundedCtx(ctx context.Context, q []rune, k int, bound float64) ([]Result, int, metric.StageCounts, error) {
+	return t.knearestBounded(q, k, bound, cancel.New(ctx))
+}
+
+// RadiusCtx is Radius with cooperative cancellation (see CtxRadiusSearcher).
+func (t *BKTree) RadiusCtx(ctx context.Context, q []rune, r float64) ([]Result, int, error) {
+	return t.radius(q, r, cancel.New(ctx))
+}
+
+// KNearestBoundedCtx is KNearestBounded with cooperative cancellation (see
+// CtxBoundedKSearcher).
+func (s *AESA) KNearestBoundedCtx(ctx context.Context, q []rune, k int, bound float64) ([]Result, int, metric.StageCounts, error) {
+	return s.knearestBounded(q, k, bound, cancel.New(ctx))
+}
+
+// RadiusCtx is Radius with cooperative cancellation (see CtxRadiusSearcher).
+func (s *AESA) RadiusCtx(ctx context.Context, q []rune, r float64) ([]Result, int, error) {
+	return s.radius(q, r, cancel.New(ctx))
+}

@@ -1,0 +1,199 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"ced/internal/metric"
+)
+
+// ctxSearchers builds every context-aware searcher over the same corpus:
+// the fractional-metric family on dC,h and the BK-tree on integer dE.
+func ctxSearchers(corpus [][]rune) map[string]CtxBoundedKSearcher {
+	m := metric.ContextualHeuristic()
+	return map[string]CtxBoundedKSearcher{
+		"linear": NewLinear(corpus, m),
+		"laesa":  NewLAESA(corpus, m, 8, MaxSum, 41),
+		"vptree": NewVPTree(corpus, m, 42),
+		"aesa":   NewAESA(corpus, m),
+		"bktree": NewBKTree(corpus, metric.Levenshtein()),
+	}
+}
+
+// sameDistances compares two result lists by length and distance — the
+// comparison that holds even for the BK-tree, whose map-ordered child
+// traversal makes computation counts (and tie-breaks at the kth boundary)
+// vary run to run.
+func sameDistances(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Distance != b[i].Distance {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCtxSearchBitIdenticalWhenLive pins the zero-cost happy path: with a
+// cancellable context that never fires, every searcher must return exactly
+// what the uncancellable surface returns — same hits, same computation
+// count, same stage ladder — because the checkpoint only ever reads a
+// counter until the context actually cancels. The BK-tree's traversal
+// order (and so its counters) is nondeterministic to begin with, so only
+// its answers are compared.
+func TestCtxSearchBitIdenticalWhenLive(t *testing.T) {
+	corpus := boundedCorpus(150, 10, 31)
+	queries := boundedCorpus(10, 10, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for name, s := range ctxSearchers(corpus) {
+		rs, ok := s.(CtxRadiusSearcher)
+		if !ok {
+			t.Fatalf("%s does not implement CtxRadiusSearcher", name)
+		}
+		deterministic := name != "bktree"
+		for _, q := range queries {
+			wantK, wantComps, wantRej := s.KNearestBounded(q, 5, math.Inf(1))
+			gotK, gotComps, gotRej, err := s.KNearestBoundedCtx(ctx, q, 5, math.Inf(1))
+			if err != nil {
+				t.Fatalf("%s(%q): live context returned %v", name, string(q), err)
+			}
+			if deterministic && (!reflect.DeepEqual(gotK, wantK) || gotComps != wantComps || gotRej != wantRej) {
+				t.Fatalf("%s(%q): ctx path diverged: (%v, %d, %v) vs (%v, %d, %v)",
+					name, string(q), gotK, gotComps, gotRej, wantK, wantComps, wantRej)
+			}
+			if !sameDistances(gotK, wantK) {
+				t.Fatalf("%s(%q): ctx path changed the answer: %v vs %v", name, string(q), gotK, wantK)
+			}
+			wantR, wantRC := rs.Radius(q, 0.4)
+			gotR, gotRC, err := rs.RadiusCtx(ctx, q, 0.4)
+			if err != nil {
+				t.Fatalf("%s radius(%q): live context returned %v", name, string(q), err)
+			}
+			if deterministic && (!reflect.DeepEqual(gotR, wantR) || gotRC != wantRC) {
+				t.Fatalf("%s radius(%q): ctx path diverged", name, string(q))
+			}
+			if !sameDistances(gotR, wantR) {
+				t.Fatalf("%s radius(%q): ctx path changed the answer", name, string(q))
+			}
+		}
+	}
+}
+
+// cancelLatency bounds how much work a cancelled query may still spend:
+// the checkpoint polls its context once per stride (64) Hit calls, so a
+// pre-cancelled query stops within one stride of loop iterations — plus a
+// small fixed overhead (LAESA's up-front pivot distances) folded into the
+// factor of two here.
+const cancelLatency = 128
+
+// TestCtxSearchCancelledStopsCounting pins the core cancellation semantics:
+// a pre-cancelled context yields the context's error, a nil result slice (a
+// partial top-k is not an answer), and a computation count that provably
+// stopped growing — bounded by the checkpoint stride, far below what the
+// full scan spends — and that stays put on every subsequent call. k exceeds
+// the stride so even the most elimination-happy searcher (AESA answers many
+// queries in under a stride of evaluations, which a cancelled context
+// deliberately lets finish) must cross a checkpoint poll before it could
+// complete.
+func TestCtxSearchCancelledStopsCounting(t *testing.T) {
+	corpus := boundedCorpus(2000, 10, 33)
+	q := []rune("abcabcab")
+	const k = 256
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, s := range ctxSearchers(corpus) {
+		_, fullComps, _ := s.KNearestBounded(q, k, math.Inf(1))             //ced:stagecount-ok: cancellation-semantics test; stage tallies are not under test
+		res, comps, _, err := s.KNearestBoundedCtx(done, q, k, math.Inf(1)) //ced:stagecount-ok: cancellation-semantics test; stage tallies are not under test
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: cancelled query returned err=%v", name, err)
+		}
+		if res != nil {
+			t.Fatalf("%s: cancelled query leaked a partial result of %d hits", name, len(res))
+		}
+		if comps > cancelLatency || comps >= fullComps {
+			t.Fatalf("%s: cancelled query still spent %d of %d computations", name, comps, fullComps)
+		}
+		again, comps2, _, err := s.KNearestBoundedCtx(done, q, k, math.Inf(1)) //ced:stagecount-ok: cancellation-semantics test; stage tallies are not under test
+		if !errors.Is(err, context.Canceled) || again != nil || comps2 != comps {
+			t.Fatalf("%s: second cancelled query drifted: comps %d vs %d, err %v", name, comps2, comps, err)
+		}
+
+		// Radius scans with heavy elimination may finish inside one stride —
+		// then completing is the documented behaviour; assert early stop only
+		// where the full scan provably crosses checkpoint polls.
+		rs := s.(CtxRadiusSearcher)
+		_, fullRC := rs.Radius(q, 0.4)
+		rres, rc, err := rs.RadiusCtx(done, q, 0.4)
+		if fullRC >= 2*cancelLatency {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s radius: cancelled query returned err=%v", name, err)
+			}
+			if rres != nil || rc > cancelLatency {
+				t.Fatalf("%s radius: cancelled query returned %d hits after %d of %d computations", name, len(rres), rc, fullRC)
+			}
+		}
+	}
+}
+
+// TestCtxSearchDeadlinePropagates distinguishes the two cancellation
+// causes: an expired deadline must surface as context.DeadlineExceeded so
+// the HTTP layer can answer 504 rather than 499.
+func TestCtxSearchDeadlinePropagates(t *testing.T) {
+	corpus := boundedCorpus(2000, 10, 34)
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for name, s := range ctxSearchers(corpus) {
+		_, _, _, err := s.KNearestBoundedCtx(expired, []rune("abcd"), 256, math.Inf(1)) //ced:stagecount-ok: cancellation-semantics test; stage tallies are not under test
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: expired deadline surfaced as %v", name, err)
+		}
+	}
+}
+
+// TestCtxSearchScratchSurvivesCancel interleaves cancelled and live
+// queries: the early return taken on cancellation must leave pooled scratch
+// (LAESA's lower-bound arrays, the shared heaps) clean, so every live query
+// that follows stays bit-identical to an undisturbed baseline.
+func TestCtxSearchScratchSurvivesCancel(t *testing.T) {
+	corpus := boundedCorpus(400, 10, 35)
+	queries := boundedCorpus(8, 10, 36)
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	cancelled := 0
+	for name, s := range ctxSearchers(corpus) {
+		rs := s.(CtxRadiusSearcher)
+		for _, q := range queries {
+			wantK, wantComps, _ := s.KNearestBounded(q, 5, math.Inf(1)) //ced:stagecount-ok: cancellation-semantics test; stage tallies are not under test
+			wantR, _ := rs.Radius(q, 0.4)
+			for i := 0; i < 3; i++ {
+				// A query cheap enough to finish inside one checkpoint stride
+				// may legally complete; what matters is that every early
+				// return taken leaves the shared scratch clean.
+				if _, _, _, err := s.KNearestBoundedCtx(done, q, 200, math.Inf(1)); err != nil { //ced:stagecount-ok: cancellation-semantics test; stage tallies are not under test
+					cancelled++
+				}
+				if _, _, err := rs.RadiusCtx(done, q, 0.4); err != nil {
+					cancelled++
+				}
+				gotK, gotComps, _ := s.KNearestBounded(q, 5, math.Inf(1)) //ced:stagecount-ok: cancellation-semantics test; stage tallies are not under test
+				if !sameDistances(gotK, wantK) || (name != "bktree" && gotComps != wantComps) {
+					t.Fatalf("%s(%q): results drifted after a cancelled query", name, string(q))
+				}
+				gotR, _ := rs.Radius(q, 0.4)
+				if !sameDistances(gotR, wantR) {
+					t.Fatalf("%s radius(%q): results drifted after a cancelled query", name, string(q))
+				}
+			}
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no query ever observed the cancellation — the scratch path was not exercised")
+	}
+}

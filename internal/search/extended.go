@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"ced/internal/cancel"
 	"ced/internal/metric"
 )
 
@@ -73,9 +74,17 @@ var (
 // radius — the vast majority, for a selective query — cost only the ladder
 // rung that rejects them.
 func (s *Linear) Radius(q []rune, r float64) ([]Result, int) {
+	hits, comps, _ := s.radius(q, r, nil)
+	return hits, comps
+}
+
+func (s *Linear) radius(q []rune, r float64, chk *cancel.Check) ([]Result, int, error) {
 	var hits []Result
 	var rej metric.StageCounts
 	for i, c := range s.corpus {
+		if chk.Hit() {
+			return nil, i, chk.Err()
+		}
 		d, exact, stage := s.eval.distanceWithin(q, c, r)
 		if !exact {
 			rej[stage]++
@@ -90,7 +99,7 @@ func (s *Linear) Radius(q []rune, r float64) ([]Result, int) {
 		hits[i].Computations = len(s.corpus)
 		hits[i].Rejections = rej
 	}
-	return hits, len(s.corpus)
+	return hits, len(s.corpus), nil
 }
 
 // topK accumulates the k nearest candidates for the tree walkers, keeping
@@ -151,8 +160,16 @@ func (t *VPTree) KNearest(q []rune, k int) []Result {
 // and per-stage rejections explicitly — a bounded query can return fewer
 // than k results, even none, and still spend evaluations.
 func (t *VPTree) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
+	res, comps, rej, _ := t.knearestBounded(q, k, bound, nil)
+	return res, comps, rej
+}
+
+// knearestBounded is the tree descent shared by the bounded and the
+// context-aware entry points: a cancelled walk stops descending at the next
+// node and the query returns the context's error.
+func (t *VPTree) knearestBounded(q []rune, k int, bound float64, chk *cancel.Check) ([]Result, int, metric.StageCounts, error) {
 	if k <= 0 || t.root == nil {
-		return nil, 0, metric.StageCounts{}
+		return nil, 0, metric.StageCounts{}, nil
 	}
 	if k > len(t.corpus) {
 		k = len(t.corpus)
@@ -162,7 +179,7 @@ func (t *VPTree) KNearestBounded(q []rune, k int, bound float64) ([]Result, int,
 	var rej metric.StageCounts
 	var walk func(n *vpNode)
 	walk = func(n *vpNode) {
-		if n == nil {
+		if n == nil || chk.Hit() {
 			return
 		}
 		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], n.radius+top.tau)
@@ -188,18 +205,26 @@ func (t *VPTree) KNearestBounded(q []rune, k int, bound float64) ([]Result, int,
 		}
 	}
 	walk(t.root)
-	return top.res, comps, rej
+	if chk.Stopped() {
+		return nil, comps, rej, chk.Err()
+	}
+	return top.res, comps, rej, nil
 }
 
 // Radius returns every corpus element within distance r of q, pruning
 // subtrees that cannot intersect the query ball.
 func (t *VPTree) Radius(q []rune, r float64) ([]Result, int) {
+	hits, comps, _ := t.radius(q, r, nil)
+	return hits, comps
+}
+
+func (t *VPTree) radius(q []rune, r float64, chk *cancel.Check) ([]Result, int, error) {
 	var hits []Result
 	comps := 0
 	var rej metric.StageCounts
 	var walk func(n *vpNode)
 	walk = func(n *vpNode) {
-		if n == nil {
+		if n == nil || chk.Hit() {
 			return
 		}
 		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], n.radius+r)
@@ -222,12 +247,15 @@ func (t *VPTree) Radius(q []rune, r float64) ([]Result, int) {
 		}
 	}
 	walk(t.root)
+	if chk.Stopped() {
+		return nil, comps, chk.Err()
+	}
 	sortHits(hits)
 	for i := range hits {
 		hits[i].Computations = comps
 		hits[i].Rejections = rej
 	}
-	return hits, comps
+	return hits, comps, nil
 }
 
 // KNearest returns the k nearest corpus elements from a BK-tree, pruning
@@ -244,8 +272,13 @@ func (t *BKTree) KNearest(q []rune, k int) []Result {
 // KNearestBounded is KNearest with the pruning bound seeded at bound
 // instead of +Inf (see BoundedKSearcher).
 func (t *BKTree) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
+	res, comps, rej, _ := t.knearestBounded(q, k, bound, nil)
+	return res, comps, rej
+}
+
+func (t *BKTree) knearestBounded(q []rune, k int, bound float64, chk *cancel.Check) ([]Result, int, metric.StageCounts, error) {
 	if k <= 0 || t.root == nil {
-		return nil, 0, metric.StageCounts{}
+		return nil, 0, metric.StageCounts{}, nil
 	}
 	if k > t.size {
 		k = t.size
@@ -255,6 +288,9 @@ func (t *BKTree) KNearestBounded(q []rune, k int, bound float64) ([]Result, int,
 	var rej metric.StageCounts
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
+		if chk.Hit() {
+			return
+		}
 		d, exact, stage := t.eval.distanceWithin(q, t.corpus[n.index], top.tau+float64(n.maxEdge))
 		comps++
 		if !exact {
@@ -269,7 +305,10 @@ func (t *BKTree) KNearestBounded(q []rune, k int, bound float64) ([]Result, int,
 		}
 	}
 	walk(t.root)
-	return top.res, comps, rej
+	if chk.Stopped() {
+		return nil, comps, rej, chk.Err()
+	}
+	return top.res, comps, rej, nil
 }
 
 // stampResults writes the per-query computation count and stage rejections

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"ced/internal/cancel"
 	"ced/internal/metric"
 )
 
@@ -23,9 +24,18 @@ func (s *LAESA) KNearest(q []rune, k int) []Result {
 // distance are eliminated without evaluation, and every bounded evaluation
 // is cut off at min(bound, current k-th best).
 func (s *LAESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
+	res, comps, rej, _ := s.knearestBounded(q, k, bound, nil)
+	return res, comps, rej
+}
+
+// knearestBounded is the elimination loop shared by the bounded and the
+// context-aware entry points: chk is polled once per selected candidate and
+// a cancelled query stops evaluating immediately. The pooled scratch is
+// returned to the pool on every path, cancelled or not.
+func (s *LAESA) knearestBounded(q []rune, k int, bound float64, chk *cancel.Check) ([]Result, int, metric.StageCounts, error) {
 	n := len(s.corpus)
 	if n == 0 || k <= 0 {
-		return nil, 0, metric.StageCounts{}
+		return nil, 0, metric.StageCounts{}, nil
 	}
 	if k > n {
 		k = n
@@ -54,6 +64,9 @@ func (s *LAESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, 
 	}
 
 	for len(alive) > 0 {
+		if chk.Hit() {
+			return nil, comps, rej, chk.Err()
+		}
 		selPos := -1
 		selPivot := false
 		for pos, u := range alive {
@@ -110,7 +123,7 @@ func (s *LAESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, 
 		}
 		alive = w
 	}
-	return top, comps, rej
+	return top, comps, rej, nil
 }
 
 // Radius returns every corpus element within distance r of q (inclusive),
@@ -118,9 +131,14 @@ func (s *LAESA) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, 
 // Candidates whose lower bound exceeds r are eliminated without computing
 // their distance; everything else is verified exactly.
 func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
+	hits, comps, _ := s.radius(q, r, nil)
+	return hits, comps
+}
+
+func (s *LAESA) radius(q []rune, r float64, chk *cancel.Check) ([]Result, int, error) {
 	n := len(s.corpus)
 	if n == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	sc := s.checkoutScratch()
 	defer s.scratch.Put(sc)
@@ -130,6 +148,9 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 	var rej metric.StageCounts
 	pivotsLeft := len(s.pivots)
 	for len(alive) > 0 {
+		if chk.Hit() {
+			return nil, comps, chk.Err()
+		}
 		selPos := -1
 		selPivot := false
 		for pos, u := range alive {
@@ -195,5 +216,5 @@ func (s *LAESA) Radius(q []rune, r float64) ([]Result, int) {
 		hits[i].Computations = comps
 		hits[i].Rejections = rej
 	}
-	return hits, comps
+	return hits, comps, nil
 }

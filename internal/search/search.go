@@ -9,6 +9,7 @@ package search
 import (
 	"math"
 
+	"ced/internal/cancel"
 	"ced/internal/metric"
 )
 
@@ -103,8 +104,17 @@ func (s *Linear) KNearest(q []rune, k int) []Result {
 // known k-th-best distance are rejected by the ladder from the first
 // element on. Computations is still exactly len(corpus).
 func (s *Linear) KNearestBounded(q []rune, k int, bound float64) ([]Result, int, metric.StageCounts) {
+	res, comps, rej, _ := s.knearestBounded(q, k, bound, nil)
+	return res, comps, rej
+}
+
+// knearestBounded is the scan loop shared by the bounded and the
+// context-aware entry points: chk (nil for uncancellable queries) is polled
+// once per candidate, and a cancelled scan stops evaluating immediately,
+// returning the work spent so far and the context's error.
+func (s *Linear) knearestBounded(q []rune, k int, bound float64, chk *cancel.Check) ([]Result, int, metric.StageCounts, error) {
 	if k <= 0 {
-		return nil, 0, metric.StageCounts{}
+		return nil, 0, metric.StageCounts{}, nil
 	}
 	if k > len(s.corpus) {
 		k = len(s.corpus)
@@ -114,6 +124,9 @@ func (s *Linear) KNearestBounded(q []rune, k int, bound float64) ([]Result, int,
 	kth := bound // pruning radius: shrinks to the k-th best once full
 	var rej metric.StageCounts
 	for i, c := range s.corpus {
+		if chk.Hit() {
+			return nil, i, rej, chk.Err()
+		}
 		d, exact, stage := s.eval.distanceWithin(q, c, kth)
 		if !exact {
 			rej[stage]++
@@ -136,5 +149,5 @@ func (s *Linear) KNearestBounded(q []rune, k int, bound float64) ([]Result, int,
 			}
 		}
 	}
-	return top, len(s.corpus), rej
+	return top, len(s.corpus), rej, nil
 }

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxQueueWait is how long an over-admission query waits for a slot
+// before being shed, when Config.MaxQueueWait is unset. Short on purpose:
+// under sustained overload a long queue only converts shed load into
+// deadline-exceeded load with worse latency for everyone.
+const DefaultMaxQueueWait = 100 * time.Millisecond
+
+// DefaultRetryAfter is the Retry-After header value (seconds) sent with a
+// 429 when Config.RetryAfter is unset.
+const DefaultRetryAfter = 1
+
+// ErrOverloaded is returned by Gate.Acquire when no execution slot freed up
+// within the queue-wait budget; transports map it to 429 + Retry-After.
+var ErrOverloaded = errors.New("serve: overloaded, try again later")
+
+// Gate is the engine's admission controller: a fixed pool of execution
+// slots plus a bounded queue wait. Requests that cannot get a slot in time
+// are shed — the server's answer to saturating load is a fast 429, not an
+// unbounded queue that converts overload into timeouts for every caller.
+// The zero slot count (NewGate with maxInFlight <= 0) disables gating: a
+// nil *Gate admits everything at no cost.
+type Gate struct {
+	slots      chan struct{}
+	maxWait    time.Duration
+	retryAfter int
+	shed       atomic.Uint64
+}
+
+// NewGate returns a gate admitting maxInFlight concurrent holders, shedding
+// after maxWait (<= 0 uses DefaultMaxQueueWait). retryAfter (seconds) is
+// the Retry-After hint for shed requests (<= 0 uses DefaultRetryAfter).
+// maxInFlight <= 0 returns nil: admission control disabled.
+func NewGate(maxInFlight int, maxWait time.Duration, retryAfter int) *Gate {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultMaxQueueWait
+	}
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
+	return &Gate{
+		slots:      make(chan struct{}, maxInFlight),
+		maxWait:    maxWait,
+		retryAfter: retryAfter,
+	}
+}
+
+// Acquire claims an execution slot, waiting up to the queue-wait budget.
+// It returns ErrOverloaded when the wait expires (the request is shed) and
+// ctx's error when the caller gave up while queued. Every nil return must
+// be paired with Release.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(g.maxWait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-timer.C:
+		g.shed.Add(1)
+		return ErrOverloaded
+	case <-ctx.Done():
+		// The caller vanished while queued: its own context error, not a
+		// shed (nobody is left to see a 429).
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a nil-error Acquire.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	<-g.slots
+}
+
+// Max returns the configured in-flight bound (0 for a nil gate).
+func (g *Gate) Max() int {
+	if g == nil {
+		return 0
+	}
+	return cap(g.slots)
+}
+
+// InFlight returns the number of slots currently held.
+func (g *Gate) InFlight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.slots)
+}
+
+// Shed returns the lifetime count of requests shed with ErrOverloaded.
+func (g *Gate) Shed() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.shed.Load()
+}
+
+// RetryAfter returns the Retry-After hint in seconds (0 for a nil gate).
+func (g *Gate) RetryAfter() int {
+	if g == nil {
+		return 0
+	}
+	return g.retryAfter
+}

@@ -10,6 +10,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -77,6 +79,20 @@ type Config struct {
 	// SnapshotRetry is the cool-down after a failed background snapshot;
 	// <= 0 uses DefaultSnapshotRetry.
 	SnapshotRetry time.Duration
+	// MaxInFlight bounds the number of concurrently executing query
+	// requests (admission control): excess requests wait up to
+	// MaxQueueWait for a slot and are then shed with 429 + Retry-After.
+	// Mutations, snapshots and /healthz are exempt — health checks and
+	// drains must succeed exactly when the server is saturated. <= 0
+	// disables admission control.
+	MaxInFlight int
+	// MaxQueueWait is how long an over-admission query may wait for a
+	// slot before being shed; <= 0 uses DefaultMaxQueueWait. Ignored
+	// without MaxInFlight.
+	MaxQueueWait time.Duration
+	// RetryAfter is the Retry-After value (seconds) sent with a 429;
+	// <= 0 uses DefaultRetryAfter. Ignored without MaxInFlight.
+	RetryAfter int
 }
 
 // Pair is one query pair for the batch-distance APIs; ced.Pair aliases it.
@@ -175,6 +191,15 @@ type Engine struct {
 	cache    *runeCache
 	requests atomic.Uint64
 	rejected [metric.NumStages]atomic.Int64 // lifetime ladder rejections, by rung
+
+	// Overload accounting (d of the robustness layer): the admission gate
+	// (nil when disabled) plus the lifetime counts of queries that ended
+	// in context.Canceled (client gone, hedge loser) or
+	// context.DeadlineExceeded (budget exhausted). The gate carries its
+	// own shed counter.
+	gate      *Gate
+	cancelled atomic.Uint64
+	deadline  atomic.Uint64
 
 	// snapshotPath is the server-side file the /snapshot endpoints write
 	// and read; empty disables them (the path is fixed at startup so the
@@ -277,6 +302,7 @@ func New(corpus []string, labels []int, m metric.Metric, cfg Config) (*Engine, e
 	if e.snapshotRetry <= 0 {
 		e.snapshotRetry = DefaultSnapshotRetry
 	}
+	e.gate = NewGate(cfg.MaxInFlight, cfg.MaxQueueWait, cfg.RetryAfter)
 	e.set.Store(set)
 	return e, nil
 }
@@ -304,6 +330,27 @@ type Info struct {
 	// attached, the last durable manifest's sequence/age/size, the most
 	// recent failure and the auto-save counters.
 	Snapshot SnapshotInfo `json:"snapshot"`
+	// Overload is the robustness health block: admission-control state
+	// (max in-flight, current occupancy, lifetime shed count) and the
+	// lifetime counts of cancelled and deadline-exceeded queries.
+	Overload OverloadInfo `json:"overload"`
+}
+
+// OverloadInfo is the /healthz overload block.
+type OverloadInfo struct {
+	// AdmissionEnabled reports whether a max-in-flight gate is configured.
+	AdmissionEnabled bool `json:"admission_enabled"`
+	// MaxInFlight is the configured concurrency bound (0 when disabled).
+	MaxInFlight int `json:"max_in_flight"`
+	// InFlight is the number of query requests currently holding a slot.
+	InFlight int `json:"in_flight"`
+	// Shed counts requests rejected with 429 over the server's lifetime.
+	Shed uint64 `json:"shed"`
+	// Cancelled counts queries that ended in context.Canceled (client
+	// disconnect, hedge-loser cancellation).
+	Cancelled uint64 `json:"cancelled"`
+	// DeadlineExceeded counts queries that ran out of deadline budget.
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
 }
 
 // Info returns the current engine snapshot.
@@ -326,6 +373,40 @@ func (e *Engine) Info() Info {
 		Cache:    e.cache.Stats(),
 		Shards:   si,
 		Snapshot: e.snapshotInfo(),
+		Overload: e.overloadInfo(),
+	}
+}
+
+// overloadInfo assembles the /healthz overload block.
+func (e *Engine) overloadInfo() OverloadInfo {
+	oi := OverloadInfo{
+		Cancelled:        e.cancelled.Load(),
+		DeadlineExceeded: e.deadline.Load(),
+	}
+	if e.gate != nil {
+		oi.AdmissionEnabled = true
+		oi.MaxInFlight = e.gate.Max()
+		oi.InFlight = e.gate.InFlight()
+		oi.Shed = e.gate.Shed()
+	}
+	return oi
+}
+
+// Gate returns the engine's admission gate, nil when admission control is
+// disabled. The HTTP layer acquires it around query endpoints; embedders
+// running their own transport can do the same.
+func (e *Engine) Gate() *Gate { return e.gate }
+
+// NoteQueryError folds a query error into the lifetime overload counters:
+// context.Canceled and context.DeadlineExceeded each have a /healthz
+// counter so operators can tell shed load from abandoned load. Transports
+// call it once per failed query when mapping errors to status codes.
+func (e *Engine) NoteQueryError(err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		e.cancelled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		e.deadline.Add(1)
 	}
 }
 
@@ -372,35 +453,76 @@ func (e *Engine) Distance(a, b string) (float64, Stats) {
 // the batch and returned warm afterwards: steady-state batch distances
 // allocate nothing and no workspace is ever shared between live workers.
 func (e *Engine) BatchDistance(pairs []Pair) ([]float64, Stats) {
+	out, st, _ := e.BatchDistanceCtx(context.Background(), pairs)
+	return out, st
+}
+
+// BatchDistanceCtx is BatchDistance with cooperative cancellation: the
+// striped workers poll ctx between pairs (see bulk.FanCtx) and a cancelled
+// batch returns ctx's error with no output — distances are all-or-nothing.
+func (e *Engine) BatchDistanceCtx(ctx context.Context, pairs []Pair) ([]float64, Stats, error) {
 	e.countRequest()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	out := make([]float64, len(pairs))
-	e.ev.Fan(len(pairs), e.workers, func(s metric.Metric, i int) {
+	err := e.ev.FanCtx(ctx, len(pairs), e.workers, func(s metric.Metric, i int) {
 		out[i] = s.Distance([]rune(pairs[i].A), []rune(pairs[i].B))
 	})
-	return out, Stats{Computations: len(pairs)}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return out, Stats{Computations: len(pairs)}, nil
 }
 
 // KNearest returns the k nearest corpus elements to q, closest first, and
 // the work the index spent answering: distance computations plus the
 // per-stage ladder rejections among them.
 func (e *Engine) KNearest(q string, k int) ([]Neighbor, Stats, error) {
+	return e.KNearestCtx(context.Background(), q, k)
+}
+
+// KNearestCtx is KNearest with cooperative cancellation: the shard scans
+// poll ctx every few candidates and a cancelled query stops computing,
+// returning ctx's error with the (partial) work counted in Stats — results
+// are bit-identical to KNearest whenever ctx is not cancelled.
+func (e *Engine) KNearestCtx(ctx context.Context, q string, k int) ([]Neighbor, Stats, error) {
 	e.countRequest()
-	return e.knn(e.cache.Get(q), k)
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
+	return e.knn(ctx, e.cache.Get(q), k)
 }
 
 // BatchKNearest answers a k-NN query per input string over the worker
 // pool (decoding inline, bypassing the cache — see BatchDistance). The
 // stats are summed across queries.
 func (e *Engine) BatchKNearest(queries []string, k int) ([][]Neighbor, Stats, error) {
+	return e.BatchKNearestCtx(context.Background(), queries, k)
+}
+
+// BatchKNearestCtx is BatchKNearest with cooperative cancellation: each
+// per-query scan polls ctx, and a cancelled batch returns ctx's error with
+// the stats of the work spent before the stop.
+func (e *Engine) BatchKNearestCtx(ctx context.Context, queries []string, k int) ([][]Neighbor, Stats, error) {
 	e.countRequest()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	if err := e.checkK(k); err != nil {
 		return nil, Stats{}, err
 	}
 	out := make([][]Neighbor, len(queries))
 	stats := make([]Stats, len(queries))
+	errs := make([]error, len(queries))
 	e.fanOut(len(queries), func(i int) {
-		out[i], stats[i], _ = e.knn([]rune(queries[i]), k)
+		out[i], stats[i], errs[i] = e.knn(ctx, []rune(queries[i]), k)
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, sumStats(stats), err
+		}
+	}
 	return out, sumStats(stats), nil
 }
 
@@ -424,11 +546,14 @@ func (e *Engine) shardStats(st shard.Stats) Stats {
 	return Stats{Computations: st.Computations, Rejections: e.record(st.Rejections)}
 }
 
-func (e *Engine) knn(q []rune, k int) ([]Neighbor, Stats, error) {
+func (e *Engine) knn(ctx context.Context, q []rune, k int) ([]Neighbor, Stats, error) {
 	if err := e.checkK(k); err != nil {
 		return nil, Stats{}, err
 	}
-	hits, st := e.set.Load().KNearest(q, k)
+	hits, st, err := e.set.Load().KNearestCtx(ctx, q, k)
+	if err != nil {
+		return nil, e.shardStats(st), err
+	}
 	out := make([]Neighbor, len(hits))
 	for i, h := range hits {
 		out[i] = neighbor(h)
@@ -441,12 +566,23 @@ func (e *Engine) knn(q []rune, k int) ([]Neighbor, Stats, error) {
 // variance: r itself bounds every shard, so both the result set and the
 // pruning behaviour are deterministic.
 func (e *Engine) Radius(q string, r float64) ([]Neighbor, Stats, error) {
+	return e.RadiusCtx(context.Background(), q, r)
+}
+
+// RadiusCtx is Radius with cooperative cancellation (see KNearestCtx).
+func (e *Engine) RadiusCtx(ctx context.Context, q string, r float64) ([]Neighbor, Stats, error) {
 	e.countRequest()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	if r < 0 {
 		return nil, Stats{}, fmt.Errorf("serve: radius must be non-negative (got %g)", r)
 	}
-	hits, st, err := e.set.Load().Radius(e.cache.Get(q), r)
+	hits, st, err := e.set.Load().RadiusCtx(ctx, e.cache.Get(q), r)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, e.shardStats(st), err
+		}
 		return nil, Stats{}, fmt.Errorf("serve: %w", err)
 	}
 	out := make([]Neighbor, len(hits))
@@ -460,33 +596,59 @@ func (e *Engine) Radius(q string, r float64) ([]Neighbor, Stats, error) {
 // paper's §4.4 protocol, one query at a time) and reports the work spent.
 // It fails when the corpus is unlabelled.
 func (e *Engine) Classify(q string) (Prediction, Stats, error) {
+	return e.ClassifyCtx(context.Background(), q)
+}
+
+// ClassifyCtx is Classify with cooperative cancellation (see KNearestCtx).
+func (e *Engine) ClassifyCtx(ctx context.Context, q string) (Prediction, Stats, error) {
 	e.countRequest()
-	return e.classify(e.cache.Get(q))
+	if err := ctx.Err(); err != nil {
+		return Prediction{}, Stats{}, err
+	}
+	return e.classify(ctx, e.cache.Get(q))
 }
 
 // BatchClassify classifies every query over the worker pool (decoding
 // inline, bypassing the cache — see BatchDistance), summing the stats.
 func (e *Engine) BatchClassify(queries []string) ([]Prediction, Stats, error) {
+	return e.BatchClassifyCtx(context.Background(), queries)
+}
+
+// BatchClassifyCtx is BatchClassify with cooperative cancellation (see
+// BatchKNearestCtx).
+func (e *Engine) BatchClassifyCtx(ctx context.Context, queries []string) ([]Prediction, Stats, error) {
 	e.countRequest()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	if !e.Labelled() {
 		return nil, Stats{}, errUnlabelled
 	}
 	out := make([]Prediction, len(queries))
 	stats := make([]Stats, len(queries))
+	errs := make([]error, len(queries))
 	e.fanOut(len(queries), func(i int) {
-		out[i], stats[i], _ = e.classify([]rune(queries[i]))
+		out[i], stats[i], errs[i] = e.classify(ctx, []rune(queries[i]))
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, sumStats(stats), err
+		}
+	}
 	return out, sumStats(stats), nil
 }
 
 var errUnlabelled = fmt.Errorf("serve: corpus is unlabelled; /classify needs a corpus file with \"string\\tlabel\" lines")
 
-func (e *Engine) classify(q []rune) (Prediction, Stats, error) {
+func (e *Engine) classify(ctx context.Context, q []rune) (Prediction, Stats, error) {
 	if !e.Labelled() {
 		return Prediction{}, Stats{}, errUnlabelled
 	}
-	hit, st, err := e.set.Load().Classify(q)
+	hit, st, err := e.set.Load().ClassifyCtx(ctx, q)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Prediction{}, e.shardStats(st), err
+		}
 		return Prediction{}, Stats{}, fmt.Errorf("serve: %w", err)
 	}
 	return Prediction{Label: hit.Label, Neighbor: neighbor(hit)}, e.shardStats(st), nil

@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"ced/internal/blob"
@@ -15,6 +17,64 @@ import (
 // maxBodyBytes bounds request bodies: batch requests are the largest
 // legitimate payloads, and 8 MiB holds ~100k average word pairs.
 const maxBodyBytes = 8 << 20
+
+// BudgetHeader carries a request's remaining deadline budget in whole
+// milliseconds. Coordinators stamp it on every shard call with their
+// context's remaining time, so the deadline a client set at the edge
+// propagates across hops; single-node clients can set it directly. The
+// server clamps the value to [1ms, MaxBudget] — a remote caller cannot
+// pin a computation for longer than the server is willing to spend.
+const BudgetHeader = "Ced-Budget-Ms"
+
+// MaxBudget is the server-side clamp on BudgetHeader: the longest
+// deadline a request header can impose.
+const MaxBudget = 60 * time.Second
+
+// StatusClientClosedRequest is the (de facto standard, nginx-originated)
+// status for a query abandoned by its client: the work was cancelled
+// cooperatively, nothing was computed to completion, and the code mostly
+// matters for the server's own access logs and counters.
+const StatusClientClosedRequest = 499
+
+// RequestContext derives the query context for a handler: the request's
+// own context (cancelled by client disconnect and server shutdown) plus
+// the clamped BudgetHeader deadline when one was sent. The CancelFunc must
+// be called when the handler returns.
+func RequestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	h := r.Header.Get(BudgetHeader)
+	if h == "" {
+		return context.WithCancel(ctx)
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms < 1 {
+		ms = 1 // a malformed or exhausted budget fails fast, not open
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > MaxBudget {
+		d = MaxBudget
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// writeQueryError maps a failed query to its status code: shed load is 429
+// with a Retry-After hint, a client that vanished is 499, an exhausted
+// deadline budget is 504, anything else is the caller's fault (400). The
+// cancellation outcomes are folded into the engine's /healthz counters.
+func writeQueryError(e *Engine, w http.ResponseWriter, err error) {
+	e.NoteQueryError(err)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(e.gate.RetryAfter()))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, StatusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
 
 // NewHandler wraps an engine in the cedserve JSON API:
 //
@@ -39,10 +99,28 @@ const maxBodyBytes = 8 << 20
 // (cedserve -snapshot), never a client-supplied one.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
+	// query wraps the search/distance endpoints in the robustness layer:
+	// admission control (a saturating flood is shed with 429 + Retry-After
+	// instead of queueing unboundedly) and the cancellable query context
+	// (client disconnect, server shutdown, BudgetHeader deadline). The
+	// health, mutation and snapshot endpoints stay ungated — health checks
+	// and drains must succeed exactly when the server is saturated.
+	query := func(h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if err := e.gate.Acquire(r.Context()); err != nil {
+				writeQueryError(e, w, err)
+				return
+			}
+			defer e.gate.Release()
+			ctx, cancel := RequestContext(r)
+			defer cancel()
+			h(ctx, w, r)
+		}
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Info: e.Info()})
 	})
-	mux.HandleFunc("POST /distance", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /distance", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req distanceRequest
 		if !decode(w, r, &req) {
 			return
@@ -52,83 +130,87 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, distanceResponse{
 			Metric: e.m.Name(), Distance: d, queryMeta: meta(st, start),
 		})
-	})
-	mux.HandleFunc("POST /distance/batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /distance/batch", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req batchDistanceRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		start := time.Now()
-		ds, st := e.BatchDistance(req.Pairs)
+		ds, st, err := e.BatchDistanceCtx(ctx, req.Pairs)
+		if err != nil {
+			writeQueryError(e, w, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, batchDistanceResponse{
 			Metric: e.m.Name(), Distances: ds, queryMeta: meta(st, start),
 		})
-	})
-	mux.HandleFunc("POST /knn", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /knn", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req knnRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		start := time.Now()
-		ns, st, err := e.KNearest(req.Query, req.K)
+		ns, st, err := e.KNearestCtx(ctx, req.Query, req.K)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeQueryError(e, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, knnResponse{Results: ns, queryMeta: meta(st, start)})
-	})
-	mux.HandleFunc("POST /knn/batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /knn/batch", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req batchKNNRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		start := time.Now()
-		ns, st, err := e.BatchKNearest(req.Queries, req.K)
+		ns, st, err := e.BatchKNearestCtx(ctx, req.Queries, req.K)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeQueryError(e, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, batchKNNResponse{Results: ns, queryMeta: meta(st, start)})
-	})
-	mux.HandleFunc("POST /radius", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /radius", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req radiusRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		start := time.Now()
-		ns, st, err := e.Radius(req.Query, req.Radius)
+		ns, st, err := e.RadiusCtx(ctx, req.Query, req.Radius)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeQueryError(e, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, knnResponse{Results: ns, queryMeta: meta(st, start)})
-	})
-	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /classify", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req classifyRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		start := time.Now()
-		p, st, err := e.Classify(req.Query)
+		p, st, err := e.ClassifyCtx(ctx, req.Query)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeQueryError(e, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, classifyResponse{Prediction: p, queryMeta: meta(st, start)})
-	})
-	mux.HandleFunc("POST /classify/batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /classify/batch", query(func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req batchClassifyRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		start := time.Now()
-		ps, st, err := e.BatchClassify(req.Queries)
+		ps, st, err := e.BatchClassifyCtx(ctx, req.Queries)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeQueryError(e, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, batchClassifyResponse{Results: ps, queryMeta: meta(st, start)})
-	})
+	}))
 	mux.HandleFunc("POST /add", func(w http.ResponseWriter, r *http.Request) {
 		var req addRequest
 		if !decode(w, r, &req) {

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -123,6 +124,15 @@ func (s *Set) KNearest(q []rune, k int) ([]Hit, Stats) {
 	return s.KNearestBounded(q, k, math.Inf(1))
 }
 
+// KNearestCtx is KNearest with cooperative cancellation: each shard's scan
+// polls ctx every few candidates (see internal/cancel) and a cancelled
+// query stops evaluating across all shards, returning ctx's error with the
+// work spent so far — never a partial result set. Results are bit-identical
+// to KNearest when ctx is not cancelled.
+func (s *Set) KNearestCtx(ctx context.Context, q []rune, k int) ([]Hit, Stats, error) {
+	return s.KNearestBoundedCtx(ctx, q, k, math.Inf(1))
+}
+
 // KNearestBounded is KNearest with the merge bound seeded at bound instead
 // of +Inf — the set-level analogue of search.BoundedKSearcher, and the
 // surface the remote shard transport serves: a coordinator passes its
@@ -132,22 +142,41 @@ func (s *Set) KNearest(q []rune, k int) ([]Hit, Stats) {
 // to the set's true top-k is returned; elements beyond bound may be
 // omitted or included (they were never competitive).
 func (s *Set) KNearestBounded(q []rune, k int, bound float64) ([]Hit, Stats) {
+	hits, st, _ := s.KNearestBoundedCtx(context.Background(), q, k, bound)
+	return hits, st
+}
+
+// KNearestBoundedCtx is KNearestBounded with cooperative cancellation (see
+// KNearestCtx). The fanned shard queries each derive their own cancellation
+// checkpoint from ctx; the first shard to observe cancellation decides the
+// error, and the partial work every shard had already spent is still summed
+// into Stats so computation counters stay honest.
+func (s *Set) KNearestBoundedCtx(ctx context.Context, q []rune, k int, bound float64) ([]Hit, Stats, error) {
 	if k <= 0 {
-		return nil, Stats{}
+		return nil, Stats{}, nil
 	}
 	states := s.snapshot()
 	mg := NewMergerBounded(k, bound)
 	stats := make([]Stats, len(states))
+	errs := make([]error, len(states))
 	pool.Fan(len(states), s.workers, func(i int) {
-		cands, st := s.queryShard(states[i], q, k, mg.Bound())
+		cands, st, err := s.queryShard(ctx, states[i], q, k, mg.Bound())
 		stats[i] = st
-		mg.Offer(cands)
+		errs[i] = err
+		if err == nil {
+			mg.Offer(cands)
+		}
 	})
 	var total Stats
 	for _, st := range stats {
 		total.Add(st)
 	}
-	return mg.Hits(), total
+	for _, err := range errs {
+		if err != nil {
+			return nil, total, err
+		}
+	}
+	return mg.Hits(), total, nil
 }
 
 // Search returns the nearest live element to q: ok is false when the set is
@@ -163,14 +192,22 @@ func (s *Set) Search(q []rune) (Hit, Stats, bool) {
 // Classify labels q with the class of its nearest live element. It fails on
 // an unlabelled or empty set.
 func (s *Set) Classify(q []rune) (Hit, Stats, error) {
+	return s.ClassifyCtx(context.Background(), q)
+}
+
+// ClassifyCtx is Classify with cooperative cancellation (see KNearestCtx).
+func (s *Set) ClassifyCtx(ctx context.Context, q []rune) (Hit, Stats, error) {
 	if !s.labelled {
 		return Hit{}, Stats{}, fmt.Errorf("shard: corpus is unlabelled")
 	}
-	hit, st, ok := s.Search(q)
-	if !ok {
+	hits, st, err := s.KNearestCtx(ctx, q, 1)
+	if err != nil {
+		return Hit{}, st, err
+	}
+	if len(hits) == 0 {
 		return Hit{}, st, fmt.Errorf("shard: empty corpus")
 	}
-	return hit, st, nil
+	return hits[0], st, nil
 }
 
 // Radius returns every live element within distance r of q (inclusive),
@@ -184,9 +221,17 @@ func (s *Set) Classify(q []rune) (Hit, Stats, error) {
 // Computations but not its Rejections to the stats; the result set is
 // unaffected.
 func (s *Set) Radius(q []rune, r float64) ([]Hit, Stats, error) {
+	return s.RadiusCtx(context.Background(), q, r)
+}
+
+// RadiusCtx is Radius with cooperative cancellation (see KNearestCtx): the
+// fanned shard scans each poll ctx every few candidates and a cancelled
+// query returns ctx's error with the work spent so far.
+func (s *Set) RadiusCtx(ctx context.Context, q []rune, r float64) ([]Hit, Stats, error) {
 	states := s.snapshot()
 	all := make([][]Hit, len(states))
 	stats := make([]Stats, len(states))
+	errs := make([]error, len(states))
 	var reject error
 	var rejectMu sync.Mutex
 	pool.Fan(len(states), s.workers, func(i int) {
@@ -200,8 +245,12 @@ func (s *Set) Radius(q []rune, r float64) ([]Hit, Stats, error) {
 				rejectMu.Unlock()
 				return
 			}
-			res, comps := rs.Radius(q, r)
+			res, comps, err := radiusCtx(ctx, rs, q, r)
 			stats[i].Computations += comps
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			if len(res) > 0 {
 				// Every result of one query carries the same per-query
 				// rejection totals.
@@ -216,8 +265,12 @@ func (s *Set) Radius(q []rune, r float64) ([]Hit, Stats, error) {
 			}
 		}
 		if st.delta != nil {
-			res, comps := st.delta.Radius(q, r)
+			res, comps, err := st.delta.RadiusCtx(ctx, q, r)
 			stats[i].Computations += comps
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			if len(res) > 0 {
 				for j, n := range res[0].Rejections {
 					stats[i].Rejections[j] += n
@@ -231,6 +284,15 @@ func (s *Set) Radius(q []rune, r float64) ([]Hit, Stats, error) {
 	})
 	if reject != nil {
 		return nil, Stats{}, reject
+	}
+	for _, err := range errs {
+		if err != nil {
+			var total Stats
+			for _, st := range stats {
+				total.Add(st)
+			}
+			return nil, total, err
+		}
 	}
 	var merged []Hit
 	var total Stats
@@ -276,17 +338,41 @@ func (st *state) deltaHit(r search.Result) Hit {
 	}
 }
 
+// radiusCtx runs a radius query through the cancellable surface when the
+// searcher implements it, falling back to the uncancellable one (custom
+// builders, Trie) otherwise — the fallback still stops between shards
+// because the fan-out checks errs, it just cannot stop mid-scan.
+func radiusCtx(ctx context.Context, rs search.RadiusSearcher, q []rune, r float64) ([]search.Result, int, error) {
+	if crs, ok := rs.(search.CtxRadiusSearcher); ok {
+		return crs.RadiusCtx(ctx, q, r)
+	}
+	res, comps := rs.Radius(q, r)
+	return res, comps, nil
+}
+
 // queryShard answers one shard's part of a k-NN query: the base index under
 // the supplied cross-shard bound (over-fetching one slot per tombstone so
 // deleted elements cannot crowd live ones out of the result set), then the
-// linear delta scan under the same cutoff.
-func (s *Set) queryShard(st *state, q []rune, k int, bound float64) ([]Hit, Stats) {
+// linear delta scan under the same cutoff. ctx cancellation stops the scans
+// cooperatively (see KNearestCtx); the returned Stats always reflect the
+// work actually spent.
+func (s *Set) queryShard(ctx context.Context, st *state, q []rune, k int, bound float64) ([]Hit, Stats, error) {
 	var cands []Hit
 	var stats Stats
 	if st.base != nil {
 		fetch := k + len(st.tombs)
 		var res []search.Result
-		if bk, ok := st.base.(search.BoundedKSearcher); ok {
+		if bk, ok := st.base.(search.CtxBoundedKSearcher); ok {
+			var comps int
+			var rej metric.StageCounts
+			var err error
+			res, comps, rej, err = bk.KNearestBoundedCtx(ctx, q, fetch, bound)
+			stats.Computations += comps
+			stats.Rejections = rej
+			if err != nil {
+				return nil, stats, err
+			}
+		} else if bk, ok := st.base.(search.BoundedKSearcher); ok {
 			var comps int
 			var rej metric.StageCounts
 			res, comps, rej = bk.KNearestBounded(q, fetch, bound)
@@ -318,14 +404,17 @@ func (s *Set) queryShard(st *state, q []rune, k int, bound float64) ([]Hit, Stat
 		}
 	}
 	if st.delta != nil {
-		res, comps, rej := st.delta.KNearestBounded(q, k, bound)
+		res, comps, rej, err := st.delta.KNearestBoundedCtx(ctx, q, k, bound)
 		stats.Computations += comps
 		for i, n := range rej {
 			stats.Rejections[i] += n
+		}
+		if err != nil {
+			return nil, stats, err
 		}
 		for _, r := range res {
 			cands = append(cands, st.deltaHit(r))
 		}
 	}
-	return cands, stats
+	return cands, stats, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"time"
 
 	"ced/internal/blob"
 	"ced/internal/serve"
@@ -81,6 +82,17 @@ type ServerConfig struct {
 	// a retry cool-down after failures); <= 0 leaves snapshots manual.
 	// Requires Store.
 	SnapshotEvery int
+	// MaxInFlight bounds concurrently executing query requests (admission
+	// control): excess requests wait up to MaxQueueWaitMS for a slot and
+	// are then shed with 429 + Retry-After. /healthz, mutations and
+	// snapshots stay exempt. <= 0 disables admission control.
+	MaxInFlight int
+	// MaxQueueWaitMS is the shedding queue wait in milliseconds; <= 0
+	// uses the default (100ms). Ignored without MaxInFlight.
+	MaxQueueWaitMS int
+	// RetryAfter is the Retry-After hint (seconds) sent with a 429; <= 0
+	// defaults to 1. Ignored without MaxInFlight.
+	RetryAfter int
 }
 
 // Server is the embeddable batch-serving engine behind cmd/cedserve: a
@@ -126,6 +138,9 @@ func NewServer(corpus *Dataset, cfg ServerConfig) (*Server, error) {
 		CompactThreshold: cfg.CompactThreshold,
 		Store:            store,
 		SnapshotEvery:    cfg.SnapshotEvery,
+		MaxInFlight:      cfg.MaxInFlight,
+		MaxQueueWait:     time.Duration(cfg.MaxQueueWaitMS) * time.Millisecond,
+		RetryAfter:       cfg.RetryAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -159,12 +174,30 @@ func (s *Server) BatchDistance(pairs []Pair) ([]float64, int) {
 	return ds, st.Computations
 }
 
+// BatchDistanceCtx is BatchDistance with cooperative cancellation: the
+// striped workers poll ctx between pairs and a cancelled batch returns
+// ctx's error with no output.
+func (s *Server) BatchDistanceCtx(ctx context.Context, pairs []Pair) ([]float64, int, error) {
+	ds, st, err := s.eng.BatchDistanceCtx(ctx, pairs)
+	return ds, st.Computations, err
+}
+
 // KNearest returns the k nearest corpus elements to q, closest first, with
 // the distance computations the index spent. The HTTP handler additionally
 // reports how many of those evaluations each bound-ladder rung rejected;
 // see the "rejections" object in the response metadata.
 func (s *Server) KNearest(q string, k int) ([]Neighbor, int, error) {
 	ns, st, err := s.eng.KNearest(q, k)
+	return ns, st.Computations, err
+}
+
+// KNearestCtx is KNearest with cooperative cancellation: the index scans
+// poll ctx every few candidates, a cancelled query stops computing and
+// returns ctx's error (context.Canceled or context.DeadlineExceeded) with
+// the distance evaluations spent before the stop, and an uncancelled query
+// is bit-identical to KNearest.
+func (s *Server) KNearestCtx(ctx context.Context, q string, k int) ([]Neighbor, int, error) {
+	ns, st, err := s.eng.KNearestCtx(ctx, q, k)
 	return ns, st.Computations, err
 }
 
@@ -177,10 +210,22 @@ func (s *Server) Radius(q string, r float64) ([]Neighbor, int, error) {
 	return ns, st.Computations, err
 }
 
+// RadiusCtx is Radius with cooperative cancellation (see KNearestCtx).
+func (s *Server) RadiusCtx(ctx context.Context, q string, r float64) ([]Neighbor, int, error) {
+	ns, st, err := s.eng.RadiusCtx(ctx, q, r)
+	return ns, st.Computations, err
+}
+
 // Classify labels q with the class of its nearest corpus element. The
 // corpus passed to NewServer must have been labelled.
 func (s *Server) Classify(q string) (Prediction, int, error) {
 	p, st, err := s.eng.Classify(q)
+	return p, st.Computations, err
+}
+
+// ClassifyCtx is Classify with cooperative cancellation (see KNearestCtx).
+func (s *Server) ClassifyCtx(ctx context.Context, q string) (Prediction, int, error) {
+	p, st, err := s.eng.ClassifyCtx(ctx, q)
 	return p, st.Computations, err
 }
 

@@ -316,3 +316,24 @@ func BenchmarkDistanceMatrixContextual(b *testing.B) {
 		ced.DistanceMatrix(data, m, 0)
 	}
 }
+
+// --- Batched evaluation kernels (ISSUE 10) ---
+
+// 4,096 dE pairs per op, one query string recurring per block of 64 — the
+// shape of a spell-check /distance/batch call. The win over the seed is the
+// dE session: each worker answers through the bit-parallel Myers kernel
+// with pooled scratch instead of allocating a fresh O(|a|·|b|) DP table per
+// pair. BENCH_kernel.json records the medians.
+func BenchmarkBatchDistanceDE(b *testing.B) {
+	data := dataset.Spanish(128, 17).Strings
+	pairs := make([]ced.Pair, 4096)
+	for i := range pairs {
+		pairs[i] = ced.Pair{A: data[(i/64)%len(data)], B: data[(i*7+3)%len(data)]}
+	}
+	m := ced.Levenshtein()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ced.BatchDistance(pairs, m, 0)
+	}
+}

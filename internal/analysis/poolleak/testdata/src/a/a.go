@@ -75,3 +75,35 @@ func withScratch(fn func(*scratch)) {
 func work(*scratch) {}
 
 var errFail error
+
+// checkoutBatchScratch mirrors the batched-kernel checkout: one scratch
+// serves a whole candidate batch, and ownership moves to the caller.
+//
+//ced:poolleak-ok: the caller releases via defer.
+func checkoutBatchScratch(n int) *scratch {
+	s := pool.Get().(*scratch)
+	if cap(s.buf) < n {
+		s.buf = make([]int, n)
+	}
+	return s
+}
+
+// batchLeaky checks scratch out for a whole batch and releases only after
+// the loop: a panic on any candidate leaks it.
+func batchLeaky(cands [][]int) {
+	s := checkoutBatchScratch(len(cands)) // want `pooled scratch acquired by checkoutBatchScratch without a deferred release in batchLeaky`
+	for range cands {
+		work(s)
+	}
+	pool.Put(s)
+}
+
+// batchDeferred is the batched idiom: one checkout and one deferred
+// release bracket the whole batch, however many candidates it holds.
+func batchDeferred(cands [][]int) {
+	s := checkoutBatchScratch(len(cands))
+	defer pool.Put(s)
+	for range cands {
+		work(s)
+	}
+}

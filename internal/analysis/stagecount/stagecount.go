@@ -20,7 +20,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "stagecount",
 	Doc: "StageCounts returned by bounded searches must be merged into the " +
-		"caller's tally, not discarded with _ or an expression statement " +
+		"caller's tally, not discarded with _ or an expression statement; " +
+		"batch results carrying per-candidate StageCounts count too " +
 		"(//ced:stagecount-ok waives a deliberate discard)",
 	Run: run,
 }
@@ -30,6 +31,42 @@ var Analyzer = &analysis.Analyzer{
 func isStageCounts(t types.Type) bool {
 	named := analysis.NamedOf(t)
 	return named != nil && named.Obj().Name() == "StageCounts"
+}
+
+// carriesStageCounts reports whether t is, or transitively contains, a
+// StageCounts: the batch ladder entry points return slices of per-candidate
+// results each holding its own tally, and dropping the whole call on the
+// floor loses the counters just as surely as dropping a bare StageCounts.
+// Only bare expression statements use the transitive rule — blank assigns
+// keep the strict bare-StageCounts check, because `hits, _ :=` legitimately
+// keeps the tally through the other results.
+func carriesStageCounts(t types.Type) bool {
+	return carries(t, make(map[types.Type]bool))
+}
+
+func carries(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isStageCounts(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return carries(u.Elem(), seen)
+	case *types.Array:
+		return carries(u.Elem(), seen)
+	case *types.Pointer:
+		return carries(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carries(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func run(pass *analysis.Pass) error {
@@ -105,12 +142,12 @@ func checkExprStmt(pass *analysis.Pass, st *ast.ExprStmt) {
 	switch t := tv.Type.(type) {
 	case *types.Tuple:
 		for i := 0; i < t.Len(); i++ {
-			if isStageCounts(t.At(i).Type()) {
+			if carriesStageCounts(t.At(i).Type()) {
 				drops = true
 			}
 		}
 	default:
-		drops = isStageCounts(tv.Type)
+		drops = carriesStageCounts(tv.Type)
 	}
 	if !drops || pass.LineMarked(call.Pos(), "stagecount-ok") {
 		return

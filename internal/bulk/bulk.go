@@ -144,6 +144,72 @@ func (e *Evaluator) FanCtx(ctx context.Context, n, workers int, fn func(s metric
 	return nil
 }
 
+// fanBatchBlock is the number of candidates FanBatch hands to one
+// DistanceBatch call: large enough to amortise the batch kernels' setup
+// (pattern table, lane fill), small enough that the candidate-pointer block
+// stays cache-resident and out is filled at a steady cadence.
+const fanBatchBlock = 256
+
+// FanChunks splits [0, n) into contiguous per-worker chunks (workers <= 0
+// uses all CPUs) and calls fn once per non-empty chunk with that worker's
+// private session. It is the fan for work that wants a contiguous index
+// range per session — run detection, block assembly — rather than Fan's
+// per-item striping.
+func (e *Evaluator) FanChunks(n, workers int, fn func(s metric.Metric, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = pool.Workers(n, workers)
+	chunk := (n + workers - 1) / workers
+	e.FanWorker(workers, workers, func(s metric.Metric, _, w int) {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			fn(s, lo, hi)
+		}
+	})
+}
+
+// FanBatch evaluates one query against candidates [0, n), filling
+// out[i] = d(query, cand(i)). The index range is split into contiguous
+// per-worker chunks (workers <= 0 uses all CPUs) and each worker resolves
+// its chunk through its session's DistanceBatch — block by block, with the
+// candidate slice assembled once per block — when the session implements
+// metric.Batcher, falling back to per-candidate Distance calls otherwise.
+// Values are bit-identical either way (the Batcher contract), so results
+// never depend on the worker count or the session's capabilities; this is
+// the batch analogue of Fan for the one-query row shape of LAESA pivot
+// rows, VP-tree partitions and BK-tree levels.
+func (e *Evaluator) FanBatch(query []rune, n, workers int, cand func(i int) []rune, out []float64) {
+	e.FanChunks(n, workers, func(s metric.Metric, lo, hi int) {
+		b, ok := s.(metric.Batcher)
+		if !ok {
+			for i := lo; i < hi; i++ {
+				out[i] = s.Distance(query, cand(i))
+			}
+			return
+		}
+		bsCap := hi - lo
+		if bsCap > fanBatchBlock {
+			bsCap = fanBatchBlock
+		}
+		bs := make([][]rune, 0, bsCap)
+		for blo := lo; blo < hi; blo += fanBatchBlock {
+			bhi := blo + fanBatchBlock
+			if bhi > hi {
+				bhi = hi
+			}
+			bs = bs[:0]
+			for i := blo; i < bhi; i++ {
+				bs = append(bs, cand(i))
+			}
+			b.DistanceBatch(query, bs, out[blo:bhi])
+		}
+	})
+}
+
 // checkout returns one session per worker; release returns them.
 func (e *Evaluator) checkout(workers int) []metric.Metric {
 	sessions := make([]metric.Metric, workers)

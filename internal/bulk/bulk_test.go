@@ -109,13 +109,21 @@ func TestSessionReleaseRecycles(t *testing.T) {
 		t.Fatal("nil session")
 	}
 	ev.Release(s)
-	// A plain metric hands itself out.
-	plain := metric.Levenshtein()
+	// A plain (sessionless) metric hands itself out. dE and dC are both
+	// Sessioners now, so a stub stands in for the plain case.
+	plain := plainMetric{}
 	ev = New(plain)
 	if got := ev.Session(); got != plain {
 		t.Fatalf("plain metric session = %v, want the metric itself", got)
 	}
 }
+
+// plainMetric is a metric without a Session method: the Evaluator must hand
+// it out directly.
+type plainMetric struct{}
+
+func (plainMetric) Name() string                 { return "plain" }
+func (plainMetric) Distance(a, b []rune) float64 { return float64(len(a) + len(b)) }
 
 // confineMetric mints sessions that detect concurrent use.
 type confineMetric struct{}
@@ -128,3 +136,27 @@ type confineSession struct{ busy atomic.Bool }
 
 func (s *confineSession) Name() string                 { return "confine" }
 func (s *confineSession) Distance(a, b []rune) float64 { return 0 }
+
+// FanBatch must produce values bit-identical to direct per-pair metric
+// calls, for every worker count, with batch-capable sessions (dC, dE), a
+// session-only metric, and a plain metric.
+func TestFanBatchMatchesDirectEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := randomStrings(rng, 777, 14) // > fanBatchBlock so blocks split
+	q := []rune("acgtacgtacgt")
+	for _, m := range []metric.Metric{metric.Contextual(), metric.Levenshtein(), metric.YujianBo(), plainMetric{}} {
+		want := make([]float64, len(data))
+		for i, d := range data {
+			want[i] = m.Distance(q, d)
+		}
+		for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			got := make([]float64, len(data))
+			New(m).FanBatch(q, len(data), workers, func(i int) []rune { return data[i] }, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: FanBatch[%d] = %v, direct %v", m.Name(), workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestComputeBoundedBatchMatchesScalar drives the batch ladder entry over
+// random corpora at a spread of cutoffs — including cutoffs that reject at
+// every rung, a negative cutoff and +Inf — and requires every candidate's
+// BoundedResult to equal the scalar ladder's, plus the aggregated
+// StageCounts to match rung for rung.
+func TestComputeBoundedBatchMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	alpha := []rune("abcd")
+	batchW := NewWorkspace()
+	scalarW := NewWorkspace()
+	for trial := 0; trial < 60; trial++ {
+		x := randomString(r, 32, alpha)
+		ys := make([][]rune, 1+r.Intn(12))
+		for i := range ys {
+			ys[i] = randomString(r, 36, alpha)
+		}
+		for _, cutoff := range []float64{-0.5, 0, 0.1, 0.3, 0.6, 1.0, 1.9, math.Inf(1)} {
+			got := batchW.ComputeBoundedBatch(x, ys, cutoff, nil)
+			var batchCounts, scalarCounts StageCounts
+			for i, y := range ys {
+				res, exact, stage := scalarW.ComputeBoundedStaged(x, y, cutoff)
+				want := BoundedResult{Result: res, Exact: exact, Stage: stage}
+				if got[i] != want {
+					t.Fatalf("batch diverged for %q vs %q cutoff=%v:\n got %+v\nwant %+v",
+						string(x), string(y), cutoff, got[i], want)
+				}
+				batchCounts[got[i].Stage]++
+				scalarCounts[stage]++
+			}
+			if batchCounts != scalarCounts {
+				t.Fatalf("stage counts diverged: batch %v, scalar %v", batchCounts, scalarCounts)
+			}
+		}
+	}
+}
+
+// TestComputeBoundedBatchEdgeCases covers the shapes the random driver is
+// unlikely to hit: empty query, empty candidates, an empty batch, and the
+// out-reuse contract.
+func TestComputeBoundedBatchEdgeCases(t *testing.T) {
+	w := NewWorkspace()
+	if got := w.ComputeBoundedBatch([]rune("ab"), nil, 0.5, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+	ys := [][]rune{{}, []rune("ab"), {}, []rune("zzzzzzzzzzzzzzzzzz")}
+	for _, x := range [][]rune{{}, []rune("ab"), []rune("ñandú")} {
+		for _, cutoff := range []float64{-1, 0, 0.4, 1.5, math.Inf(1)} {
+			got := w.ComputeBoundedBatch(x, ys, cutoff, nil)
+			for i, y := range ys {
+				res, exact, stage := w.ComputeBoundedStaged(x, y, cutoff)
+				want := BoundedResult{Result: res, Exact: exact, Stage: stage}
+				if got[i] != want {
+					t.Fatalf("edge case diverged for %q vs %q cutoff=%v:\n got %+v\nwant %+v",
+						string(x), string(y), cutoff, got[i], want)
+				}
+			}
+		}
+	}
+	out := make([]BoundedResult, len(ys))
+	if got := w.ComputeBoundedBatch([]rune("ab"), ys, 0.5, out); &got[0] != &out[0] {
+		t.Fatal("ComputeBoundedBatch allocated although out had the right length")
+	}
+}
+
+// TestComputeBoundedBatchInfMatchesCompute pins the identity the exact
+// batch wiring rests on: at cutoff = +Inf every candidate resolves exactly,
+// with the same Result Compute produces — so DistanceBatch through the
+// batch ladder is bit-identical to per-pair Distance calls.
+func TestComputeBoundedBatchInfMatchesCompute(t *testing.T) {
+	r := rand.New(rand.NewSource(502))
+	alpha := []rune("abñc")
+	w := NewWorkspace()
+	cw := NewWorkspace()
+	for trial := 0; trial < 40; trial++ {
+		x := randomString(r, 30, alpha)
+		ys := make([][]rune, 1+r.Intn(8))
+		for i := range ys {
+			ys[i] = randomString(r, 30, alpha)
+		}
+		got := w.ComputeBoundedBatch(x, ys, math.Inf(1), nil)
+		for i, y := range ys {
+			if !got[i].Exact {
+				t.Fatalf("+Inf batch result not exact for %q %q", string(x), string(y))
+			}
+			want := cw.Compute(x, y)
+			if got[i].Result != want {
+				t.Fatalf("+Inf batch diverged from Compute for %q %q:\n got %+v\nwant %+v",
+					string(x), string(y), got[i].Result, want)
+			}
+		}
+	}
+}

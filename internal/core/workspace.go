@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"sync"
 
 	"ced/internal/editdist"
@@ -56,10 +55,22 @@ const bailSlack = 1e-12
 //
 // The zero value is ready to use; NewWorkspace is a readable constructor.
 type Workspace struct {
-	prev, cur []int32          // rolling (j, k) planes of Algorithm 1
-	kr, ir    []int32          // heuristic rows: min edit length, max insertions
-	h         []float64        // harmonic prefix: h[i] = H(i), grows monotonically
-	ed        editdist.Scratch // bounded-Myers scratch for the ladder's edit stage
+	prev, cur      []int32          // rolling (j, k) planes, int32 kernel (band.go)
+	prev16, cur16  []uint16         // rolling planes of the uint16 kernel
+	border16       []uint16         // blocked kernel: tile-boundary row
+	colA16, colB16 []uint16         // blocked kernel: rolling column buffers
+	fin            []int32          // decoded final-cell band fed to finishBand
+	kr, ir         []int32          // heuristic rows: min edit length, max insertions
+	h              []float64        // harmonic prefix: h[i] = H(i), grows monotonically
+	ed             editdist.Scratch // bounded-Myers scratch for the ladder's edit stage
+
+	// Batch-ladder scratch (ComputeBoundedBatch): the stage-1 queue of
+	// candidates the cutoff can reject, their per-lane bounds, their batch
+	// positions and the resolved bounded distances.
+	bcands [][]rune
+	bks    []int
+	bidx   []int
+	bde    []int
 }
 
 // NewWorkspace returns an empty workspace. Buffers are allocated lazily on
@@ -97,6 +108,14 @@ func (w *Workspace) harmonic(n int) []float64 {
 func grow32(buf *[]int32, n int) []int32 {
 	if cap(*buf) < n {
 		*buf = make([]int32, n)
+	}
+	return (*buf)[:n]
+}
+
+// growInts is grow32 for int slices (the batch ladder's bound buffers).
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
 	}
 	return (*buf)[:n]
 }
@@ -188,174 +207,6 @@ func (w *Workspace) Distance(x, y []rune) float64 {
 func (w *Workspace) ComputeBounded(x, y []rune, cutoff float64) (Result, bool) {
 	res, exact, _ := w.ComputeBoundedStaged(x, y, cutoff)
 	return res, exact
-}
-
-// computeBand runs Algorithm 1 with the edit-length dimension restricted to
-// [0, kmax], on the workspace's rolling planes. It produces exactly the
-// values the unpruned algorithm holds at k ≤ kmax: every cell (i, j) can
-// only be non-sentinel for k in [|i−j|, i+j] (fewer operations cannot
-// bridge the length difference; an internal path on the prefixes has at
-// most j insertions, i deletions and min(i, j) substitutions), so the
-// kernel walks only that feasible sub-band per cell, guards reads of
-// neighbouring cells by *their* feasible bands, and never touches —
-// or needs to clear — the rest of the scratch planes.
-//
-// kmin is the caller's proven lower bound on the edit length (dE, from the
-// heuristic or the ladder's edit stage): the final closed-formula sweep
-// starts there instead of at |m−n|, since every shorter edit length holds
-// the sentinel — no path exists — and cannot win.
-func (w *Workspace) computeBand(x, y []rune, kmax, kmin int) Result {
-	m, n := len(x), len(y)
-	width := kmax + 1
-	need := (n + 1) * width
-	prev := grow32(&w.prev, need)
-	cur := grow32(&w.cur, need)
-
-	// Row i = 0: reaching y[:j] from the empty prefix is possible only with
-	// exactly j operations, all insertions.
-	for j := 0; j <= n && j <= kmax; j++ {
-		prev[j*width+j] = int32(j)
-	}
-	for i := 1; i <= m; i++ {
-		// Column j = 0: i deletions, no insertions — feasible only at k = i.
-		if i <= kmax {
-			cur[i] = 0
-		}
-		xi := x[i-1]
-		// Cells with |i−j| > kmax hold an empty band; skip them wholesale.
-		jlo, jhi := i-kmax, i+kmax
-		if jlo < 1 {
-			jlo = 1
-		}
-		if jhi > n {
-			jhi = n
-		}
-		for j := jlo; j <= jhi; j++ {
-			row := cur[j*width : (j+1)*width]
-			diag := prev[(j-1)*width : j*width]
-			up := prev[j*width : (j+1)*width]  // delete x[i-1]
-			left := cur[(j-1)*width : j*width] // insert y[j-1]
-
-			// This cell's feasible band [klo, khi] and the neighbours'.
-			klo := i - j
-			if klo < 0 {
-				klo = -klo
-			}
-			khi := i + j
-			if khi > kmax {
-				khi = kmax
-			}
-			dhi := i + j - 2 // diag band: [klo, dhi] (|i−j| is shared)
-			if dhi > kmax {
-				dhi = kmax
-			}
-
-			if xi == y[j-1] {
-				// Cost-0 match: same k as the diagonal cell where that cell
-				// is feasible, unreachable elsewhere.
-				hi := dhi
-				if hi > khi {
-					hi = khi
-				}
-				copy(row[klo:hi+1], diag[klo:hi+1])
-				for k := hi + 1; k <= khi; k++ {
-					row[k] = negInf
-				}
-			} else {
-				// Substitution: one more operation than the diagonal cell.
-				hi := dhi + 1
-				if hi > khi {
-					hi = khi
-				}
-				row[klo] = negInf // diag[klo-1] is outside the diagonal band
-				for k := klo + 1; k <= hi; k++ {
-					row[k] = diag[k-1]
-				}
-				for k := hi + 1; k <= khi; k++ {
-					row[k] = negInf
-				}
-			}
-			// Deletion of x[i-1]: up cell (i−1, j), band [|i−j−1|, i+j−1].
-			lo := i - j - 1
-			if lo < 0 {
-				lo = -lo
-			}
-			lo++ // transition adds one operation
-			if lo < klo {
-				lo = klo
-			}
-			hi := i + j // = min(i+j-1, kmax) + 1, capped to this cell's band
-			if hi > khi {
-				hi = khi
-			}
-			for k := lo; k <= hi; k++ {
-				if v := up[k-1]; v > row[k] {
-					row[k] = v
-				}
-			}
-			// Insertion of y[j-1]: left cell (i, j−1), band [|i−j+1|, i+j−1].
-			lo = i - j + 1
-			if lo < 0 {
-				lo = -lo
-			}
-			lo++
-			if lo < klo {
-				lo = klo
-			}
-			for k := lo; k <= hi; k++ {
-				if v := left[k-1]; v >= 0 && v+1 > row[k] {
-					row[k] = v + 1
-				}
-			}
-		}
-		prev, cur = cur, prev
-	}
-	w.prev, w.cur = prev, cur // keep the swap so buffers are reused in place
-
-	// Closed-formula sweep over the final cell's feasible band, identical to
-	// the reference algorithm's (restricted to the band, which contains
-	// every candidate that can win — see kBand).
-	final := prev[n*width : (n+1)*width]
-	klo := m - n
-	if klo < 0 {
-		klo = -klo
-	}
-	if kmin > klo {
-		klo = kmin
-	}
-	khi := m + n
-	if khi > kmax {
-		khi = kmax
-	}
-	h := w.harmonic(m + n)
-	best := math.Inf(1)
-	var bestK, bestNi, bestNs, bestNd int
-	for k := klo; k <= khi; k++ {
-		if final[k] < 0 {
-			continue
-		}
-		ni := int(final[k])
-		nd := m - n + ni
-		ns := k - ni - nd
-		if nd < 0 || ns < 0 {
-			continue // cannot happen for a genuine internal path; defensive
-		}
-		d := h[m+ni] - h[m] + h[n+nd] - h[n]
-		if ns > 0 {
-			d += float64(ns) / float64(m+ni)
-		}
-		if d < best {
-			best = d
-			bestK, bestNi, bestNs, bestNd = k, ni, ns, nd
-		}
-	}
-	return Result{
-		Distance:      best,
-		K:             bestK,
-		Insertions:    bestNi,
-		Substitutions: bestNs,
-		Deletions:     bestNd,
-	}
 }
 
 // HeuristicCompute is the workspace form of the package-level

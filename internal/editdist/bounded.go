@@ -36,13 +36,29 @@ const peqSymbols = 256
 // one; the metric layer pools them).
 type Scratch struct {
 	peq        map[rune]uint64 // pattern-equality table for wide-symbol patterns
+	mapSyms    []rune          // the pattern peq was built for (rebuild skipped when unchanged)
 	narrowPeq  []uint64        // single-word pattern table, peqSymbols entries
-	narrowSyms []rune          // symbols whose narrowPeq entries are non-zero
+	narrowSyms []rune          // the pattern whose entries narrowPeq holds (and the cache key)
 	blockPeq   []uint64        // blocked pattern table: symbol c's blocks at [c·B, c·B+B)
-	blockSyms  []rune          // symbols whose blockPeq rows are non-zero (the last pattern)
+	blockSyms  []rune          // the pattern whose rows blockPeq holds (the cache key)
 	blockOff   int             // block count the non-zero rows were written at
 	bpv, bmv   []uint64        // blocked vertical delta state, one word per block
 	prev, cur  []int           // rolling rows of the banded fallback
+}
+
+// runesEqual reports whether a and b hold the same symbols — the
+// same-pattern check behind the table caches, cheap against the cost of a
+// rebuild (a mismatch bails at the first differing symbol).
+func runesEqual(a, b []rune) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, c := range a {
+		if c != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // MyersBounded returns the Levenshtein distance between a and b if it is at
@@ -98,17 +114,7 @@ func (s *Scratch) MyersBounded(a, b []rune, k int) int {
 // entries re-zeroed, so the per-candidate fixed cost is O(pattern), not
 // O(peqSymbols).
 func (s *Scratch) myersNarrow(pattern, text []rune, k int) int {
-	if s.narrowPeq == nil {
-		s.narrowPeq = make([]uint64, peqSymbols)
-	}
-	peq := s.narrowPeq
-	for _, c := range s.narrowSyms {
-		peq[c] = 0
-	}
-	for i, c := range pattern {
-		peq[c] |= 1 << uint(i)
-	}
-	s.narrowSyms = append(s.narrowSyms[:0], pattern...)
+	peq := s.prepNarrow(pattern)
 	m, n := len(text), len(pattern)
 	pv := ^uint64(0)
 	mv := uint64(0)
@@ -128,25 +134,64 @@ func (s *Scratch) myersNarrow(pattern, text []rune, k int) int {
 	return score // the early exit guarantees score <= k here
 }
 
-// myersMap is the bounded single-word scan for patterns with symbols beyond
-// the direct-index table, using the scratch's reusable map. It mirrors
-// myers64Map in myers.go plus the early exit (myersStep is the shared
-// kernel).
-func (s *Scratch) myersMap(pattern, text []rune, k int) int {
+// prepNarrow returns the direct-index pattern table for pattern, building
+// it on the scratch's reusable buffer. The table is cached keyed on the
+// pattern itself: a repeated pattern — every call of a batch, the pivot of
+// a LAESA row, consecutive evaluations of one query — skips both the
+// re-zeroing and the rebuild, so the per-call fixed cost drops to a symbol
+// comparison. A fresh pattern re-zeroes only the previous pattern's
+// entries, O(pattern), not O(peqSymbols).
+func (s *Scratch) prepNarrow(pattern []rune) []uint64 {
+	if s.narrowPeq == nil {
+		s.narrowPeq = make([]uint64, peqSymbols)
+	}
+	peq := s.narrowPeq
+	if runesEqual(s.narrowSyms, pattern) {
+		return peq
+	}
+	for _, c := range s.narrowSyms {
+		peq[c] = 0
+	}
+	for i, c := range pattern {
+		peq[c] |= 1 << uint(i)
+	}
+	s.narrowSyms = append(s.narrowSyms[:0], pattern...)
+	return peq
+}
+
+// prepMap returns the map-backed pattern table for wide-symbol patterns,
+// reusing the scratch's map across calls: the same pattern skips the
+// rebuild entirely (the cache key is the pattern, like prepNarrow's), and a
+// fresh one clears and refills the existing map — no allocation either way
+// at steady state.
+func (s *Scratch) prepMap(pattern []rune) map[rune]uint64 {
 	if s.peq == nil {
 		s.peq = make(map[rune]uint64, len(pattern))
+	}
+	if runesEqual(s.mapSyms, pattern) {
+		return s.peq
 	}
 	clear(s.peq)
 	for i, c := range pattern {
 		s.peq[c] |= 1 << uint(i)
 	}
+	s.mapSyms = append(s.mapSyms[:0], pattern...)
+	return s.peq
+}
+
+// myersMap is the bounded single-word scan for patterns with symbols beyond
+// the direct-index table, using the scratch's reusable map. It mirrors
+// myers64Map in myers.go plus the early exit (myersStep is the shared
+// kernel).
+func (s *Scratch) myersMap(pattern, text []rune, k int) int {
+	peq := s.prepMap(pattern)
 	m, n := len(text), len(pattern)
 	pv := ^uint64(0)
 	mv := uint64(0)
 	score := n
 	last := uint64(1) << uint(n-1)
 	for i, c := range text {
-		pv, mv, score = myersStep(s.peq[c], pv, mv, score, last)
+		pv, mv, score = myersStep(peq[c], pv, mv, score, last)
 		if score-(m-i-1) > k {
 			return k + 1
 		}
@@ -192,25 +237,22 @@ func myersBlockStep(eq, pv, mv uint64, hin int, last uint64) (uint64, uint64, in
 	return pv, mv, hout
 }
 
-// myersBlocked is the bounded multi-word scan for direct-indexable patterns
-// longer than a machine word: ⌈n/64⌉ blocks along the pattern, horizontal
-// deltas carried between blocks, the running score tracked at the last
-// block's top pattern bit. The unused high bits of the final block never
-// reach that bit (addition carries only move upward), so no masking is
-// needed.
-func (s *Scratch) myersBlocked(pattern, text []rune, k int) int {
-	m, n := len(text), len(pattern)
-	blocks := (n + 63) >> 6
+// prepBlocked returns the blocked pattern table for pattern at the given
+// block count, cached like prepNarrow: an unchanged pattern at an unchanged
+// block count returns the resident table untouched. Otherwise it re-zeroes
+// exactly the rows the previous pattern dirtied, at the block count they
+// were written with (a different count shifts every offset), restoring the
+// all-zero invariant the scan relies on — any symbol the text reads that is
+// not in this pattern must see an all-zero row — and refills the table.
+func (s *Scratch) prepBlocked(pattern []rune, blocks int) []uint64 {
 	need := peqSymbols * blocks
 	if cap(s.blockPeq) < need {
 		s.blockPeq = make([]uint64, need) // fresh allocations come back zeroed
 		s.blockSyms = s.blockSyms[:0]
 	} else {
-		// Re-zero exactly the rows the previous pattern dirtied, at the
-		// block count they were written with (a different count shifts
-		// every offset), restoring the all-zero invariant the scan relies
-		// on — any symbol the text reads that is not in this pattern must
-		// see an all-zero row.
+		if s.blockOff == blocks && runesEqual(s.blockSyms, pattern) {
+			return s.blockPeq[:need]
+		}
 		whole := s.blockPeq[:cap(s.blockPeq)]
 		for _, c := range s.blockSyms {
 			row := whole[int(c)*s.blockOff : int(c)*s.blockOff+s.blockOff]
@@ -225,6 +267,19 @@ func (s *Scratch) myersBlocked(pattern, text []rune, k int) int {
 	}
 	s.blockSyms = append(s.blockSyms[:0], pattern...)
 	s.blockOff = blocks
+	return peq
+}
+
+// myersBlocked is the bounded multi-word scan for direct-indexable patterns
+// longer than a machine word: ⌈n/64⌉ blocks along the pattern, horizontal
+// deltas carried between blocks, the running score tracked at the last
+// block's top pattern bit. The unused high bits of the final block never
+// reach that bit (addition carries only move upward), so no masking is
+// needed.
+func (s *Scratch) myersBlocked(pattern, text []rune, k int) int {
+	m, n := len(text), len(pattern)
+	blocks := (n + 63) >> 6
+	peq := s.prepBlocked(pattern, blocks)
 	if cap(s.bpv) < blocks {
 		s.bpv = make([]uint64, blocks)
 		s.bmv = make([]uint64, blocks)

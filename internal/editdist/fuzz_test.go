@@ -81,6 +81,45 @@ func FuzzMyersBounded(f *testing.F) {
 	})
 }
 
+// FuzzMyersBatch pins the multi-candidate kernel against the scalar
+// bounded engine: for every candidate and every bound — k = 0, negative k
+// and zero-length strings on both sides included — the batch lane must
+// resolve exactly the scalar value. One shared Scratch runs every case in
+// both roles, so table caching across alternating patterns is fuzzed too.
+// The batch is assembled so one lane group mixes length rejections, early
+// exits, exact resolutions and an empty candidate.
+func FuzzMyersBatch(f *testing.F) {
+	f.Add("kitten", "sitting", "mitten", "kit", 1, 3, 0)
+	f.Add("", "abc", "", "x", 0, 2, -1)
+	f.Add("ñandú", "nandu", "ñ", "ñandúñandú", 2, 0, 4)
+	f.Add("abcdefghijklmnopqrstuvwxyzabcdefghijklmnopqrstuvwxyzabcdefghijklm", "abc", "z", "", 70, 1, 0)
+	var scratch Scratch
+	f.Fuzz(func(t *testing.T, sq, sa, sb, sc string, ka, kb, kc int) {
+		q := []rune(sq)
+		if len(q) > 200 || len(sa) > 200 || len(sb) > 200 || len(sc) > 200 {
+			t.Skip()
+		}
+		if ka > 500 || kb > 500 || kc > 500 {
+			t.Skip()
+		}
+		cands := [][]rune{[]rune(sa), []rune(sb), []rune(sc), []rune(sa), {}}
+		ks := []int{ka, kb, kc, 0, kc}
+		got := scratch.MyersBoundedBatch(q, cands, ks, nil)
+		for i, cand := range cands {
+			want := scratch.MyersBounded(q, cand, ks[i])
+			if got[i] != want {
+				t.Fatalf("batch lane %d: MyersBoundedBatch(%q, %q, %d) = %d, want scalar %d",
+					i, sq, string(cand), ks[i], got[i], want)
+			}
+			// The scalar value itself obeys the bounded contract; cross-check
+			// against the reference distance for definite results.
+			if want <= ks[i] && want != Distance(q, cand) {
+				t.Fatalf("definite value %d != Distance %d for %q %q", want, Distance(q, cand), sq, string(cand))
+			}
+		}
+	})
+}
+
 func FuzzScriptRoundTrip(f *testing.F) {
 	f.Add("abaa", "baab")
 	f.Add("", "x")

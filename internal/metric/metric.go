@@ -8,6 +8,7 @@ package metric
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -77,6 +78,24 @@ type Staged interface {
 	DistanceStaged(a, b []rune, cutoff float64) (float64, bool, Stage)
 }
 
+// Batcher is the capability interface for metrics (usually sessions) that
+// can resolve one query against many candidates in a single pass:
+// DistanceBatch fills out[i] = Distance(a, bs[i]) for every candidate, with
+// values bit-identical to per-pair Distance calls — batching changes the
+// cost, never the results. out is reused when it has the right length and
+// allocated otherwise; the filled slice is returned.
+//
+// Batch implementations amortise per-evaluation setup across the
+// candidates: the bit-parallel dE engine builds the query's pattern table
+// once per batch and advances several candidates per pass, and the
+// contextual kernel runs the bound ladder's cheap rungs across the whole
+// batch before any candidate reaches the quadratic ones. Bulk layers
+// (internal/bulk.FanBatch) detect the capability per worker session and
+// fall back to per-pair Distance calls when it is absent.
+type Batcher interface {
+	DistanceBatch(a []rune, bs [][]rune, out []float64) []float64
+}
+
 // Sessioner is the capability interface for metrics that can mint a
 // per-goroutine session holding private scratch memory (e.g. a reusable
 // contextual-distance workspace, making steady-state calls allocation-free
@@ -123,6 +142,23 @@ func (m levenshteinMetric) DistanceBounded(a, b []rune, cutoff float64) (float64
 // rungs: the O(1) length-difference bound and the bounded Myers scan itself
 // (dE is its own edit stage; there is no cheaper heuristic to collapse).
 func (levenshteinMetric) DistanceStaged(a, b []rune, cutoff float64) (float64, bool, Stage) {
+	s := edScratch.Get().(*editdist.Scratch)
+	defer edScratch.Put(s) // deferred so a kernel panic cannot leak the scratch
+	return levStaged(s, a, b, cutoff)
+}
+
+// Session mints a dE evaluator with a private Myers scratch: no pool
+// round-trip per call, and the pattern tables stay warm across a worker's
+// whole stripe. Values, stages and exactness are identical to the plain
+// metric's — levStaged is shared — so search pruning statistics cannot
+// depend on whether a session was used.
+func (levenshteinMetric) Session() Metric {
+	return &levenshteinSession{}
+}
+
+// levStaged is the single staged dE evaluation, shared by the pooled metric
+// and the per-worker sessions.
+func levStaged(s *editdist.Scratch, a, b []rune, cutoff float64) (float64, bool, Stage) {
 	if cutoff < 0 {
 		return 0, false, StageLength // dE >= 0 > cutoff; 0 is the trivial lower bound
 	}
@@ -137,8 +173,6 @@ func (levenshteinMetric) DistanceStaged(a, b []rune, cutoff float64) (float64, b
 			return float64(gap), false, StageLength // dE >= gap = k+1 > cutoff at least
 		}
 	}
-	s := edScratch.Get().(*editdist.Scratch)
-	defer edScratch.Put(s) // deferred so a kernel panic cannot leak the scratch
 	d := s.MyersBounded(a, b, k)
 	if d <= k {
 		return float64(d), true, StageEdit
@@ -154,9 +188,72 @@ var edScratch = sync.Pool{New: func() any { return new(editdist.Scratch) }}
 // Levenshtein returns the plain edit distance dE. It implements
 // BoundedMetric and Staged through the early-exiting bit-parallel Myers
 // engine (O(k·min(|a|,|b|)) banded fallback for patterns beyond a machine
-// word).
+// word), Sessioner (per-worker scratch) and, via its sessions, Batcher
+// (the multi-candidate kernel).
 func Levenshtein() Metric {
 	return levenshteinMetric{}
+}
+
+// levenshteinSession is a dE evaluator bound to a private Myers scratch,
+// with batch evaluation through the multi-candidate kernel. Not safe for
+// concurrent use.
+type levenshteinSession struct {
+	sc editdist.Scratch
+	ks []int // per-candidate bounds for the batch kernel
+	ds []int // integer batch results, converted into the caller's out
+}
+
+func (s *levenshteinSession) Name() string { return "dE" }
+
+// Distance resolves the exact dE with the session's bit-parallel engine:
+// at k = max(|a|,|b|) the bounded scan is always definite, and its value is
+// identical to the reference row DP (the editdist fuzz pins this), so
+// sessions are a pure cost optimisation.
+func (s *levenshteinSession) Distance(a, b []rune) float64 {
+	longest := len(a)
+	if len(b) > longest {
+		longest = len(b)
+	}
+	return float64(s.sc.MyersBounded(a, b, longest))
+}
+
+func (s *levenshteinSession) DistanceBounded(a, b []rune, cutoff float64) (float64, bool) {
+	d, exact, _ := levStaged(&s.sc, a, b, cutoff)
+	return d, exact
+}
+
+func (s *levenshteinSession) DistanceStaged(a, b []rune, cutoff float64) (float64, bool, Stage) {
+	return levStaged(&s.sc, a, b, cutoff)
+}
+
+// DistanceBatch resolves the query against every candidate with the
+// multi-candidate Myers kernel: the query's pattern table is built once for
+// the batch and the candidates advance several lanes per pass. Each bound
+// is the definite k = max(|a|,|bs[i]|), so every lane resolves the exact
+// dE.
+func (s *levenshteinSession) DistanceBatch(a []rune, bs [][]rune, out []float64) []float64 {
+	if cap(s.ks) < len(bs) {
+		s.ks = make([]int, len(bs))
+	}
+	ks := s.ks[:len(bs)]
+	for i, b := range bs {
+		k := len(a)
+		if len(b) > k {
+			k = len(b)
+		}
+		ks[i] = k
+	}
+	if cap(s.ds) < len(bs) {
+		s.ds = make([]int, len(bs))
+	}
+	s.ds = s.sc.MyersBoundedBatch(a, bs, ks, s.ds[:len(bs)])
+	if len(out) != len(bs) {
+		out = make([]float64, len(bs))
+	}
+	for i, d := range s.ds {
+		out[i] = float64(d)
+	}
+	return out
 }
 
 // contextualMetric is the exact dC with bounded evaluation and private
@@ -175,9 +272,13 @@ func (contextualMetric) Session() Metric {
 	return &contextualSession{ws: core.NewWorkspace()}
 }
 
-// contextualSession is a dC evaluator bound to a private workspace. Not
-// safe for concurrent use.
-type contextualSession struct{ ws *core.Workspace }
+// contextualSession is a dC evaluator bound to a private workspace, with
+// batch evaluation through the batch ladder entry point. Not safe for
+// concurrent use.
+type contextualSession struct {
+	ws    *core.Workspace
+	batch []core.BoundedResult
+}
 
 func (s *contextualSession) Name() string                 { return "dC" }
 func (s *contextualSession) Distance(a, b []rune) float64 { return s.ws.Distance(a, b) }
@@ -188,6 +289,26 @@ func (s *contextualSession) DistanceBounded(a, b []rune, cutoff float64) (float6
 func (s *contextualSession) DistanceStaged(a, b []rune, cutoff float64) (float64, bool, Stage) {
 	res, exact, stage := s.ws.ComputeBoundedStaged(a, b, cutoff)
 	return res.Distance, exact, stage
+}
+
+// DistanceBatch evaluates the query against every candidate through
+// core.ComputeBoundedBatch at cutoff +Inf, where every result is exact and
+// bit-identical to Compute (core's ladder tests pin this): the batch runs
+// the ladder's cheap rungs across all candidates — with the edit rung's
+// scans sharing one multi-candidate Myers pass — before any candidate
+// reaches the quadratic ones.
+func (s *contextualSession) DistanceBatch(a []rune, bs [][]rune, out []float64) []float64 {
+	if cap(s.batch) < len(bs) {
+		s.batch = make([]core.BoundedResult, len(bs))
+	}
+	s.batch = s.ws.ComputeBoundedBatch(a, bs, math.Inf(1), s.batch[:len(bs)])
+	if len(out) != len(bs) {
+		out = make([]float64, len(bs))
+	}
+	for i, r := range s.batch {
+		out[i] = r.Result.Distance
+	}
+	return out
 }
 
 // Contextual returns the exact contextual normalised distance dC: Algorithm

@@ -126,18 +126,20 @@ func (b *bkBuilder) build(items []int) *bkNode {
 		return node
 	}
 	root := b.t.corpus[node.index]
+	// One query (the subtree root) against the level: the batch fan hands
+	// each worker chunk to the session's multi-candidate kernel. The BK-tree
+	// requires a discrete symmetric metric (dE), so querying root-first is
+	// value-identical to the root-second orientation of serial insertion.
 	labels := make([]int, len(rest))
+	dists := make([]float64, len(rest))
 	if fw := b.pool.fanWidth(len(rest)); fw > 1 {
-		b.ev.Fan(len(rest), fw, func(s metric.Metric, i int) {
-			labels[i] = int(s.Distance(b.t.corpus[rest[i]], root))
-		})
+		b.ev.FanBatch(root, len(rest), fw, func(i int) []rune { return b.t.corpus[rest[i]] }, dists)
 		b.pool.fanDone(fw)
 	} else {
-		s := b.ev.Session()
-		for i, u := range rest {
-			labels[i] = int(s.Distance(b.t.corpus[u], root))
-		}
-		b.ev.Release(s)
+		b.ev.FanBatch(root, len(rest), 1, func(i int) []rune { return b.t.corpus[rest[i]] }, dists)
+	}
+	for i, d := range dists {
+		labels[i] = int(d)
 	}
 	// Group by edge label, preserving corpus order within each group — the
 	// order serial insertion would have descended into the child.

@@ -77,14 +77,14 @@ func selectPivots(corpus [][]rune, m metric.Metric, numPivots int, strategy Pivo
 		isPivot[next] = true
 		row := make([]float64, n)
 		pivot := corpus[next]
+		// The whole row is evaluated through the batch fan — one session
+		// warm-up and one shared query setup per worker chunk — split around
+		// the pivot itself, which a pivot row never evaluates (row[self]
+		// stays 0 and the n−1 computations match the per-pair fan exactly).
 		self := next
-		computations += ev.FanCount(n, workers, func(s metric.Metric, i int) int {
-			if i == self {
-				return 0
-			}
-			row[i] = s.Distance(pivot, corpus[i])
-			return 1
-		})
+		ev.FanBatch(pivot, self, workers, func(i int) []rune { return corpus[i] }, row[:self])
+		ev.FanBatch(pivot, n-self-1, workers, func(i int) []rune { return corpus[self+1+i] }, row[self+1:])
+		computations += n - 1
 		rows = append(rows, row)
 		if len(pivots) == numPivots {
 			break

@@ -122,18 +122,15 @@ func (b *vpBuilder) build(idx []int, seed uint64) *vpNode {
 		return node
 	}
 	vp := b.t.corpus[node.index]
+	// One query (the vantage point) against the whole candidate set: the
+	// batch fan lets sessions resolve each worker chunk through their
+	// multi-candidate kernels; values are bit-identical to per-pair calls.
 	dists := make([]float64, len(rest))
 	if fw := b.pool.fanWidth(len(rest)); fw > 1 {
-		b.ev.Fan(len(rest), fw, func(s metric.Metric, i int) {
-			dists[i] = s.Distance(vp, b.t.corpus[rest[i]])
-		})
+		b.ev.FanBatch(vp, len(rest), fw, func(i int) []rune { return b.t.corpus[rest[i]] }, dists)
 		b.pool.fanDone(fw)
 	} else {
-		s := b.ev.Session()
-		for i, u := range rest {
-			dists[i] = s.Distance(vp, b.t.corpus[u])
-		}
-		b.ev.Release(s)
+		b.ev.FanBatch(vp, len(rest), 1, func(i int) []rune { return b.t.corpus[rest[i]] }, dists)
 	}
 	b.comps.Add(int64(len(rest)))
 	// Median split: sort candidates by distance to the vantage point.

@@ -29,6 +29,16 @@ func DistanceMatrix(data []string, m Metric, workers int) [][]float64 {
 		out[i] = cells[i*n : (i+1)*n]
 	}
 	bulk.New(internalMetric(m)).Fan(n, workers, func(s metric.Metric, i int) {
+		// Row i is one query against the tail of the corpus: sessions with a
+		// multi-candidate kernel evaluate it as a batch (bit-identical to
+		// per-pair calls), others pair by pair.
+		if b, ok := s.(metric.Batcher); ok {
+			b.DistanceBatch(runes[i], runes[i+1:], out[i][i+1:])
+			for j := i + 1; j < n; j++ {
+				out[j][i] = out[i][j]
+			}
+			return
+		}
 		for j := i + 1; j < n; j++ {
 			v := s.Distance(runes[i], runes[j])
 			out[i][j] = v
